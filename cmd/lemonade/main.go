@@ -1,0 +1,375 @@
+// Command lemonade is the CLI front end of the library.
+//
+// Subcommands:
+//
+//	dse     — explore the design space for a device model and usage target
+//	sim     — Monte-Carlo a design's empirical access bounds
+//	otp     — analyze a one-time-pad parameter point (Eqs 9–15)
+//	attack  — run the brute-force race against a design
+//
+// Every subcommand takes -seed for reproducibility.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lemonade/internal/attack"
+	"lemonade/internal/connection"
+	"lemonade/internal/dse"
+	"lemonade/internal/montecarlo"
+	"lemonade/internal/nems"
+	"lemonade/internal/otp"
+	"lemonade/internal/password"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/structure"
+	"lemonade/internal/weibull"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "dse":
+		err = runDSE(os.Args[2:])
+	case "sim":
+		err = runSim(os.Args[2:])
+	case "otp":
+		err = runOTP(os.Args[2:])
+	case "attack":
+		err = runAttack(os.Args[2:])
+	case "fit":
+		err = runFit(os.Args[2:])
+	case "frontier":
+		err = runFrontier(os.Args[2:])
+	case "chipplan":
+		err = runChipPlan(os.Args[2:])
+	case "plan":
+		err = runPlan(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lemonade: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lemonade:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lemonade <dse|sim|otp|attack|fit|plan|chipplan> [flags]
+
+  dse    -alpha 14 -beta 8 -lab 91250 -kfrac 0.1 [-upper N] [-minwork .99] [-overrun .01]
+  sim    -alpha 12 -beta 8 -lab 100 -kfrac 0.1 [-trials 200] [-seed 1]
+  otp    -alpha 10 -beta 1 -height 8 -copies 128 -k 8
+  attack -alpha 12 -beta 8 -lab 200 -kfrac 0.1 [-trials 20] [-seed 1]
+  fit    -alpha 14 -beta 8 -samples 3000 [-cutoff 100] [-seed 1]   (characterize a lot, then design)
+  plan   -alpha 14 -beta 8 -daily 500 [-years 5]                   (M-way replication plan, §4.1.5)
+  chipplan -messages 100 -size 256 [-copies 128 -k 8]              (size a one-time-pad chip)
+  frontier -alpha 14 -beta 12 -lab 1000 -kfrac 0 [-limit 12]       (all feasible designs)`)
+}
+
+func specFlags(fs *flag.FlagSet) func() (dse.Spec, error) {
+	alpha := fs.Float64("alpha", 14, "Weibull scale (mean lifetime, cycles)")
+	beta := fs.Float64("beta", 8, "Weibull shape (consistency)")
+	lab := fs.Int("lab", 91250, "legitimate access bound")
+	upper := fs.Int("upper", 0, "upper-bound target (0 = wear out right after LAB)")
+	kfrac := fs.Float64("kfrac", 0.1, "encoding threshold fraction (0 = no encoding)")
+	minWork := fs.Float64("minwork", 0.99, "per-copy reliability requirement")
+	overrun := fs.Float64("overrun", 0.01, "per-copy max overrun probability")
+	return func() (dse.Spec, error) {
+		d, err := weibull.New(*alpha, *beta)
+		if err != nil {
+			return dse.Spec{}, err
+		}
+		return dse.Spec{
+			Dist:        d,
+			Criteria:    reliability.Criteria{MinWork: *minWork, MaxOverrun: *overrun},
+			LAB:         *lab,
+			UpperBound:  *upper,
+			KFrac:       *kfrac,
+			ContinuousT: true,
+		}, nil
+	}
+}
+
+func runDSE(args []string) error {
+	fs := flag.NewFlagSet("dse", flag.ExitOnError)
+	getSpec := specFlags(fs)
+	keyBits := fs.Int("keybits", 256, "protected secret size for area accounting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := getSpec()
+	if err != nil {
+		return err
+	}
+	d, err := dse.Explore(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(d)
+	fmt.Printf("  per-copy target T        = %d accesses (%.2f continuous)\n", d.T, d.TReal)
+	fmt.Printf("  per-copy upper bound     = %d accesses\n", d.UpperT)
+	fmt.Printf("  copies                   = %d\n", d.Copies)
+	fmt.Printf("  devices per structure    = %d (k = %d)\n", d.N, d.K)
+	fmt.Printf("  total devices            = %d\n", d.TotalDevices)
+	fmt.Printf("  guaranteed min accesses  = %d\n", d.GuaranteedMinAccesses())
+	fmt.Printf("  max allowed accesses     = %d\n", d.MaxAllowedAccesses())
+	fmt.Printf("  per-copy work prob       = %.6f\n", d.WorkProb)
+	fmt.Printf("  per-copy overrun prob    = %.2e\n", d.OverrunProb)
+	fmt.Printf("  area                     = %.4g mm²\n", d.Area(*keyBits).Mm2())
+	fmt.Printf("  energy per access        = %.3g J\n", float64(d.EnergyPerAccess()))
+	fmt.Printf("  switching latency        = %.0f ns\n", d.LatencyPerAccess().Ns())
+	return nil
+}
+
+func runSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	getSpec := specFlags(fs)
+	trials := fs.Int("trials", 200, "Monte-Carlo trials")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := getSpec()
+	if err != nil {
+		return err
+	}
+	d, err := dse.Explore(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(d)
+	sum := montecarlo.RunParallel(*seed, *trials, func(r *rng.RNG) float64 {
+		copies := make([]structure.Structure, d.Copies)
+		for i := range copies {
+			p, err := structure.NewParallel(spec.Dist, d.N, d.K, r)
+			if err != nil {
+				panic(err)
+			}
+			copies[i] = p
+		}
+		sys := structure.NewSerialCopies(copies)
+		return float64(structure.CountSuccessfulAccesses(sys, nems.RoomTemp, d.MaxAllowedAccesses()*3))
+	})
+	fmt.Printf("  empirical total accesses: %v\n", sum)
+	fmt.Printf("  min observed / LAB      : %g / %d\n", sum.Min, spec.LAB)
+	fmt.Printf("  max observed / allowed  : %g / %d\n", sum.Max, d.MaxAllowedAccesses())
+	fmt.Printf("  quantiles p01/p50/p99   : %.0f / %.0f / %.0f\n",
+		sum.Quantile(0.01), sum.Median(), sum.Quantile(0.99))
+	return nil
+}
+
+func runOTP(args []string) error {
+	fs := flag.NewFlagSet("otp", flag.ExitOnError)
+	alpha := fs.Float64("alpha", 10, "Weibull scale")
+	beta := fs.Float64("beta", 1, "Weibull shape")
+	height := fs.Int("height", 8, "decision-tree height H")
+	copies := fs.Int("copies", 128, "tree copies n")
+	k := fs.Int("k", 8, "Shamir threshold")
+	chip := fs.Float64("chip", 1, "chip area in mm² for density")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := weibull.New(*alpha, *beta)
+	if err != nil {
+		return err
+	}
+	p := otp.Params{Dist: d, Height: *height, Copies: *copies, K: *k}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	fmt.Printf("one-time pad %s H=%d n=%d k=%d\n", d, p.Height, p.Copies, p.K)
+	fmt.Printf("  candidate keys per tree  = %d\n", p.Paths())
+	fmt.Printf("  key size                 = %d bits\n", p.KeyBits())
+	fmt.Printf("  path success (Eq 9/12)   = %.6f\n", p.PathSuccessProb())
+	fmt.Printf("  receiver success (Eq 10) = %.6f\n", p.ReceiverSuccess())
+	fmt.Printf("  adversary success (Eq15) = %.3e\n", p.AdversarySuccess())
+	fmt.Printf("  retrieval latency        = %.5f ms\n", p.RetrievalLatency().Ms())
+	fmt.Printf("  retrieval energy         = %.3g J\n", float64(p.RetrievalEnergy()))
+	fmt.Printf("  pads per %.3g mm² chip    = %d\n", *chip, p.PadsPerChip(*chip))
+	return nil
+}
+
+func runAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	getSpec := specFlags(fs)
+	trials := fs.Int("trials", 20, "race trials")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := getSpec()
+	if err != nil {
+		return err
+	}
+	d, err := dse.Explore(spec)
+	if err != nil {
+		return err
+	}
+	curve := password.UrEtAl()
+	fmt.Println(d)
+	fmt.Printf("  analytic crack probability at the hardware bound: %.3e\n",
+		attack.BruteForceAnalytic(d, curve))
+	cracked := 0
+	base := rng.New(*seed)
+	for i := 0; i < *trials; i++ {
+		out, err := attack.BruteForce(d, curve, base.Derive(fmt.Sprintf("race-%d", i)))
+		if err != nil {
+			return err
+		}
+		state := "locked out"
+		if out.Cracked {
+			state = "CRACKED"
+			cracked++
+		}
+		fmt.Printf("  race %2d: %s after %d attempts (user rank %d)\n", i, state, out.Attempts, out.UserRank)
+	}
+	fmt.Printf("  cracked %d/%d races\n", cracked, *trials)
+	return nil
+}
+
+func runFit(args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ExitOnError)
+	alpha := fs.Float64("alpha", 14, "true Weibull scale of the simulated lot")
+	beta := fs.Float64("beta", 8, "true Weibull shape of the simulated lot")
+	cvAlpha := fs.Float64("cvalpha", 0, "per-device alpha variation (coefficient of variation)")
+	cvBeta := fs.Float64("cvbeta", 0, "per-device beta variation")
+	samples := fs.Int("samples", 3000, "devices to cycle to failure")
+	cutoff := fs.Uint64("cutoff", 100, "censoring cutoff in cycles")
+	lab := fs.Int("lab", 91250, "usage target for the follow-on design")
+	kfrac := fs.Float64("kfrac", 0.1, "encoding threshold fraction")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	truth, err := weibull.New(*alpha, *beta)
+	if err != nil {
+		return err
+	}
+	lot := nems.NewPopulation(truth, *cvAlpha, *cvBeta, rng.New(*seed))
+	fmt.Printf("characterizing a lot of %s (%d samples, cutoff %d cycles)\n", truth, *samples, *cutoff)
+	obs := lot.MeasureLifetimes(*samples, *cutoff)
+	censored := 0
+	for _, o := range obs {
+		if o.Censored {
+			censored++
+		}
+	}
+	fitted, err := weibull.Fit(obs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  observed failures  : %d (%d censored at cutoff)\n", *samples-censored, censored)
+	fmt.Printf("  fitted model       : %s\n", fitted)
+	fmt.Printf("  fitted mean / true : %.2f / %.2f cycles\n", fitted.Mean(), truth.Mean())
+	spec := dse.Spec{
+		Dist:        fitted,
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         *lab,
+		KFrac:       *kfrac,
+		ContinuousT: true,
+	}
+	d, err := dse.Explore(spec)
+	if err != nil {
+		return fmt.Errorf("design from fitted model: %w", err)
+	}
+	fmt.Printf("  design from fit    : %v\n", d)
+	return nil
+}
+
+func runPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	getSpec := specFlags(fs)
+	daily := fs.Int("daily", 500, "required unlocks per day")
+	years := fs.Float64("years", 5, "deployment lifetime in years")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := getSpec()
+	if err != nil {
+		return err
+	}
+	design, err := dse.Explore(spec)
+	if err != nil {
+		return err
+	}
+	plan, err := connection.PlanMWay(design, *daily, time.Duration(*years*365*24)*time.Hour)
+	if err != nil {
+		return err
+	}
+	fmt.Println(plan)
+	fmt.Printf("  per-module design : %v\n", design)
+	fmt.Printf("  lifetime accesses : %d\n", plan.TotalAccesses)
+	fmt.Printf("  user burden       : new passcode + storage re-encryption every %.1f months\n",
+		plan.MigrateEvery.Hours()/24/30)
+	return nil
+}
+
+func runChipPlan(args []string) error {
+	fs := flag.NewFlagSet("chipplan", flag.ExitOnError)
+	alpha := fs.Float64("alpha", 10, "Weibull scale")
+	beta := fs.Float64("beta", 1, "Weibull shape")
+	messages := fs.Int("messages", 100, "messages the chip must support")
+	size := fs.Int("size", 256, "max message size in bytes")
+	copies := fs.Int("copies", 128, "tree copies per pad")
+	k := fs.Int("k", 8, "Shamir threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := weibull.New(*alpha, *beta)
+	if err != nil {
+		return err
+	}
+	plan, err := otp.PlanChip(d, *messages, *size, *copies, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Println(plan)
+	fmt.Printf("  tree height          = %d (%d candidate keys per pad)\n",
+		plan.Params.Height, plan.Params.Paths())
+	fmt.Printf("  per-message capacity = %d bytes\n", plan.MaxMessageBytes)
+	fmt.Printf("  chip area            = %.4g mm²\n", plan.AreaMm2)
+	fmt.Printf("  retrieval latency    = %.4f ms\n", plan.Params.RetrievalLatency().Ms())
+	fmt.Printf("  receiver success     = %.6f\n", plan.ReceiverSuccess)
+	fmt.Printf("  adversary success    = %.3e\n", plan.AdversarySucces)
+	return nil
+}
+
+func runFrontier(args []string) error {
+	fs := flag.NewFlagSet("frontier", flag.ExitOnError)
+	getSpec := specFlags(fs)
+	limit := fs.Int("limit", 12, "show at most this many designs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := getSpec()
+	if err != nil {
+		return err
+	}
+	spec.ContinuousT = false // the frontier enumerates integer targets
+	frontier, err := dse.ExploreFrontier(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d feasible designs (best first):\n", len(frontier))
+	for i, d := range frontier {
+		if i >= *limit {
+			fmt.Printf("  ... %d more\n", len(frontier)-*limit)
+			break
+		}
+		fmt.Printf("  T=%-4d copies=%-6d n=%-8d k=%-6d total=%d\n",
+			d.T, d.Copies, d.N, d.K, d.TotalDevices)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Characterize: the fabrication pipeline behind every deployment. A
+// manufacturing lot with unknown true parameters is destructively
+// characterized, the Weibull model is fit from (censored) lifetime data,
+// process drift is monitored across lots, and an architecture sized from
+// the fit is validated against the real devices.
+//
+//	go run ./examples/characterize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lemonade/internal/core"
+	"lemonade/internal/drift"
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+func main() {
+	r := rng.New(20260706)
+	truth := weibull.MustNew(13.4, 8.7) // the fab's secret process
+
+	// 1. Destructive characterization of 2,000 sample devices, censored at
+	//    40 cycles (the tester gives up on long-lived outliers).
+	lot := nems.NewPopulation(truth, 0, 0, r.Derive("lot0"))
+	obs := lot.MeasureLifetimes(2000, 40)
+	fitted, err := weibull.Fit(obs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("true process : %v\n", truth)
+	fmt.Printf("fitted model : %v (from %d samples)\n\n", fitted, len(obs))
+
+	// 2. Qualify the process and set up drift monitoring at ±10% α, ±25% β.
+	mon, err := drift.NewMonitor(fitted, 0.10, 0.25, 0.001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, trueLot := range []weibull.Dist{
+		truth,                      // healthy lot
+		weibull.MustNew(13.1, 8.9), // healthy lot
+		weibull.MustNew(16.5, 8.7), // the line drifted: +23% lifetime!
+	} {
+		lifetimes := trueLot.SampleN(r.Derive(fmt.Sprintf("lot%d", i+1)), 1500)
+		rep, err := mon.CheckLot(lifetimes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "PASS"
+		if rep.Alarm {
+			verdict = "ALARM: " + rep.Reason
+		}
+		fmt.Printf("lot %d: fitted %v → %s\n", i+1, rep.Fitted, verdict)
+	}
+
+	// 3. Size an architecture from the fitted model and check what the
+	//    drifted lot would do to it.
+	design, err := dse.Explore(dse.Spec{
+		Dist:        fitted,
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         500,
+		KFrac:       0.10,
+		ContinuousT: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndesign from fit: %v\n", design)
+	w, o, ok := drift.ImpactOnDesign(design.N, design.K, design.T, weibull.MustNew(16.5, 8.7), 0.98, 0.05)
+	fmt.Printf("drifted lot impact: work=%.4f overrun=%.4f acceptable=%v\n", w, o, ok)
+
+	// 4. Fabricate from the healthy process and validate the usage window.
+	arch, err := core.Build(design, []byte("qualification secret"), r.Derive("fab"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	succ := 0
+	for arch.Alive() {
+		if _, err := arch.Access(nems.RoomTemp); err == nil {
+			succ++
+		}
+	}
+	fmt.Printf("\nfabricated architecture delivered %d accesses (designed window %d–%d)\n",
+		succ, design.GuaranteedMinAccesses(), design.MaxAllowedAccesses())
+}

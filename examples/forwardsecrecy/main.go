@@ -1,0 +1,55 @@
+// Forward secrecy: the §1 motivation. A mail archive encrypts each message
+// with a one-time key held in hardware that wears out after exactly one
+// read — physically enforcing the "destroy after use" rule that software
+// key management cannot. Even a full forensic compromise (including cold
+// reads that bypass read destruction) recovers nothing that was already
+// read.
+//
+//	go run ./examples/forwardsecrecy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lemonade/internal/forwardsec"
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+)
+
+func main() {
+	archive := forwardsec.NewArchive(rng.New(99))
+
+	var ids []int
+	for _, text := range []string{"Q3 numbers", "offer letter", "incident report"} {
+		id, err := archive.Seal([]byte(text))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+		fmt.Printf("sealed message %d under a one-time hardware key\n", id)
+	}
+
+	// Legitimate read of message 1.
+	plain, err := archive.Read(ids[1], nems.RoomTemp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nread message 1: %q\n", plain)
+
+	// A replay attempt: the key hardware is consumed.
+	if _, err := archive.Read(ids[1], nems.RoomTemp); err != nil {
+		fmt.Printf("replay of message 1 failed: %v\n", err)
+	}
+
+	// Total compromise: the attacker images the machine, cold-reading
+	// every store that still exists.
+	dump := archive.CompromiseDump()
+	fmt.Printf("\nfull compromise recovered %d of %d messages:\n", len(dump), archive.Len())
+	for id, text := range dump {
+		fmt.Printf("  message %d leaked: %q (it was never read, so its key still existed)\n", id, text)
+	}
+	if _, leaked := dump[ids[1]]; !leaked {
+		fmt.Println("message 1 did NOT leak — its key was physically destroyed at read time")
+	}
+}

@@ -1,0 +1,73 @@
+// Quickstart: design a limited-use architecture for a secret, fabricate
+// it, and access it until it wears out.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"lemonade/internal/core"
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+func main() {
+	// 1. Describe the devices you can fabricate and the usage you need:
+	//    NEMS switches with a mean lifetime of 12 cycles (±, β=8), and a
+	//    secret that must be readable at least 100 times — then never
+	//    again.
+	spec := dse.Spec{
+		Dist:        weibull.MustNew(12, 8),
+		Criteria:    reliability.DefaultCriteria, // 99% reliable / ≤1% overrun
+		LAB:         100,
+		KFrac:       0.10, // k-out-of-n redundant encoding (§4.1.4)
+		ContinuousT: true,
+	}
+
+	// 2. Let the design-space exploration size the hardware.
+	design, err := dse.Explore(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("design:", design)
+	fmt.Printf("guarantees: ≥%d accesses, ≤%d accesses\n",
+		design.GuaranteedMinAccesses(), design.MaxAllowedAccesses())
+
+	// 3. Fabricate the architecture around your secret.
+	r := rng.New(42)
+	secret := []byte("the storage decryption key")
+	arch, err := core.Build(design, secret, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fabricated %d simulated NEMS switches\n", arch.TotalDevices())
+
+	// 4. Access it. Every access physically wears the hardware; after the
+	//    designed bound the secret is gone forever.
+	accesses := 0
+	for {
+		got, err := arch.Access(nems.RoomTemp)
+		switch {
+		case err == nil:
+			accesses++
+			if accesses == 1 {
+				fmt.Printf("first access returned: %q\n", got)
+			}
+		case errors.Is(err, core.ErrTransient):
+			continue // a worn copy handed over; retry
+		case errors.Is(err, core.ErrWornOut):
+			fmt.Printf("architecture wore out after %d successful accesses "+
+				"(designed window: %d–%d)\n",
+				accesses, design.GuaranteedMinAccesses(), design.MaxAllowedAccesses())
+			return
+		default:
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Smartphone: the paper's motivating scenario (§1, §4). A phone's storage
+// key sits behind a limited-use connection sized for 5 years × 50 unlocks
+// a day; a professional cracker with physical access races the wearout.
+//
+// A full 91,250-access architecture simulates millions of switch
+// actuations, so this demo scales the scenario to one week of usage while
+// keeping every ratio from the paper.
+//
+//	go run ./examples/smartphone
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"lemonade/internal/attack"
+	"lemonade/internal/connection"
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/password"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+func main() {
+	// One week of legitimate usage: 7 days × 50 unlocks.
+	const weeklyLAB = 7 * 50
+	spec := dse.Spec{
+		Dist:        weibull.MustNew(14, 8), // the paper's running device point
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         weeklyLAB,
+		KFrac:       0.10,
+		ContinuousT: true,
+	}
+	design, err := dse.Explore(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("unlock-path design:", design)
+
+	r := rng.New(7)
+	phone, err := connection.NewDevice(design, "correct horse", []byte("photos, messages, keys"), r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phone fabricated with %d NEMS switches guarding the storage key\n\n",
+		phone.HardwareDevices())
+
+	// The owner's week: unlock 50 times a day.
+	owner := 0
+	for day := 1; day <= 7; day++ {
+		for u := 0; u < 50; u++ {
+			if _, err := phone.Unlock("correct horse", nems.RoomTemp); err == nil {
+				owner++
+			}
+		}
+	}
+	fmt.Printf("owner: %d/350 unlocks succeeded over the week\n", owner)
+
+	// Now the phone is stolen. The thief brute-forces passcodes in
+	// popularity order until the hardware locks.
+	attempts := 0
+	for guess := uint64(1); ; guess++ {
+		_, err := phone.Unlock(password.PasswordString(guess), nems.RoomTemp)
+		attempts++
+		if errors.Is(err, connection.ErrLocked) {
+			break
+		}
+		if err == nil {
+			fmt.Println("thief: cracked the passcode!")
+			return
+		}
+	}
+	fmt.Printf("thief: device locked forever after %d guesses — storage is unrecoverable\n", attempts)
+
+	// The analytic risk at the paper's full scale:
+	full := spec
+	full.LAB = 5 * 365 * 50
+	fullDesign, err := dse.Explore(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := attack.BruteForceAnalytic(fullDesign, password.UrEtAl())
+	fmt.Printf("\nat full scale (LAB=%d, %d switches): analytic crack probability %.2e\n",
+		full.LAB, fullDesign.TotalDevices, p)
+}

@@ -1,0 +1,69 @@
+// Targeting: the §5 use case. A launching station decrypts at most ~100
+// targeting commands through wearout hardware; a compromised link cannot
+// push it past the mission bound.
+//
+//	go run ./examples/targeting
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+	"lemonade/internal/targeting"
+	"lemonade/internal/weibull"
+)
+
+func main() {
+	spec := targeting.MissionSpec(weibull.MustNew(10, 8), 100, 0.10)
+	design, err := dse.Explore(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("station design:", design)
+	fmt.Printf("(the paper reports ~810 switches for this point)\n\n")
+
+	r := rng.New(1)
+	center, station, err := targeting.NewMission(design, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Mission: 100 legitimate strikes.
+	executed := 0
+	for i := 0; i < 100; i++ {
+		enc, err := center.Encrypt(fmt.Sprintf("strike grid %d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := station.Execute(enc, nems.RoomTemp); errors.Is(err, targeting.ErrTransient) {
+			_, err = station.Execute(enc, nems.RoomTemp)
+			if err != nil {
+				continue
+			}
+		} else if err != nil {
+			continue
+		}
+		executed++
+	}
+	fmt.Printf("mission: %d/100 commands executed\n", executed)
+
+	// The adversary captures the link and floods the station with a
+	// replayed command. The wearout bound caps everything.
+	enc, _ := center.Encrypt("unauthorized strike")
+	flood := 0
+	for i := 0; i < 10_000; i++ {
+		_, err := station.Execute(enc, nems.RoomTemp)
+		if errors.Is(err, targeting.ErrExpired) {
+			break
+		}
+		if err == nil {
+			flood++
+		}
+	}
+	fmt.Printf("adversary flood: %d extra executions before the station expired\n", flood)
+	fmt.Printf("station expired: %v (total attempts: %d)\n", station.Expired(), station.Attempts())
+}

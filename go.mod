@@ -1,0 +1,3 @@
+module lemonade
+
+go 1.22

@@ -1,0 +1,139 @@
+// Package attack simulates the paper's threat model (§3) against the
+// simulated hardware:
+//
+//   - BruteForce: a professional cracker with physical access guesses
+//     passcodes in popularity order (Ur et al.), racing the wearout of the
+//     limited-use connection.
+//   - EvilMaid: an adversary with temporary possession of a one-time-pad
+//     chip tries to read out key material via random path trials before
+//     returning it, then the legitimate receiver tries to use the pad.
+//   - Depletion: an attacker deliberately consumes the legitimate usage
+//     bound (§7) — confidentiality must survive even though availability
+//     is destroyed.
+package attack
+
+import (
+	"errors"
+
+	"lemonade/internal/connection"
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/otp"
+	"lemonade/internal/password"
+	"lemonade/internal/rng"
+)
+
+// BruteForceOutcome is the result of one brute-force race.
+type BruteForceOutcome struct {
+	Cracked  bool   // attacker recovered the storage before lockout
+	Attempts uint64 // guesses made before the race ended
+	UserRank uint64 // the rank of the user's passcode in the attacker's ordering
+}
+
+// BruteForce fabricates a device whose user picked a passcode according to
+// the guessability curve, then lets a popularity-ordered attacker guess
+// until the hardware locks or the passcode falls.
+func BruteForce(design dse.Design, curve *password.GuessCurve, r *rng.RNG) (BruteForceOutcome, error) {
+	rank := uint64(curve.SampleRank(r.Derive("user")))
+	pass := password.PasswordString(rank)
+	dev, err := connection.NewDevice(design, pass, []byte("user data"), r.Derive("fab"))
+	if err != nil {
+		return BruteForceOutcome{}, err
+	}
+	out := BruteForceOutcome{UserRank: rank}
+	for guess := uint64(1); ; guess++ {
+		_, err := dev.Unlock(password.PasswordString(guess), nems.RoomTemp)
+		switch {
+		case err == nil:
+			out.Cracked = true
+			out.Attempts = guess
+			return out, nil
+		case errors.Is(err, connection.ErrLocked):
+			out.Attempts = guess
+			return out, nil
+		case errors.Is(err, connection.ErrWrongPasscode),
+			errors.Is(err, connection.ErrTransient):
+			// keep guessing
+		default:
+			return out, err
+		}
+	}
+}
+
+// BruteForceAnalytic returns the analytic probability that the brute-force
+// race ends in a crack: the chance the user's passcode rank falls within
+// the hardware's maximum access bound. This is the paper's core security
+// metric for the connection use case.
+func BruteForceAnalytic(design dse.Design, curve *password.GuessCurve) float64 {
+	return curve.SuccessProb(float64(design.MaxAllowedAccesses()))
+}
+
+// --- Evil maid ---------------------------------------------------------------------
+
+// EvilMaidOutcome is the result of one evil-maid episode against a pad.
+type EvilMaidOutcome struct {
+	AdversaryGotKey  bool // the maid assembled >= k right-path components
+	ReceiverGotKey   bool // the legitimate retrieval still succeeded afterwards
+	TamperSuspicious bool // receiver failed on a fresh-looking pad: evidence of interference
+}
+
+// EvilMaid runs one episode: the adversary performs `trials` random-path
+// sweeps over the pad (one traversal per copy per sweep) and returns the
+// chip; the receiver then performs the legitimate retrieval.
+func EvilMaid(p otp.Params, trials int, r *rng.RNG) (EvilMaidOutcome, error) {
+	path := r.Intn(p.Paths())
+	pad, _, err := otp.Fabricate(p, path, r.Derive("fab"))
+	if err != nil {
+		return EvilMaidOutcome{}, err
+	}
+	var out EvilMaidOutcome
+	advRNG := r.Derive("maid")
+	for i := 0; i < trials; i++ {
+		if _, ok := pad.AdversaryTrial(path, nems.RoomTemp, advRNG); ok {
+			out.AdversaryGotKey = true
+		}
+	}
+	if _, _, err := pad.Retrieve(path, nems.RoomTemp); err == nil {
+		out.ReceiverGotKey = true
+	} else {
+		// A fresh pad retrieves with probability ReceiverSuccess() ≈ 1;
+		// failure right after the device was out of sight is tamper
+		// evidence.
+		out.TamperSuspicious = true
+	}
+	return out, nil
+}
+
+// --- Availability depletion (§7) ------------------------------------------------
+
+// DepletionOutcome is the result of deliberately burning the usage bound.
+type DepletionOutcome struct {
+	AttemptsToLock uint64 // wrong-passcode attempts needed to lock the device
+	DataExposed    bool   // whether any attempt decrypted the storage
+	OwnerLockedOut bool   // availability destroyed for the legitimate user
+}
+
+// Depletion has the attacker spam a single wrong passcode until the
+// hardware wears out, then the owner tries the right passcode.
+func Depletion(design dse.Design, r *rng.RNG) (DepletionOutcome, error) {
+	const ownerPass = "owner-passcode"
+	dev, err := connection.NewDevice(design, ownerPass, []byte("confidential"), r)
+	if err != nil {
+		return DepletionOutcome{}, err
+	}
+	var out DepletionOutcome
+	for !dev.Locked() {
+		out.AttemptsToLock++
+		_, err := dev.Unlock("attacker-spam", nems.RoomTemp)
+		if err == nil {
+			out.DataExposed = true // cannot happen: wrong passcode
+		}
+		if errors.Is(err, connection.ErrLocked) {
+			break
+		}
+	}
+	if _, err := dev.Unlock(ownerPass, nems.RoomTemp); errors.Is(err, connection.ErrLocked) {
+		out.OwnerLockedOut = true
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package attack
+
+import (
+	"testing"
+
+	"lemonade/internal/dse"
+	"lemonade/internal/otp"
+	"lemonade/internal/password"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+func smallDesign(t *testing.T, lab int) dse.Design {
+	t.Helper()
+	d, err := dse.Explore(dse.Spec{
+		Dist:        weibull.MustNew(12, 8),
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         lab,
+		KFrac:       0.10,
+		ContinuousT: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// weakCurve is a deliberately crackable password population, so the
+// "cracked" path of the race is exercised in few attempts.
+func weakCurve(t *testing.T) *password.GuessCurve {
+	t.Helper()
+	c, err := password.NewCurve([]password.Anchor{
+		{Guesses: 2, Prob: 0.3},
+		{Guesses: 20, Prob: 0.8},
+		{Guesses: 1000, Prob: 0.999},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBruteForceRaceEndsEitherWay(t *testing.T) {
+	design := smallDesign(t, 60)
+	curve := weakCurve(t)
+	cracked, locked := 0, 0
+	for seed := uint64(0); seed < 20; seed++ {
+		out, err := BruteForce(design, curve, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Cracked {
+			cracked++
+			if out.Attempts != out.UserRank {
+				t.Errorf("cracked at attempt %d but user rank is %d", out.Attempts, out.UserRank)
+			}
+		} else {
+			locked++
+			// the hardware must have capped the attempts near its bound
+			limit := uint64(design.MaxAllowedAccesses() + 3*design.Copies)
+			if out.Attempts > limit {
+				t.Errorf("lockout after %d attempts, bound is %d", out.Attempts, limit)
+			}
+		}
+	}
+	if cracked == 0 {
+		t.Error("weak curve should produce some cracks")
+	}
+	if locked == 0 {
+		t.Error("strong ranks should produce some lockouts")
+	}
+}
+
+func TestBruteForceStrongPopulationRarelyCracks(t *testing.T) {
+	// With the realistic Ur et al. curve, a 60-access budget cracks almost
+	// nobody: the analytic crack probability is the curve at the bound.
+	design := smallDesign(t, 60)
+	p := BruteForceAnalytic(design, password.UrEtAl())
+	if p > 1e-3 {
+		t.Errorf("analytic crack probability %g should be tiny for a 60-access budget", p)
+	}
+	// Paper headline: even at the full smartphone budget the crack
+	// probability stays below 1%.
+	conn := smallDesign(t, 91_250)
+	pFull := BruteForceAnalytic(conn, password.UrEtAl())
+	if pFull >= 0.01 {
+		t.Errorf("crack probability at the 91,250 budget = %g, paper says <1%%", pFull)
+	}
+}
+
+func TestEvilMaidHighTreeBlocksAdversary(t *testing.T) {
+	// H=8: adversary success ~0 analytically; the maid's sweeps should
+	// essentially never assemble the key, and frequently leave tamper
+	// evidence (worn switches / consumed leaves).
+	p := otp.Params{Dist: weibull.MustNew(10, 1), Height: 8, Copies: 64, K: 8}
+	gotKey := 0
+	receiverOK := 0
+	for seed := uint64(0); seed < 15; seed++ {
+		out, err := EvilMaid(p, 3, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.AdversaryGotKey {
+			gotKey++
+		}
+		if out.ReceiverGotKey {
+			receiverOK++
+		}
+	}
+	if gotKey > 0 {
+		t.Errorf("evil maid obtained the key %d/15 times at H=8", gotKey)
+	}
+	// A light sweep must not break the legitimate channel (redundancy
+	// absorbs it).
+	if receiverOK < 12 {
+		t.Errorf("receiver succeeded only %d/15 times after a light sweep", receiverOK)
+	}
+}
+
+func TestEvilMaidAggressiveSweepLeavesTamperEvidence(t *testing.T) {
+	// 50 sweeps hammer the shared upper tree levels (the root actuates on
+	// every sweep, and mean lifetime is 10 cycles), destroying the pad: the
+	// maid still gets nothing, and the receiver sees unmistakable tamper
+	// evidence.
+	p := otp.Params{Dist: weibull.MustNew(10, 1), Height: 8, Copies: 64, K: 8}
+	suspicious, gotKey := 0, 0
+	for seed := uint64(0); seed < 10; seed++ {
+		out, err := EvilMaid(p, 50, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.TamperSuspicious {
+			suspicious++
+		}
+		if out.AdversaryGotKey {
+			gotKey++
+		}
+	}
+	if gotKey > 0 {
+		t.Errorf("aggressive maid obtained the key %d/10 times", gotKey)
+	}
+	if suspicious < 8 {
+		t.Errorf("aggressive sweep left tamper evidence only %d/10 times", suspicious)
+	}
+}
+
+func TestEvilMaidLowTreeIsDangerous(t *testing.T) {
+	// The paper's warning case: a low tree with high redundancy lets the
+	// maid assemble the key with non-trivial probability.
+	p := otp.Params{Dist: weibull.MustNew(10, 1), Height: 2, Copies: 64, K: 4}
+	gotKey := 0
+	for seed := uint64(100); seed < 112; seed++ {
+		out, err := EvilMaid(p, 1, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.AdversaryGotKey {
+			gotKey++
+		}
+	}
+	if gotKey == 0 {
+		t.Error("H=2 with generous k should be crackable — the insecure region of Fig 8b")
+	}
+}
+
+func TestDepletion(t *testing.T) {
+	design := smallDesign(t, 40)
+	out, err := Depletion(design, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DataExposed {
+		t.Error("depletion must never expose data (§7: confidentiality survives)")
+	}
+	if !out.OwnerLockedOut {
+		t.Error("depletion should destroy availability (§7's acknowledged cost)")
+	}
+	if out.AttemptsToLock == 0 {
+		t.Error("lockout should require some attempts")
+	}
+	limit := uint64(design.MaxAllowedAccesses() + 3*design.Copies)
+	if out.AttemptsToLock > limit {
+		t.Errorf("lock took %d attempts, bound is %d", out.AttemptsToLock, limit)
+	}
+}

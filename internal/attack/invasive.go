@@ -1,0 +1,97 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"lemonade/internal/mathx"
+	"lemonade/internal/rng"
+)
+
+// This file quantifies the §4.2 system-integration security argument. The
+// paper buries the secret "many layers below the surface of the chip" and
+// argues qualitatively that the deep connections "are difficult to access
+// and thus provide a level of physical security". Here that argument is
+// made quantitative with a delayering model: an invasive adversary
+// (FIB/polishing) removes layers to reach the share stores, but each
+// removed layer destroys fragile structures — NEMS switches are mechanical
+// and shatter, and charge-based stores bleed — so each buried share
+// survives the dig with a per-layer probability. The adversary needs k of
+// n shares to survive.
+
+// ChipLayout describes where the architecture's pieces sit in the stack.
+type ChipLayout struct {
+	// Layers is the total metal/device layer count.
+	Layers int
+	// ShareDepth is the layer index (from the surface) at which the share
+	// stores sit. Deeper is safer but costs fabrication complexity.
+	ShareDepth int
+	// SurvivalPerLayer is the probability one share store survives the
+	// removal of one layer above it intact enough to image.
+	SurvivalPerLayer float64
+}
+
+// Validate checks the layout.
+func (c ChipLayout) Validate() error {
+	if c.Layers < 1 {
+		return fmt.Errorf("attack: chip needs at least one layer, got %d", c.Layers)
+	}
+	if c.ShareDepth < 0 || c.ShareDepth >= c.Layers {
+		return fmt.Errorf("attack: share depth %d outside [0, %d)", c.ShareDepth, c.Layers)
+	}
+	if c.SurvivalPerLayer < 0 || c.SurvivalPerLayer > 1 {
+		return fmt.Errorf("attack: survival probability %g outside [0,1]", c.SurvivalPerLayer)
+	}
+	return nil
+}
+
+// ShareSurvival returns the probability a single share survives a dig to
+// its depth: SurvivalPerLayer^ShareDepth.
+func (c ChipLayout) ShareSurvival() float64 {
+	return math.Pow(c.SurvivalPerLayer, float64(c.ShareDepth))
+}
+
+// DelayeringSuccess returns the analytic probability an invasive
+// adversary recovers the secret: at least k of the n buried shares must
+// survive the dig and be imaged.
+func DelayeringSuccess(layout ChipLayout, n, k int) (float64, error) {
+	if err := layout.Validate(); err != nil {
+		return 0, err
+	}
+	if k < 1 || k > n {
+		return 0, fmt.Errorf("attack: k=%d outside [1, %d]", k, n)
+	}
+	return mathx.BinomTailGE(n, k, layout.ShareSurvival()), nil
+}
+
+// SimulateDelayering Monte-Carlos one dig: each share independently
+// survives each removed layer.
+func SimulateDelayering(layout ChipLayout, n, k int, r *rng.RNG) (gotSecret bool, survivingShares int, err error) {
+	if err := layout.Validate(); err != nil {
+		return false, 0, err
+	}
+	for i := 0; i < n; i++ {
+		alive := true
+		for l := 0; l < layout.ShareDepth; l++ {
+			if !r.Bernoulli(layout.SurvivalPerLayer) {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			survivingShares++
+		}
+	}
+	return survivingShares >= k, survivingShares, nil
+}
+
+// MinDepthFor returns the smallest share depth at which the delayering
+// success probability drops below target, for the given structure and
+// per-layer survival. It returns maxDepth+1 if no depth in range works.
+func MinDepthFor(target, survivalPerLayer float64, n, k, maxDepth int) int {
+	return mathx.MinIntSearch(0, maxDepth, func(depth int) bool {
+		layout := ChipLayout{Layers: maxDepth + 1, ShareDepth: depth, SurvivalPerLayer: survivalPerLayer}
+		p, err := DelayeringSuccess(layout, n, k)
+		return err == nil && p <= target
+	})
+}

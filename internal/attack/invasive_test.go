@@ -1,0 +1,126 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"lemonade/internal/rng"
+)
+
+func TestChipLayoutValidation(t *testing.T) {
+	bad := []ChipLayout{
+		{Layers: 0, ShareDepth: 0, SurvivalPerLayer: 0.9},
+		{Layers: 5, ShareDepth: 5, SurvivalPerLayer: 0.9},
+		{Layers: 5, ShareDepth: -1, SurvivalPerLayer: 0.9},
+		{Layers: 5, ShareDepth: 2, SurvivalPerLayer: 1.1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d should be invalid: %+v", i, c)
+		}
+	}
+	good := ChipLayout{Layers: 10, ShareDepth: 6, SurvivalPerLayer: 0.8}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSurfaceSharesAreExposed(t *testing.T) {
+	// Shares at the surface (depth 0) survive any "dig" trivially: the
+	// architecture is only as safe as its burial.
+	layout := ChipLayout{Layers: 10, ShareDepth: 0, SurvivalPerLayer: 0.5}
+	p, err := DelayeringSuccess(layout, 141, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("surface shares should always fall: %g", p)
+	}
+}
+
+func TestBurialDepthKillsTheAttack(t *testing.T) {
+	// The §4.2 claim quantified: deep burial with fragile layers drives
+	// the invasive success probability to ~0 — and monotonically.
+	prev := 2.0
+	for depth := 0; depth <= 12; depth++ {
+		layout := ChipLayout{Layers: 16, ShareDepth: depth, SurvivalPerLayer: 0.7}
+		p, err := DelayeringSuccess(layout, 141, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("success probability rose with depth at %d", depth)
+		}
+		prev = p
+	}
+	if prev > 1e-6 {
+		t.Errorf("12-layer burial should kill the attack, got %g", prev)
+	}
+}
+
+func TestDelayeringAnalyticMatchesSimulation(t *testing.T) {
+	layout := ChipLayout{Layers: 10, ShareDepth: 3, SurvivalPerLayer: 0.8}
+	const n, k = 60, 10
+	want, err := DelayeringSuccess(layout, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(88)
+	hits := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		ok, _, err := SimulateDelayering(layout, n, k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			hits++
+		}
+	}
+	emp := float64(hits) / trials
+	if math.Abs(emp-want) > 0.03 {
+		t.Errorf("MC %g vs analytic %g", emp, want)
+	}
+}
+
+func TestMinDepthFor(t *testing.T) {
+	// Find the burial depth that keeps invasive success below 1e-6 for
+	// the paper's 141/15 structure with 70% per-layer survival.
+	depth := MinDepthFor(1e-6, 0.7, 141, 15, 30)
+	if depth > 30 {
+		t.Fatal("no feasible depth found")
+	}
+	layout := ChipLayout{Layers: 31, ShareDepth: depth, SurvivalPerLayer: 0.7}
+	p, _ := DelayeringSuccess(layout, 141, 15)
+	if p > 1e-6 {
+		t.Errorf("depth %d gives %g, above target", depth, p)
+	}
+	if depth > 0 {
+		shallower := ChipLayout{Layers: 31, ShareDepth: depth - 1, SurvivalPerLayer: 0.7}
+		p2, _ := DelayeringSuccess(shallower, 141, 15)
+		if p2 <= 1e-6 {
+			t.Errorf("depth %d is not minimal (%d also works: %g)", depth, depth-1, p2)
+		}
+	}
+	// a perfectly survivable process can never be protected by burial
+	if d := MinDepthFor(1e-6, 1.0, 141, 15, 30); d <= 30 {
+		t.Errorf("survival=1 should have no safe depth, got %d", d)
+	}
+}
+
+func TestDelayeringErrors(t *testing.T) {
+	layout := ChipLayout{Layers: 10, ShareDepth: 3, SurvivalPerLayer: 0.8}
+	if _, err := DelayeringSuccess(layout, 10, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := DelayeringSuccess(layout, 10, 11); err == nil {
+		t.Error("k>n should error")
+	}
+	bad := ChipLayout{Layers: 0}
+	if _, err := DelayeringSuccess(bad, 10, 2); err == nil {
+		t.Error("invalid layout should error")
+	}
+	if _, _, err := SimulateDelayering(bad, 10, 2, rng.New(1)); err == nil {
+		t.Error("invalid layout should error in simulation")
+	}
+}

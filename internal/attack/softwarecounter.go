@@ -1,0 +1,131 @@
+package attack
+
+import (
+	"crypto/sha256"
+	"errors"
+
+	"lemonade/internal/password"
+	"lemonade/internal/rng"
+)
+
+// This file models the software guarding mechanisms the paper's §4 opens
+// with — and the published attacks that defeat them — so the wearout
+// architecture can be compared against the defense it replaces:
+//
+//   - iOS-style retry counter that wipes the device after 10 consecutive
+//     failures;
+//   - the MDSec power-cut attack (cut power before the counter
+//     increments but after the validation result leaks);
+//   - the Skorobogatov NAND-mirroring attack (snapshot the counter state
+//     and restore it every few attempts).
+//
+// Both attacks reduce the counter to a no-op, which is exactly why the
+// paper argues for physically enforced bounds.
+
+// SoftwareCounterDevice is a passcode-guarded device whose only
+// brute-force defense is a software retry counter held in NAND.
+type SoftwareCounterDevice struct {
+	passHash  [32]byte
+	failures  int
+	wipeAfter int
+	wiped     bool
+}
+
+// ErrWiped is returned after the retry counter triggers the wipe.
+var ErrWiped = errors.New("attack: device wiped by retry counter")
+
+// NewSoftwareCounterDevice builds the iOS-style defense: wipe after
+// wipeAfter consecutive failures.
+func NewSoftwareCounterDevice(passcode string, wipeAfter int) *SoftwareCounterDevice {
+	return &SoftwareCounterDevice{passHash: sha256.Sum256([]byte(passcode)), wipeAfter: wipeAfter}
+}
+
+// Unlock validates the passcode, maintaining the retry counter.
+func (d *SoftwareCounterDevice) Unlock(passcode string) (bool, error) {
+	if d.wiped {
+		return false, ErrWiped
+	}
+	ok := sha256.Sum256([]byte(passcode)) == d.passHash
+	if ok {
+		d.failures = 0
+		return true, nil
+	}
+	d.failures++
+	if d.failures >= d.wipeAfter {
+		d.wiped = true
+		return false, ErrWiped
+	}
+	return false, nil
+}
+
+// CounterSnapshot is the NAND image an attacker mirrors.
+type CounterSnapshot struct{ failures int }
+
+// Snapshot mirrors the counter state (the Skorobogatov attack's copy).
+func (d *SoftwareCounterDevice) Snapshot() CounterSnapshot {
+	return CounterSnapshot{failures: d.failures}
+}
+
+// Restore writes a mirrored NAND image back. The wipe flag is cleared too:
+// the "wiped" state lives in the same storage the attacker restores.
+func (d *SoftwareCounterDevice) Restore(s CounterSnapshot) {
+	d.failures = s.failures
+	d.wiped = false
+}
+
+// UnlockWithPowerCut is the MDSec attack: the validation result is
+// observed but power is cut before the counter write lands, so the
+// counter never advances.
+func (d *SoftwareCounterDevice) UnlockWithPowerCut(passcode string) (bool, error) {
+	if d.wiped {
+		return false, ErrWiped
+	}
+	return sha256.Sum256([]byte(passcode)) == d.passHash, nil
+}
+
+// MirrorBruteForce cracks a software-counter device by NAND mirroring:
+// snapshot, burn the retry budget, restore, repeat. It returns the number
+// of guesses needed. maxGuesses bounds the search.
+func MirrorBruteForce(d *SoftwareCounterDevice, maxGuesses uint64) (cracked bool, guesses uint64) {
+	snap := d.Snapshot()
+	for g := uint64(1); g <= maxGuesses; g++ {
+		ok, err := d.Unlock(password.PasswordString(g))
+		if ok {
+			return true, g
+		}
+		if err != nil { // wiped: restore the mirrored image and continue
+			d.Restore(snap)
+		}
+	}
+	return false, maxGuesses
+}
+
+// PowerCutBruteForce cracks via the power-cut primitive: the counter
+// simply never increments.
+func PowerCutBruteForce(d *SoftwareCounterDevice, maxGuesses uint64) (cracked bool, guesses uint64) {
+	for g := uint64(1); g <= maxGuesses; g++ {
+		if ok, _ := d.UnlockWithPowerCut(password.PasswordString(g)); ok {
+			return true, g
+		}
+	}
+	return false, maxGuesses
+}
+
+// SoftwareVsWearout compares defenses for the same user population: the
+// probability the attacker cracks a software-counter device (with
+// mirroring, effectively unlimited attempts up to its budget) vs the
+// wearout architecture (physically capped at hardwareBound attempts).
+func SoftwareVsWearout(curve *password.GuessCurve, mirrorBudget uint64, hardwareBound int, r *rng.RNG, trials int) (softCracked, hardCracked float64) {
+	var soft, hard int
+	for i := 0; i < trials; i++ {
+		rank := uint64(curve.SampleRank(r.Derive("user")))
+		if rank <= mirrorBudget {
+			soft++
+		}
+		if rank <= uint64(hardwareBound) {
+			hard++
+		}
+		r = r.Split()
+	}
+	return float64(soft) / float64(trials), float64(hard) / float64(trials)
+}

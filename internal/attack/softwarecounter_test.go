@@ -1,0 +1,82 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+
+	"lemonade/internal/password"
+	"lemonade/internal/rng"
+)
+
+func TestSoftwareCounterWipes(t *testing.T) {
+	d := NewSoftwareCounterDevice("right", 10)
+	for i := 0; i < 9; i++ {
+		ok, err := d.Unlock("wrong")
+		if ok || err != nil {
+			t.Fatalf("attempt %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if _, err := d.Unlock("wrong"); !errors.Is(err, ErrWiped) {
+		t.Error("10th failure should wipe")
+	}
+	if _, err := d.Unlock("right"); !errors.Is(err, ErrWiped) {
+		t.Error("wiped device should refuse even the right passcode")
+	}
+}
+
+func TestSoftwareCounterResetsOnSuccess(t *testing.T) {
+	d := NewSoftwareCounterDevice("right", 10)
+	for i := 0; i < 9; i++ {
+		_, _ = d.Unlock("wrong")
+	}
+	if ok, _ := d.Unlock("right"); !ok {
+		t.Fatal("right passcode failed")
+	}
+	// counter reset: nine more failures allowed
+	for i := 0; i < 9; i++ {
+		if _, err := d.Unlock("wrong"); err != nil {
+			t.Fatalf("counter did not reset: %v", err)
+		}
+	}
+}
+
+func TestNANDMirroringBypassesCounter(t *testing.T) {
+	// The Skorobogatov attack: with snapshot/restore the attacker gets
+	// unlimited attempts. A passcode at rank 5000 falls even though the
+	// wipe threshold is 10.
+	pass := password.PasswordString(5000)
+	d := NewSoftwareCounterDevice(pass, 10)
+	cracked, guesses := MirrorBruteForce(d, 10_000)
+	if !cracked {
+		t.Fatal("mirroring attack failed to crack")
+	}
+	if guesses != 5000 {
+		t.Errorf("cracked at guess %d, want 5000", guesses)
+	}
+}
+
+func TestPowerCutBypassesCounter(t *testing.T) {
+	pass := password.PasswordString(777)
+	d := NewSoftwareCounterDevice(pass, 10)
+	cracked, guesses := PowerCutBruteForce(d, 1000)
+	if !cracked || guesses != 777 {
+		t.Errorf("power-cut attack: cracked=%v guesses=%d", cracked, guesses)
+	}
+}
+
+func TestSoftwareVsWearoutComparison(t *testing.T) {
+	// The paper's core comparison: a mirrored software counter gives the
+	// attacker an offline-scale budget (say 1e8 guesses → ~45% of
+	// passwords); the wearout bound caps them at ~91k (<1%).
+	curve := password.UrEtAl()
+	soft, hard := SoftwareVsWearout(curve, 100_000_000, 91_250, rng.New(7), 4000)
+	if soft < 0.35 || soft > 0.55 {
+		t.Errorf("software-counter crack rate = %g, expected ~0.45", soft)
+	}
+	if hard > 0.02 {
+		t.Errorf("wearout crack rate = %g, expected <1%%", hard)
+	}
+	if soft < 20*hard {
+		t.Errorf("wearout should dominate: soft=%g hard=%g", soft, hard)
+	}
+}

@@ -1,0 +1,139 @@
+package baselines
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"lemonade/internal/rng"
+)
+
+// --- PUF --------------------------------------------------------------------------
+
+func TestPUFReproducibleOnSameChip(t *testing.T) {
+	p := NewPUF(512, 0.05, rng.New(1))
+	a := p.Fingerprint(9)
+	b := p.Fingerprint(9)
+	if frac := HammingFraction(a, b); frac > 0.05 {
+		t.Errorf("same chip fingerprints differ by %.1f%%", 100*frac)
+	}
+}
+
+func TestPUFDistinctAcrossChips(t *testing.T) {
+	// the unclonability property: two chips' fingerprints are ~50% apart
+	a := NewPUF(512, 0.05, rng.New(2)).Fingerprint(9)
+	b := NewPUF(512, 0.05, rng.New(3)).Fingerprint(9)
+	frac := HammingFraction(a, b)
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("cross-chip distance %.1f%%, want ~50%%", 100*frac)
+	}
+}
+
+func TestPUFCannotImplementSharedPad(t *testing.T) {
+	// The paper's §6 argument executable: a sender and receiver each
+	// fabricate a PUF and try to use the readouts as a shared one-time
+	// pad. Their key material disagrees catastrophically.
+	sender := NewPUF(1024, 0.05, rng.New(10))
+	receiver := NewPUF(1024, 0.05, rng.New(11))
+	sk, rk := sender.Fingerprint(9), receiver.Fingerprint(9)
+	if HammingFraction(sk, rk) < 0.25 {
+		t.Error("independent PUFs unexpectedly agree — unclonability broken")
+	}
+}
+
+func TestHammingFractionEdges(t *testing.T) {
+	if HammingFraction(nil, nil) != 1 {
+		t.Error("empty inputs should report max distance")
+	}
+	if HammingFraction([]bool{true}, []bool{true, false}) != 1 {
+		t.Error("length mismatch should report max distance")
+	}
+	if HammingFraction([]bool{true, false}, []bool{true, false}) != 0 {
+		t.Error("identical strings should be distance 0")
+	}
+}
+
+// --- TARDIS ------------------------------------------------------------------------
+
+func TestTARDISThrottlesPerTime(t *testing.T) {
+	r := rng.New(20)
+	dev := NewTARDIS(4096, time.Hour, 30*time.Minute, r)
+	// immediately after an attempt, another attempt is refused
+	dev.Advance(time.Hour)
+	if !dev.Attempt() {
+		t.Fatal("first attempt after a long off-time should pass")
+	}
+	if dev.Attempt() {
+		t.Error("back-to-back attempt should be throttled")
+	}
+	// waiting past the cooldown re-enables
+	dev.Advance(45 * time.Minute)
+	if !dev.Attempt() {
+		t.Error("post-cooldown attempt should pass")
+	}
+}
+
+func TestTARDISUnboundedTotalBudget(t *testing.T) {
+	// The taxonomy gap vs wearout: given enough wall-clock time the
+	// attacker's TOTAL budget is unbounded — 50 attempts in 50 cooldowns.
+	r := rng.New(21)
+	dev := NewTARDIS(4096, time.Hour, 30*time.Minute, r)
+	got := 0
+	for i := 0; i < 50; i++ {
+		dev.Advance(time.Hour)
+		if dev.Attempt() {
+			got++
+		}
+	}
+	if got < 48 {
+		t.Errorf("patient attacker made only %d/50 attempts", got)
+	}
+}
+
+func TestTARDISEstimateAccuracy(t *testing.T) {
+	r := rng.New(22)
+	dev := NewTARDIS(1<<14, time.Hour, time.Minute, r)
+	dev.Advance(2 * time.Hour)
+	est := dev.EstimateOffTime()
+	if est < 90*time.Minute || est > 150*time.Minute {
+		t.Errorf("estimated %v for a 2h off-time", est)
+	}
+}
+
+// --- Self-destruct ------------------------------------------------------------------
+
+func TestSelfDestructWorksWithChannel(t *testing.T) {
+	c := NewSelfDestructChip([]byte("payload"))
+	got, err := c.Read()
+	if err != nil || !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("read: %v %q", err, got)
+	}
+	if !c.Trigger() {
+		t.Fatal("trigger with working channel should succeed")
+	}
+	if _, err := c.Read(); !errors.Is(err, ErrDestroyed) {
+		t.Error("destroyed chip served a read")
+	}
+	if !c.Destroyed() {
+		t.Error("Destroyed() disagrees")
+	}
+}
+
+func TestSelfDestructFailsOpenWhenChannelBlocked(t *testing.T) {
+	// The taxonomy gap vs wearout: block the trigger channel and read
+	// forever.
+	c := NewSelfDestructChip([]byte("payload"))
+	c.BlockChannel()
+	if c.Trigger() {
+		t.Fatal("trigger should fail on a blocked channel")
+	}
+	for i := 0; i < 10_000; i++ {
+		if _, err := c.Read(); err != nil {
+			t.Fatalf("read %d failed: %v", i, err)
+		}
+	}
+	if c.Reads() != 10_000 {
+		t.Errorf("reads = %d", c.Reads())
+	}
+}

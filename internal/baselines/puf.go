@@ -1,0 +1,91 @@
+// Package baselines implements simplified, executable versions of the
+// §8 related-work mechanisms the paper positions itself against:
+//
+//   - physically unclonable functions (PUFs) — physical-disorder security;
+//   - TARDIS-style SRAM decay — time-based (not attempt-based) throttling;
+//   - remotely triggered self-destructing chips — destruction on command.
+//
+// Each baseline demonstrates, in tests and in the Extension E3 comparison
+// exhibit, the specific property gap the paper's wearout architectures
+// close: PUFs cannot be shared between two parties (§6), decay throttles
+// per unit time rather than per attempt, and triggered destruction fails
+// open when the trigger never arrives.
+package baselines
+
+import (
+	"lemonade/internal/rng"
+)
+
+// PUF is a simulated SRAM-style physically unclonable function: the
+// power-up state of an array of cells, fixed per chip by manufacturing
+// disorder, with a little per-readout noise.
+type PUF struct {
+	bias      []float64 // per-cell probability of reading 1
+	noise     float64   // readout flip probability contribution
+	readoutRg *rng.RNG
+}
+
+// NewPUF fabricates a chip with `cells` disorder cells. Manufacturing
+// disorder is drawn from fabRNG — two chips fabricated with independent
+// randomness get independent fingerprints, which is exactly why a PUF
+// cannot implement a *shared* one-time pad (§6: "making it difficult to
+// fabricate two identical chips so that a sender and receiver could share
+// the pad").
+func NewPUF(cells int, noise float64, fabRNG *rng.RNG) *PUF {
+	p := &PUF{bias: make([]float64, cells), noise: noise, readoutRg: fabRNG.Derive("readout")}
+	for i := range p.bias {
+		// strongly-biased cells with a small metastable population
+		if fabRNG.Bernoulli(0.9) {
+			if fabRNG.Bool() {
+				p.bias[i] = 1 - noise
+			} else {
+				p.bias[i] = noise
+			}
+		} else {
+			p.bias[i] = 0.3 + 0.4*fabRNG.Float64() // metastable
+		}
+	}
+	return p
+}
+
+// Readout powers the array up once and returns the observed bits.
+func (p *PUF) Readout() []bool {
+	out := make([]bool, len(p.bias))
+	for i, b := range p.bias {
+		out[i] = p.readoutRg.Bernoulli(b)
+	}
+	return out
+}
+
+// Fingerprint returns a majority-vote-stabilized readout (the usual fuzzy
+// extraction stand-in): `votes` readouts per cell.
+func (p *PUF) Fingerprint(votes int) []bool {
+	counts := make([]int, len(p.bias))
+	for v := 0; v < votes; v++ {
+		for i, bit := range p.Readout() {
+			if bit {
+				counts[i]++
+			}
+		}
+	}
+	out := make([]bool, len(p.bias))
+	for i, c := range counts {
+		out[i] = c*2 > votes
+	}
+	return out
+}
+
+// HammingFraction returns the fraction of differing bits between two
+// equal-length bit strings.
+func HammingFraction(a, b []bool) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 1
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	return float64(diff) / float64(len(a))
+}

@@ -1,0 +1,62 @@
+package baselines
+
+import "errors"
+
+// SelfDestructChip is a simulated remotely-triggered self-destructing
+// device (the DARPA shattering-glass chips, cited as [6]): it serves
+// reads until a destruction command arrives over a control channel.
+//
+// The contrast with wearout (§8): destruction requires an external
+// trigger. An adversary who captures the device and *blocks the channel*
+// (the obvious first move) gets unlimited reads; the paper's wearout
+// architectures "wear out automatically without a need for remote
+// control".
+type SelfDestructChip struct {
+	secret    []byte
+	destroyed bool
+	channelOK bool // whether the trigger channel is reachable
+	reads     int
+}
+
+// ErrDestroyed is returned after a successful destruction.
+var ErrDestroyed = errors.New("baselines: chip destroyed")
+
+// NewSelfDestructChip provisions a chip holding secret with a working
+// trigger channel.
+func NewSelfDestructChip(secret []byte) *SelfDestructChip {
+	dup := make([]byte, len(secret))
+	copy(dup, secret)
+	return &SelfDestructChip{secret: dup, channelOK: true}
+}
+
+// Read serves the secret (unbounded, unless destroyed).
+func (c *SelfDestructChip) Read() ([]byte, error) {
+	if c.destroyed {
+		return nil, ErrDestroyed
+	}
+	c.reads++
+	out := make([]byte, len(c.secret))
+	copy(out, c.secret)
+	return out, nil
+}
+
+// BlockChannel models the adversary jamming or disconnecting the trigger
+// path (e.g. a Faraday bag) before the owner can react.
+func (c *SelfDestructChip) BlockChannel() { c.channelOK = false }
+
+// Trigger attempts remote destruction. It only works while the channel is
+// reachable.
+func (c *SelfDestructChip) Trigger() bool {
+	if !c.channelOK {
+		return false
+	}
+	c.destroyed = true
+	c.secret = nil
+	return true
+}
+
+// Reads returns how many times the secret has been served.
+func (c *SelfDestructChip) Reads() int { return c.reads }
+
+// Destroyed reports whether destruction succeeded.
+func (c *SelfDestructChip) Destroyed() bool { return c.destroyed }

@@ -1,0 +1,80 @@
+package baselines
+
+import (
+	"math"
+	"time"
+
+	"lemonade/internal/rng"
+)
+
+// TARDIS is a simulated SRAM-decay time keeper (Rahmati et al., USENIX
+// Security 2012, cited as [45]): a batteryless device estimates how long
+// it has been powered off from the fraction of SRAM cells that decayed to
+// their ground state, and uses that estimate to throttle response rates.
+//
+// The crucial contrast with wearout (the paper's §8 taxonomy): TARDIS
+// bounds attempts *per unit time*, so an attacker with years of access
+// gets an unbounded total budget; wearout bounds the *total*.
+type TARDIS struct {
+	cells     int
+	decayHalf time.Duration // half-life of a cell's retained charge
+	cooldown  time.Duration // required off-time between attempts
+	lastOff   time.Duration // simulated clock at last power-down
+	clock     time.Duration // simulated wall clock
+	r         *rng.RNG
+}
+
+// NewTARDIS builds a decay-based throttle requiring `cooldown` of
+// power-off time between attempts.
+func NewTARDIS(cells int, decayHalf, cooldown time.Duration, r *rng.RNG) *TARDIS {
+	return &TARDIS{cells: cells, decayHalf: decayHalf, cooldown: cooldown, r: r}
+}
+
+// Advance moves the simulated wall clock (the device stays powered off).
+func (t *TARDIS) Advance(d time.Duration) { t.clock += d }
+
+// EstimateOffTime measures the decayed-cell fraction and inverts the
+// decay curve. Measurement noise is binomial in the cell count.
+func (t *TARDIS) EstimateOffTime() time.Duration {
+	elapsed := t.clock - t.lastOff
+	pDecay := 1 - halfLifeSurvival(elapsed, t.decayHalf)
+	decayed := 0
+	for i := 0; i < t.cells; i++ {
+		if t.r.Bernoulli(pDecay) {
+			decayed++
+		}
+	}
+	frac := float64(decayed) / float64(t.cells)
+	if frac >= 1 {
+		return 1 << 40 // fully decayed: "a long time"
+	}
+	return invertHalfLife(frac, t.decayHalf)
+}
+
+// Attempt asks the device to serve one authentication attempt. It refuses
+// unless the estimated off-time exceeds the cooldown; serving an attempt
+// powers the device down again (resetting the decay reference).
+func (t *TARDIS) Attempt() bool {
+	if t.EstimateOffTime() < t.cooldown {
+		return false
+	}
+	t.lastOff = t.clock
+	return true
+}
+
+func halfLifeSurvival(elapsed, half time.Duration) float64 {
+	if half <= 0 {
+		return 0
+	}
+	// survival = 2^-(elapsed/half)
+	return math.Exp2(-float64(elapsed) / float64(half))
+}
+
+func invertHalfLife(decayedFrac float64, half time.Duration) time.Duration {
+	// decayedFrac = 1 - 2^-x  →  x = -log2(1 - decayedFrac)
+	surv := 1 - decayedFrac
+	if surv <= 0 {
+		return 1 << 40
+	}
+	return time.Duration(-math.Log2(surv) * float64(half))
+}

@@ -1,0 +1,219 @@
+// Package connection implements use case 1 of the paper (§4): a
+// limited-use connection that physically bounds the number of reads of a
+// smartphone's storage decryption key.
+//
+// The storage is encrypted with AES-256-GCM under a key derived from the
+// user's passcode *and* a hardware key. The hardware key lives behind a
+// core.Architecture of simulated NEMS switches: every unlock attempt —
+// right or wrong — must traverse the wearout hardware to fetch it, so the
+// attempt budget is enforced by physics rather than by a software counter
+// that NAND mirroring or power-cut tricks can reset (the iPhone attacks
+// catalogued in §4). When the hardware wears out the device locks forever.
+//
+// MWayDevice adds the M-way module replication of §4.1.5: M architectures
+// used serially, each with its own passcode, migrating (re-encrypting
+// storage) from one module to the next to multiply the lifetime usage
+// budget by M.
+package connection
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"lemonade/internal/core"
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+)
+
+var (
+	// ErrLocked is returned when the wearout hardware is exhausted: the
+	// storage is cryptographically unrecoverable.
+	ErrLocked = errors.New("connection: device locked forever (hardware worn out)")
+	// ErrWrongPasscode is returned when the passcode fails to decrypt the
+	// storage. The attempt still consumed one hardware access.
+	ErrWrongPasscode = errors.New("connection: wrong passcode")
+	// ErrTransient is returned when the hardware access itself failed;
+	// retrying may succeed on the next module copy.
+	ErrTransient = errors.New("connection: transient hardware failure; retry")
+)
+
+const hwKeyLen = 32
+
+// Device is a simulated smartphone with a limited-use unlock path.
+type Device struct {
+	arch       *core.Architecture
+	ciphertext []byte // nonce || AES-GCM(storage)
+}
+
+// NewDevice fabricates a device: a fresh hardware key is generated, placed
+// behind wearout hardware built per design, and the storage plaintext is
+// sealed under KDF(passcode, hardware key).
+func NewDevice(design dse.Design, passcode string, storage []byte, r *rng.RNG) (*Device, error) {
+	hwKey := make([]byte, hwKeyLen)
+	r.Bytes(hwKey)
+	arch, err := core.Build(design, hwKey, r)
+	if err != nil {
+		return nil, fmt.Errorf("connection: building wearout hardware: %w", err)
+	}
+	ct, err := seal(passcode, hwKey, storage, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{arch: arch, ciphertext: ct}, nil
+}
+
+// Unlock attempts to decrypt the storage with the given passcode. Every
+// call consumes one access of the wearout hardware.
+func (d *Device) Unlock(passcode string, env nems.Environment) ([]byte, error) {
+	hwKey, err := d.arch.Access(env)
+	switch {
+	case errors.Is(err, core.ErrWornOut):
+		return nil, ErrLocked
+	case errors.Is(err, core.ErrTransient):
+		return nil, ErrTransient
+	case err != nil:
+		return nil, err
+	}
+	plain, err := open(passcode, hwKey, d.ciphertext)
+	if err != nil {
+		return nil, ErrWrongPasscode
+	}
+	return plain, nil
+}
+
+// Locked reports whether the device can never be unlocked again.
+func (d *Device) Locked() bool { return !d.arch.Alive() }
+
+// Attempts returns how many unlock attempts (hardware accesses) were made.
+func (d *Device) Attempts() uint64 {
+	total, _ := d.arch.Accesses()
+	return total
+}
+
+// HardwareDevices returns the NEMS switch count of the unlock path.
+func (d *Device) HardwareDevices() int { return d.arch.TotalDevices() }
+
+// kdf derives the storage key from passcode and hardware key.
+func kdf(passcode string, hwKey []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("lemonade-connection-v1"))
+	h.Write([]byte{byte(len(passcode))})
+	h.Write([]byte(passcode))
+	h.Write(hwKey)
+	return h.Sum(nil)
+}
+
+func seal(passcode string, hwKey, plain []byte, r *rng.RNG) ([]byte, error) {
+	block, err := aes.NewCipher(kdf(passcode, hwKey))
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	r.Bytes(nonce)
+	return gcm.Seal(nonce, nonce, plain, nil), nil
+}
+
+func open(passcode string, hwKey, ct []byte) ([]byte, error) {
+	block, err := aes.NewCipher(kdf(passcode, hwKey))
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(ct) < gcm.NonceSize() {
+		return nil, errors.New("connection: ciphertext too short")
+	}
+	return gcm.Open(nil, ct[:gcm.NonceSize()], ct[gcm.NonceSize():], nil)
+}
+
+// --- M-way replication (§4.1.5) ------------------------------------------------
+
+// MWayDevice replicates the entire architecture M times. Modules are used
+// serially; each requires its own passcode. Migrating to the next module
+// re-encrypts the storage under the new module's hardware key and
+// passcode, multiplying the daily usage budget by M at the cost of a
+// periodic passcode change (the paper's example: 10-way replication turns
+// 50 uses/day into 500, with a re-encryption every 6 months).
+type MWayDevice struct {
+	modules   []*Device
+	active    int
+	passcodes []string // retained only to express "user re-enters old passcode on migration"
+}
+
+// NewMWayDevice fabricates M modules, each built from the same design.
+// passcodes[i] protects module i; storage starts sealed under module 0.
+func NewMWayDevice(design dse.Design, passcodes []string, storage []byte, r *rng.RNG) (*MWayDevice, error) {
+	if len(passcodes) == 0 {
+		return nil, errors.New("connection: need at least one passcode")
+	}
+	m := &MWayDevice{passcodes: passcodes}
+	for i, pc := range passcodes {
+		var plain []byte
+		if i == 0 {
+			plain = storage
+		} else {
+			plain = nil // sealed on migration
+		}
+		dev, err := NewDevice(design, pc, plain, r)
+		if err != nil {
+			return nil, fmt.Errorf("connection: module %d: %w", i, err)
+		}
+		m.modules = append(m.modules, dev)
+	}
+	return m, nil
+}
+
+// Unlock attempts the active module.
+func (m *MWayDevice) Unlock(passcode string, env nems.Environment) ([]byte, error) {
+	return m.modules[m.active].Unlock(passcode, env)
+}
+
+// Migrate moves the storage to the next module: the caller proves
+// knowledge of the current passcode, the storage is decrypted through the
+// current module and re-sealed under the next module's hardware key and
+// passcode. This is the operation the user performs every LAB/M accesses.
+func (m *MWayDevice) Migrate(currentPasscode string, env nems.Environment, r *rng.RNG) error {
+	if m.active+1 >= len(m.modules) {
+		return errors.New("connection: no modules left to migrate to")
+	}
+	plain, err := m.modules[m.active].Unlock(currentPasscode, env)
+	if err != nil {
+		return fmt.Errorf("connection: migration unlock failed: %w", err)
+	}
+	next := m.modules[m.active+1]
+	nextPass := m.passcodes[m.active+1]
+	hwKey, err := next.arch.Access(env)
+	if err != nil {
+		return fmt.Errorf("connection: next module unavailable: %w", err)
+	}
+	ct, err := seal(nextPass, hwKey, plain, r)
+	if err != nil {
+		return err
+	}
+	next.ciphertext = ct
+	m.active++
+	return nil
+}
+
+// ActiveModule returns the index of the module serving unlocks.
+func (m *MWayDevice) ActiveModule() int { return m.active }
+
+// Locked reports whether every module is exhausted.
+func (m *MWayDevice) Locked() bool {
+	for i := m.active; i < len(m.modules); i++ {
+		if !m.modules[i].Locked() {
+			return false
+		}
+	}
+	return true
+}

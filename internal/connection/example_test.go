@@ -1,0 +1,42 @@
+package connection_test
+
+import (
+	"errors"
+	"fmt"
+
+	"lemonade/internal/connection"
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+// ExampleNewDevice builds a limited-use unlock path and shows that wrong
+// passcodes burn the same physical budget as right ones.
+func ExampleNewDevice() {
+	design, err := dse.Explore(dse.Spec{
+		Dist:        weibull.MustNew(12, 8),
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         30,
+		KFrac:       0.10,
+		ContinuousT: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	dev, err := connection.NewDevice(design, "correct horse", []byte("photos"), rng.New(1))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := dev.Unlock("correct horse", nems.RoomTemp); err == nil {
+		fmt.Println("owner unlocked")
+	}
+	_, err = dev.Unlock("password123", nems.RoomTemp)
+	fmt.Println("thief rejected:", errors.Is(err, connection.ErrWrongPasscode))
+	fmt.Println("attempts consumed:", dev.Attempts())
+	// Output:
+	// owner unlocked
+	// thief rejected: true
+	// attempts consumed: 2
+}

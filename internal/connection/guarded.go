@@ -1,0 +1,69 @@
+package connection
+
+import (
+	"errors"
+
+	"lemonade/internal/nems"
+)
+
+// GuardedDevice layers an iOS-style software retry counter over the
+// wearout hardware — defense in depth. The software layer wipes (refuses
+// service) after `wipeAfter` consecutive failures, which protects the
+// hardware budget from casual guessing; the wearout bound remains the
+// backstop that holds even when the software layer is bypassed by the
+// §4 attacks (power cuts, NAND mirroring).
+type GuardedDevice struct {
+	dev       *Device
+	failures  int
+	wipeAfter int
+	wiped     bool
+}
+
+// ErrSoftWiped is returned once the software counter has tripped. Unlike
+// hardware lockout it is, by construction, bypassable.
+var ErrSoftWiped = errors.New("connection: software retry counter tripped")
+
+// Guard wraps a device with a software retry counter.
+func Guard(dev *Device, wipeAfter int) *GuardedDevice {
+	if wipeAfter < 1 {
+		wipeAfter = 1
+	}
+	return &GuardedDevice{dev: dev, wipeAfter: wipeAfter}
+}
+
+// Unlock enforces the software counter before touching hardware: a
+// tripped counter refuses without consuming wearout budget.
+func (g *GuardedDevice) Unlock(passcode string, env nems.Environment) ([]byte, error) {
+	if g.wiped {
+		return nil, ErrSoftWiped
+	}
+	plain, err := g.dev.Unlock(passcode, env)
+	switch {
+	case err == nil:
+		g.failures = 0
+		return plain, nil
+	case errors.Is(err, ErrWrongPasscode):
+		g.failures++
+		if g.failures >= g.wipeAfter {
+			g.wiped = true
+		}
+	}
+	return nil, err
+}
+
+// BypassUnlock models the §4 attacks (power cut before the counter
+// write, NAND mirroring of the counter state): the software layer is
+// skipped entirely and the attempt lands directly on the hardware. The
+// hardware wearout budget is still consumed — that is the whole point.
+func (g *GuardedDevice) BypassUnlock(passcode string, env nems.Environment) ([]byte, error) {
+	return g.dev.Unlock(passcode, env)
+}
+
+// SoftWiped reports whether the software counter has tripped.
+func (g *GuardedDevice) SoftWiped() bool { return g.wiped }
+
+// HardLocked reports whether the wearout hardware is exhausted.
+func (g *GuardedDevice) HardLocked() bool { return g.dev.Locked() }
+
+// HardwareAttempts returns the wearout budget consumed so far.
+func (g *GuardedDevice) HardwareAttempts() uint64 { return g.dev.Attempts() }

@@ -1,0 +1,107 @@
+package connection
+
+import (
+	"errors"
+	"testing"
+
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+)
+
+func TestGuardTripsWithoutBurningHardware(t *testing.T) {
+	design := testDesign(t, 40)
+	dev, err := NewDevice(design, "right", []byte("data"), rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Guard(dev, 10)
+	for i := 0; i < 9; i++ {
+		if _, err := g.Unlock("wrong", nems.RoomTemp); !errors.Is(err, ErrWrongPasscode) {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	if _, err := g.Unlock("wrong", nems.RoomTemp); !errors.Is(err, ErrWrongPasscode) {
+		t.Fatal("10th failure should still report wrong passcode")
+	}
+	if !g.SoftWiped() {
+		t.Fatal("counter should have tripped")
+	}
+	burned := g.HardwareAttempts()
+	// Once tripped, further guessing is refused WITHOUT consuming budget.
+	for i := 0; i < 50; i++ {
+		if _, err := g.Unlock("wrong", nems.RoomTemp); !errors.Is(err, ErrSoftWiped) {
+			t.Fatal("tripped guard should refuse")
+		}
+	}
+	if g.HardwareAttempts() != burned {
+		t.Error("soft-wiped guard consumed hardware budget")
+	}
+	if g.HardLocked() {
+		t.Error("hardware should still be alive under the guard")
+	}
+}
+
+func TestGuardResetsOnSuccess(t *testing.T) {
+	design := testDesign(t, 40)
+	dev, err := NewDevice(design, "right", []byte("data"), rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Guard(dev, 5)
+	for i := 0; i < 4; i++ {
+		_, _ = g.Unlock("wrong", nems.RoomTemp)
+	}
+	if _, err := g.Unlock("right", nems.RoomTemp); err != nil {
+		t.Fatalf("owner unlock failed: %v", err)
+	}
+	// counter reset — 4 more failures allowed
+	for i := 0; i < 4; i++ {
+		if _, err := g.Unlock("wrong", nems.RoomTemp); !errors.Is(err, ErrWrongPasscode) {
+			t.Fatalf("counter did not reset: %v", err)
+		}
+	}
+}
+
+func TestBypassDefeatsGuardButNotHardware(t *testing.T) {
+	// The §4 story in one test: the attacker bypasses the software layer
+	// (power cut / NAND mirroring) and guesses freely — but every bypassed
+	// guess still burns wearout budget, and the hardware locks forever.
+	design := testDesign(t, 30)
+	dev, err := NewDevice(design, "owner-pass", []byte("data"), rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Guard(dev, 10)
+	// trip the soft counter first
+	for i := 0; i < 10; i++ {
+		_, _ = g.Unlock("wrong", nems.RoomTemp)
+	}
+	if !g.SoftWiped() {
+		t.Fatal("setup: guard should be tripped")
+	}
+	// bypass: unlimited attempts against the hardware...
+	budget := design.MaxAllowedAccesses()*3 + 50
+	for i := 0; i < budget && !g.HardLocked(); i++ {
+		_, _ = g.BypassUnlock("guess", nems.RoomTemp)
+	}
+	// ...until the physics ends the game.
+	if !g.HardLocked() {
+		t.Fatal("hardware never locked under bypass")
+	}
+	if _, err := g.BypassUnlock("owner-pass", nems.RoomTemp); !errors.Is(err, ErrLocked) {
+		t.Error("hard-locked device served a bypassed unlock")
+	}
+}
+
+func TestGuardMinimumWipeAfter(t *testing.T) {
+	design := testDesign(t, 20)
+	dev, err := NewDevice(design, "x", []byte("d"), rng.New(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Guard(dev, 0) // clamped to 1
+	_, _ = g.Unlock("wrong", nems.RoomTemp)
+	if !g.SoftWiped() {
+		t.Error("wipeAfter should clamp to 1")
+	}
+}

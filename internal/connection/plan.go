@@ -1,0 +1,80 @@
+package connection
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"lemonade/internal/dse"
+)
+
+// This file implements the planning side of §4.1.5's M-way module
+// replication: given a desired daily usage and device lifetime, how many
+// modules are needed, and how often must the user change passcodes and
+// re-encrypt storage?
+//
+// The paper's example: a baseline module supports 50 uses/day for 5 years
+// (91,250 accesses); a user needing 500/day uses M = 10 modules and
+// migrates every 6 months.
+
+// UsagePlan is a sized M-way replication plan.
+type UsagePlan struct {
+	Design        dse.Design    // per-module design
+	Modules       int           // M
+	DailyUsage    int           // supported uses per day
+	Lifetime      time.Duration // total supported lifetime
+	MigrateEvery  time.Duration // how often storage must be re-encrypted
+	TotalDevices  int           // across all modules
+	TotalAccesses int           // lifetime usage budget
+}
+
+// PlanMWay sizes an M-way replicated deployment. design must be a
+// per-module design (its Spec.LAB is the per-module access budget);
+// dailyUsage is the user's required unlocks per day; lifetime is the
+// deployment target (e.g. 5 years).
+func PlanMWay(design dse.Design, dailyUsage int, lifetime time.Duration) (UsagePlan, error) {
+	if dailyUsage < 1 {
+		return UsagePlan{}, fmt.Errorf("connection: dailyUsage must be >= 1, got %d", dailyUsage)
+	}
+	if lifetime <= 0 {
+		return UsagePlan{}, fmt.Errorf("connection: lifetime must be positive")
+	}
+	days := lifetime.Hours() / 24
+	needed := float64(dailyUsage) * days
+	perModule := float64(design.GuaranteedMinAccesses())
+	if perModule < 1 {
+		return UsagePlan{}, fmt.Errorf("connection: design guarantees no accesses")
+	}
+	m := int(math.Ceil(needed / perModule))
+	if m < 1 {
+		m = 1
+	}
+	migrate := time.Duration(float64(lifetime) / float64(m))
+	return UsagePlan{
+		Design:        design,
+		Modules:       m,
+		DailyUsage:    dailyUsage,
+		Lifetime:      lifetime,
+		MigrateEvery:  migrate,
+		TotalDevices:  m * design.TotalDevices,
+		TotalAccesses: m * design.GuaranteedMinAccesses(),
+	}, nil
+}
+
+// String implements fmt.Stringer.
+func (p UsagePlan) String() string {
+	return fmt.Sprintf("UsagePlan{M=%d modules, %d uses/day for %s, migrate every %s, %d devices}",
+		p.Modules, p.DailyUsage, fmtDuration(p.Lifetime), fmtDuration(p.MigrateEvery), p.TotalDevices)
+}
+
+func fmtDuration(d time.Duration) string {
+	days := d.Hours() / 24
+	switch {
+	case days >= 365:
+		return fmt.Sprintf("%.1fy", days/365)
+	case days >= 30:
+		return fmt.Sprintf("%.1fmo", days/30)
+	default:
+		return fmt.Sprintf("%.0fd", days)
+	}
+}

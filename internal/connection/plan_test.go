@@ -1,0 +1,76 @@
+package connection
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lemonade/internal/dse"
+	"lemonade/internal/reliability"
+	"lemonade/internal/weibull"
+)
+
+// paperModule sizes the paper's baseline module: 50 uses/day × 5 years.
+func paperModule(t *testing.T) dse.Design {
+	t.Helper()
+	d, err := dse.Explore(dse.Spec{
+		Dist:        weibull.MustNew(14, 8),
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         5 * 365 * 50,
+		KFrac:       0.10,
+		ContinuousT: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPlanMWayPaperExample(t *testing.T) {
+	// §4.1.5: raising 50 uses/day to 500 over the same 5 years needs
+	// 10-way replication with a migration every 6 months.
+	design := paperModule(t)
+	fiveYears := 5 * 365 * 24 * time.Hour
+	plan, err := PlanMWay(design, 500, fiveYears)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Modules != 10 {
+		t.Errorf("M = %d, paper example says 10", plan.Modules)
+	}
+	// migrate every ~6 months
+	months := plan.MigrateEvery.Hours() / 24 / 30
+	if months < 5.5 || months > 6.5 {
+		t.Errorf("migration cadence = %.1f months, paper says every 6 months", months)
+	}
+	if plan.TotalDevices != 10*design.TotalDevices {
+		t.Error("total devices should be M × module devices")
+	}
+	if plan.TotalAccesses < 500*5*365 {
+		t.Errorf("plan supports %d accesses, need %d", plan.TotalAccesses, 500*5*365)
+	}
+	if !strings.Contains(plan.String(), "M=10") {
+		t.Errorf("String: %s", plan.String())
+	}
+}
+
+func TestPlanMWayBaselineNeedsOneModule(t *testing.T) {
+	design := paperModule(t)
+	plan, err := PlanMWay(design, 50, 5*365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Modules != 1 {
+		t.Errorf("baseline usage should need 1 module, got %d", plan.Modules)
+	}
+}
+
+func TestPlanMWayValidation(t *testing.T) {
+	design := paperModule(t)
+	if _, err := PlanMWay(design, 0, time.Hour); err == nil {
+		t.Error("zero daily usage should error")
+	}
+	if _, err := PlanMWay(design, 50, -time.Hour); err == nil {
+		t.Error("negative lifetime should error")
+	}
+}

@@ -1,0 +1,271 @@
+// Package core is the paper's primary contribution as a usable library: a
+// limited-use security architecture that physically stores a secret behind
+// wearout hardware.
+//
+// An Architecture is built from a dse.Design (which fixes the number of
+// copies, the parallel-structure size n, and the survivor threshold k) plus
+// the secret to protect. At fabrication the secret is encoded — replicated
+// for k = 1, Shamir (k, n) threshold-shared for k > 1 (§4.1.4) — and each
+// component is one-time-programmed into a store reachable only through its
+// own simulated NEMS switch. Every access actuates the active copy's
+// switches, collects the components whose switches conducted, and decodes
+// the secret iff at least k components were recovered. Once every copy has
+// worn out the secret is physically unreachable forever.
+//
+// The Shamir encoding is what makes partial wearout safe: an adversary who
+// recovers k−1 components (because only k−1 switches still conduct) learns
+// nothing about the secret.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+	"lemonade/internal/shamir"
+	"lemonade/internal/shamir16"
+)
+
+var (
+	// ErrWornOut is returned once every copy of the architecture has
+	// degraded below its survivor threshold: the secret is gone.
+	ErrWornOut = errors.New("core: architecture has worn out; secret unrecoverable")
+	// ErrTransient is returned when an access failed but a later access
+	// may still succeed (the active copy died mid-access and the next
+	// copy takes over on retry).
+	ErrTransient = errors.New("core: access failed; retry")
+)
+
+// AccessOutcome classifies an access attempt for observers.
+type AccessOutcome int
+
+// Access outcomes.
+const (
+	AccessSuccess   AccessOutcome = iota // secret recovered
+	AccessTransient                      // active copy died mid-access; retry
+	AccessWornOut                        // architecture exhausted
+)
+
+// AccessEvent describes one completed access attempt, for telemetry.
+type AccessEvent struct {
+	Attempt    uint64 // 1-based attempt number
+	Copy       int    // copy that served (or refused) the access
+	Conducting int    // switches that conducted during the access
+	Outcome    AccessOutcome
+}
+
+// Architecture is a fabricated limited-use secret store.
+type Architecture struct {
+	design   dse.Design
+	copies   []*archCopy
+	cur      int
+	total    uint64 // accesses attempted
+	ok       uint64 // accesses that yielded the secret
+	observer func(AccessEvent)
+}
+
+// SetObserver installs a callback invoked synchronously after every access
+// attempt — the hook a deployment uses for usage telemetry and
+// tamper/exhaustion alerting. A nil observer disables it.
+func (a *Architecture) SetObserver(fn func(AccessEvent)) { a.observer = fn }
+
+// decoder reconstructs the secret from the switch indices that conducted
+// during an access. Implementations: plain replication (k=1), Shamir over
+// GF(256) (k>1, n ≤ 255) and Shamir over GF(2^16) (wide structures).
+type decoder interface {
+	combine(conducting []int) ([]byte, error)
+}
+
+// replicaDecoder: every switch guards a full copy of the secret.
+type replicaDecoder struct{ secret []byte }
+
+func (d replicaDecoder) combine(conducting []int) ([]byte, error) {
+	out := make([]byte, len(d.secret))
+	copy(out, d.secret)
+	return out, nil
+}
+
+// narrowDecoder: GF(256) Shamir shares, switch i guards share i.
+type narrowDecoder struct {
+	shares []shamir.Share
+	k      int
+}
+
+func (d narrowDecoder) combine(conducting []int) ([]byte, error) {
+	got := make([]shamir.Share, 0, d.k)
+	for _, i := range conducting {
+		got = append(got, d.shares[i])
+		if len(got) == d.k {
+			break
+		}
+	}
+	return shamir.Combine(got, d.k)
+}
+
+// wideDecoder: GF(2^16) Shamir shares for structures wider than 255.
+type wideDecoder struct {
+	shares []shamir16.Share
+	k      int
+}
+
+func (d wideDecoder) combine(conducting []int) ([]byte, error) {
+	got := make([]shamir16.Share, 0, d.k)
+	for _, i := range conducting {
+		got = append(got, d.shares[i])
+		if len(got) == d.k {
+			break
+		}
+	}
+	return shamir16.Combine(got, d.k)
+}
+
+// archCopy is one serially-used copy: n switches, each guarding one
+// component share.
+type archCopy struct {
+	switches []*nems.Switch
+	dec      decoder
+	k        int
+}
+
+func (c *archCopy) alive() bool {
+	working := 0
+	for _, sw := range c.switches {
+		if sw.Working() {
+			working++
+			if working >= c.k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// access actuates every switch (physically the whole parallel structure
+// fires on each access) and returns the recovered secret (nil on failure)
+// plus how many switches conducted.
+func (c *archCopy) access(env nems.Environment) ([]byte, int) {
+	var conducting []int
+	for i, sw := range c.switches {
+		if sw.Actuate(env) == nil {
+			conducting = append(conducting, i)
+		}
+	}
+	if len(conducting) < c.k {
+		return nil, len(conducting)
+	}
+	secret, err := c.dec.combine(conducting)
+	if err != nil {
+		return nil, len(conducting)
+	}
+	return secret, len(conducting)
+}
+
+// Build fabricates an architecture for the design, protecting secret.
+// Encoded designs use Shamir over GF(256) for structures up to 255
+// devices and over GF(2^16) beyond that, supporting the paper's widest
+// (low-β) structures up to 65,535 devices per copy.
+func Build(design dse.Design, secret []byte, r *rng.RNG) (*Architecture, error) {
+	if len(secret) == 0 {
+		return nil, errors.New("core: empty secret")
+	}
+	if design.N < 1 || design.K < 1 || design.Copies < 1 {
+		return nil, fmt.Errorf("core: degenerate design %v", design)
+	}
+	if design.K > 1 && design.N > shamir16.MaxShares {
+		return nil, fmt.Errorf("core: encoded structure size n=%d exceeds the GF(2^16) share space (%d)",
+			design.N, shamir16.MaxShares)
+	}
+	// One (k, n) sharing serves every copy: copy c's switch i guards share
+	// i. Reuse is safe — each copy exposes the same share set, so the
+	// adversary's best case is still k−1 distinct shares — and it keeps
+	// the share storage proportional to one structure (the paper's §4.3.2
+	// area accounting).
+	var dec decoder
+	switch {
+	case design.K == 1:
+		dup := make([]byte, len(secret))
+		copy(dup, secret)
+		dec = replicaDecoder{secret: dup}
+	case design.N <= shamir.MaxShares:
+		shares, err := shamir.Split(secret, design.K, design.N, r)
+		if err != nil {
+			return nil, fmt.Errorf("core: encoding secret: %w", err)
+		}
+		dec = narrowDecoder{shares: shares, k: design.K}
+	default:
+		shares, err := shamir16.Split(secret, design.K, design.N, r)
+		if err != nil {
+			return nil, fmt.Errorf("core: encoding secret: %w", err)
+		}
+		dec = wideDecoder{shares: shares, k: design.K}
+	}
+	a := &Architecture{design: design, copies: make([]*archCopy, design.Copies)}
+	for ci := range a.copies {
+		c := &archCopy{switches: make([]*nems.Switch, design.N), dec: dec, k: design.K}
+		for i := range c.switches {
+			c.switches[i] = nems.Fabricate(design.Spec.Dist, r)
+		}
+		a.copies[ci] = c
+	}
+	return a, nil
+}
+
+// Access performs one access under env. On success it returns the secret.
+// ErrTransient means this access failed but the architecture may recover on
+// retry (the next copy takes over); ErrWornOut means the secret is gone.
+func (a *Architecture) Access(env nems.Environment) ([]byte, error) {
+	a.total++
+	for a.cur < len(a.copies) {
+		c := a.copies[a.cur]
+		if !c.alive() {
+			a.cur++
+			continue
+		}
+		secret, conducting := c.access(env)
+		if secret == nil {
+			// The active copy degraded below threshold during this
+			// access; it cannot recover (wearout is monotone).
+			a.emit(AccessEvent{Attempt: a.total, Copy: a.cur, Conducting: conducting, Outcome: AccessTransient})
+			a.cur++
+			return nil, ErrTransient
+		}
+		a.ok++
+		a.emit(AccessEvent{Attempt: a.total, Copy: a.cur, Conducting: conducting, Outcome: AccessSuccess})
+		return secret, nil
+	}
+	a.emit(AccessEvent{Attempt: a.total, Copy: len(a.copies), Outcome: AccessWornOut})
+	return nil, ErrWornOut
+}
+
+func (a *Architecture) emit(ev AccessEvent) {
+	if a.observer != nil {
+		a.observer(ev)
+	}
+}
+
+// Alive reports whether a future access could still succeed.
+func (a *Architecture) Alive() bool {
+	for i := a.cur; i < len(a.copies); i++ {
+		if a.copies[i].alive() {
+			return true
+		}
+	}
+	return false
+}
+
+// Design returns the design the architecture was built from.
+func (a *Architecture) Design() dse.Design { return a.design }
+
+// Accesses returns (attempted, successful) access counts.
+func (a *Architecture) Accesses() (total, successful uint64) { return a.total, a.ok }
+
+// CurrentCopy returns the index of the copy serving accesses.
+func (a *Architecture) CurrentCopy() int { return a.cur }
+
+// TotalDevices returns the switch count of the fabricated hardware.
+func (a *Architecture) TotalDevices() int { return a.design.N * a.design.Copies }
+
+// ExhaustedCopies returns how many copies have fully degraded.
+func (a *Architecture) ExhaustedCopies() int { return a.cur }

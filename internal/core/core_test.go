@@ -1,0 +1,277 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+// smallDesign explores a small architecture suitable for simulation.
+func smallDesign(t *testing.T, lab int, kFrac float64) dse.Design {
+	t.Helper()
+	d, err := dse.Explore(dse.Spec{
+		Dist:        weibull.MustNew(12, 8),
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         lab,
+		KFrac:       kFrac,
+		ContinuousT: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuildAndAccessEncoded(t *testing.T) {
+	design := smallDesign(t, 50, 0.10)
+	secret := []byte("storage decryption key 0123456789abcdef")
+	r := rng.New(1)
+	a, err := Build(design, secret, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalDevices() != design.TotalDevices {
+		t.Errorf("TotalDevices = %d, want %d", a.TotalDevices(), design.TotalDevices)
+	}
+	// The design guarantees at least LAB accesses with 99% per-copy
+	// reliability; check the first LAB accesses mostly succeed and every
+	// success yields the exact secret.
+	succ := 0
+	for i := 0; i < 50; i++ {
+		got, err := a.Access(nems.RoomTemp)
+		if err == nil {
+			if !bytes.Equal(got, secret) {
+				t.Fatalf("access %d returned wrong secret %q", i, got)
+			}
+			succ++
+		}
+	}
+	if succ < 45 {
+		t.Errorf("only %d/50 accesses succeeded within the guaranteed window", succ)
+	}
+}
+
+func TestWearsOutAndStaysDead(t *testing.T) {
+	design := smallDesign(t, 30, 0.10)
+	r := rng.New(2)
+	a, err := Build(design, []byte("secret"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive far past the design bound.
+	deadline := design.MaxAllowedAccesses() * 10
+	var wornOut bool
+	for i := 0; i < deadline+100; i++ {
+		_, err := a.Access(nems.RoomTemp)
+		if errors.Is(err, ErrWornOut) {
+			wornOut = true
+			break
+		}
+	}
+	if !wornOut {
+		t.Fatal("architecture never wore out")
+	}
+	if a.Alive() {
+		t.Error("worn-out architecture claims to be alive")
+	}
+	// And it never recovers.
+	for i := 0; i < 10; i++ {
+		if _, err := a.Access(nems.RoomTemp); !errors.Is(err, ErrWornOut) {
+			t.Fatal("worn-out architecture served an access")
+		}
+	}
+}
+
+func TestUsageBoundsRespected(t *testing.T) {
+	// The core security property: total successful accesses stay within
+	// [guaranteed min, design max + slack] across many trials.
+	design := smallDesign(t, 40, 0.10)
+	r := rng.New(3)
+	const trials = 60
+	minOK, maxOK := 1<<31, 0
+	for tr := 0; tr < trials; tr++ {
+		a, err := Build(design, []byte("secret"), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		succ := 0
+		for a.Alive() {
+			if _, err := a.Access(nems.RoomTemp); err == nil {
+				succ++
+			}
+		}
+		if succ < minOK {
+			minOK = succ
+		}
+		if succ > maxOK {
+			maxOK = succ
+		}
+	}
+	if minOK < design.GuaranteedMinAccesses()-design.Copies {
+		t.Errorf("a trial delivered only %d accesses, guarantee is %d", minOK, design.GuaranteedMinAccesses())
+	}
+	// Upper bound: each copy can overrun by a little with prob MaxOverrun;
+	// allow a couple of accesses of slack per copy.
+	limit := design.MaxAllowedAccesses() + 2*design.Copies
+	if maxOK > limit {
+		t.Errorf("a trial delivered %d accesses, beyond the allowed %d", maxOK, limit)
+	}
+}
+
+func TestUnencodedReplicas(t *testing.T) {
+	design := smallDesign(t, 20, 0) // k=1: replication
+	if design.K != 1 {
+		t.Fatalf("expected k=1 design, got k=%d", design.K)
+	}
+	r := rng.New(4)
+	secret := []byte("replicated")
+	a, err := Build(design, secret, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Access(nems.RoomTemp)
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Errorf("first access failed: %v %q", err, got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	design := smallDesign(t, 20, 0.10)
+	r := rng.New(5)
+	if _, err := Build(design, nil, r); err == nil {
+		t.Error("empty secret should be rejected")
+	}
+	big := design
+	big.N = 70_000
+	big.K = 100
+	if _, err := Build(big, []byte("x"), r); err == nil {
+		t.Error("n beyond the GF(2^16) share space should be rejected")
+	}
+	degenerate := design
+	degenerate.Copies = 0
+	if _, err := Build(degenerate, []byte("x"), r); err == nil {
+		t.Error("degenerate design should be rejected")
+	}
+}
+
+func TestTransientFailureThenRecovery(t *testing.T) {
+	// When the active copy dies mid-access the caller sees ErrTransient,
+	// and the retry lands on the next copy.
+	design := smallDesign(t, 30, 0.10)
+	r := rng.New(6)
+	a, err := Build(design, []byte("secret"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTransient, recovered := false, false
+	for i := 0; i < design.MaxAllowedAccesses()*3 && a.Alive(); i++ {
+		_, err := a.Access(nems.RoomTemp)
+		if errors.Is(err, ErrTransient) {
+			sawTransient = true
+			if _, err2 := a.Access(nems.RoomTemp); err2 == nil {
+				recovered = true
+			}
+		}
+	}
+	if !sawTransient {
+		t.Skip("no transient failure observed in this seed (copies died exactly at boundaries)")
+	}
+	if !recovered {
+		t.Log("note: no transient failure was followed by immediate recovery (possible if the last copy died)")
+	}
+}
+
+func TestAccessCounters(t *testing.T) {
+	design := smallDesign(t, 20, 0.10)
+	r := rng.New(7)
+	a, err := Build(design, []byte("secret"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		_, _ = a.Access(nems.RoomTemp)
+	}
+	total, ok := a.Accesses()
+	if total != 5 {
+		t.Errorf("total = %d, want 5", total)
+	}
+	if ok > total {
+		t.Error("successes exceed attempts")
+	}
+	if a.Design().TotalDevices != design.TotalDevices {
+		t.Error("Design() accessor wrong")
+	}
+	if a.ExhaustedCopies() != a.CurrentCopy() {
+		t.Error("ExhaustedCopies should equal CurrentCopy")
+	}
+}
+
+func TestHeatCannotExtendUsage(t *testing.T) {
+	// §2.1 security property at the architecture level: running hot can
+	// only reduce the number of successful accesses.
+	design := smallDesign(t, 30, 0.10)
+	count := func(env nems.Environment, seed uint64) int {
+		a, err := Build(design, []byte("secret"), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		succ := 0
+		for a.Alive() {
+			if _, err := a.Access(env); err == nil {
+				succ++
+			}
+		}
+		return succ
+	}
+	var room, hot int
+	for seed := uint64(10); seed < 20; seed++ {
+		room += count(nems.RoomTemp, seed)
+		hot += count(nems.Environment{TempCelsius: 500}, seed)
+	}
+	if hot >= room {
+		t.Errorf("hot usage (%d) should be below room usage (%d)", hot, room)
+	}
+}
+
+func TestWideStructureBeyond255(t *testing.T) {
+	// A β=4-style wide structure: more than 255 devices per copy forces
+	// the GF(2^16) sharing path.
+	d, err := dse.Explore(dse.Spec{
+		Dist:        weibull.MustNew(12, 4),
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         40,
+		KFrac:       0.10,
+		ContinuousT: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N <= 255 {
+		t.Skipf("β=4 design unexpectedly narrow (n=%d); wide path untested here", d.N)
+	}
+	r := rng.New(123)
+	secret := []byte("wide-structure secret material")
+	a, err := Build(d, secret, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ := 0
+	for i := 0; i < 40; i++ {
+		got, err := a.Access(nems.RoomTemp)
+		if err == nil {
+			if !bytes.Equal(got, secret) {
+				t.Fatalf("wide decode returned wrong secret")
+			}
+			succ++
+		}
+	}
+	if succ < 35 {
+		t.Errorf("only %d/40 accesses succeeded on the wide architecture", succ)
+	}
+}

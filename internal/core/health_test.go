@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+)
+
+func TestHealthFreshArchitecture(t *testing.T) {
+	design := smallDesign(t, 40, 0.10)
+	r := rng.New(51)
+	a, err := Build(design, []byte("secret"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := a.Health()
+	if h.FreshCopies != design.Copies-1 {
+		t.Errorf("fresh copies = %d, want %d", h.FreshCopies, design.Copies-1)
+	}
+	if h.ActiveCopyWorking != design.N {
+		t.Errorf("active working = %d, want %d", h.ActiveCopyWorking, design.N)
+	}
+	if h.ActiveCopyAccesses != 0 {
+		t.Errorf("fresh copy has %d accesses", h.ActiveCopyAccesses)
+	}
+	// the estimate should be near the guaranteed budget
+	est := h.EstRemainingAccesses
+	if est < float64(design.GuaranteedMinAccesses())*0.9 ||
+		est > float64(design.MaxAllowedAccesses())*1.3 {
+		t.Errorf("fresh estimate %.1f outside [%d, %d] band",
+			est, design.GuaranteedMinAccesses(), design.MaxAllowedAccesses())
+	}
+	if h.MigrateAdvised {
+		t.Error("fresh architecture should not advise migration")
+	}
+}
+
+func TestHealthDeclinesMonotonically(t *testing.T) {
+	design := smallDesign(t, 40, 0.10)
+	r := rng.New(52)
+	a, err := Build(design, []byte("secret"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := a.Health().EstRemainingAccesses
+	for i := 0; i < 20; i++ {
+		_, _ = a.Access(nems.RoomTemp)
+		cur := a.Health().EstRemainingAccesses
+		if cur > prev+1.5 { // new-copy handover can bump the estimate by <1 access
+			t.Errorf("estimate rose from %.2f to %.2f at access %d", prev, cur, i)
+		}
+		prev = cur
+	}
+}
+
+func TestHealthAdvisesMigrationNearDeath(t *testing.T) {
+	design := smallDesign(t, 40, 0.10)
+	r := rng.New(53)
+	a, err := Build(design, []byte("secret"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advised := false
+	for a.Alive() {
+		h := a.Health()
+		if h.MigrateAdvised {
+			advised = true
+		}
+		if _, err := a.Access(nems.RoomTemp); err == ErrWornOut {
+			break
+		}
+	}
+	if !advised {
+		t.Error("migration was never advised across the architecture's whole life")
+	}
+}
+
+func TestHealthOfDeadArchitecture(t *testing.T) {
+	design := smallDesign(t, 30, 0.10)
+	r := rng.New(54)
+	a, err := Build(design, []byte("secret"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < design.MaxAllowedAccesses()*5 && a.Alive(); i++ {
+		_, _ = a.Access(nems.RoomTemp)
+	}
+	// drive the cursor past the end
+	for i := 0; i < 3; i++ {
+		_, _ = a.Access(nems.RoomTemp)
+	}
+	h := a.Health()
+	if h.FreshCopies != 0 || h.EstRemainingAccesses != 0 {
+		t.Errorf("dead architecture health: %+v", h)
+	}
+}
+
+func TestObserverSeesEveryAttempt(t *testing.T) {
+	design := smallDesign(t, 30, 0.10)
+	r := rng.New(61)
+	a, err := Build(design, []byte("secret"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []AccessEvent
+	a.SetObserver(func(ev AccessEvent) { events = append(events, ev) })
+	attempts := 0
+	for i := 0; i < design.MaxAllowedAccesses()*3+10; i++ {
+		attempts++
+		if _, err := a.Access(nems.RoomTemp); err == ErrWornOut {
+			break
+		}
+	}
+	if len(events) != attempts {
+		t.Fatalf("observer saw %d events for %d attempts", len(events), attempts)
+	}
+	// events carry monotone attempt numbers and plausible fields
+	var successes, transients, wornouts int
+	for i, ev := range events {
+		if ev.Attempt != uint64(i+1) {
+			t.Fatalf("event %d has attempt %d", i, ev.Attempt)
+		}
+		switch ev.Outcome {
+		case AccessSuccess:
+			successes++
+			if ev.Conducting < design.K {
+				t.Error("successful access with too few conducting switches")
+			}
+		case AccessTransient:
+			transients++
+		case AccessWornOut:
+			wornouts++
+		}
+	}
+	if successes == 0 || wornouts != 1 {
+		t.Errorf("event mix: %d success, %d transient, %d wornout", successes, transients, wornouts)
+	}
+	// the last event is the wearout
+	if events[len(events)-1].Outcome != AccessWornOut {
+		t.Error("final event should be AccessWornOut")
+	}
+	// disabling the observer stops events
+	a.SetObserver(nil)
+	n := len(events)
+	_, _ = a.Access(nems.RoomTemp)
+	if len(events) != n {
+		t.Error("nil observer should disable events")
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+)
+
+func TestNoisyArchitectureCleanFaults(t *testing.T) {
+	// With garbageProb=0 the noisy architecture behaves like the plain one.
+	design := smallDesign(t, 40, 0.10)
+	r := rng.New(11)
+	secret := []byte("noisy secret")
+	a, err := BuildNoisy(design, secret, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ := 0
+	for i := 0; i < 40; i++ {
+		got, err := a.Access(nems.RoomTemp)
+		if err == nil {
+			if !bytes.Equal(got, secret) {
+				t.Fatal("wrong secret")
+			}
+			succ++
+		}
+	}
+	if succ < 36 {
+		t.Errorf("only %d/40 accesses succeeded", succ)
+	}
+}
+
+func TestNoisyArchitectureCorrectsGarbage(t *testing.T) {
+	// With every worn switch conducting garbage, the error-correcting
+	// decode must still return the right secret for every successful
+	// access — never a silently wrong one.
+	design := smallDesign(t, 40, 0.10)
+	r := rng.New(22)
+	secret := []byte("garbage-resistant")
+	a, err := BuildNoisy(design, secret, 1.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ, wrong := 0, 0
+	for a.Alive() {
+		got, err := a.Access(nems.RoomTemp)
+		if err != nil {
+			continue
+		}
+		succ++
+		if !bytes.Equal(got, secret) {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		t.Errorf("%d of %d accesses returned a WRONG secret — error correction failed", wrong, succ)
+	}
+	if succ < design.GuaranteedMinAccesses()/2 {
+		t.Errorf("garbage faults collapsed usable accesses to %d (designed %d)",
+			succ, design.GuaranteedMinAccesses())
+	}
+	total, ok := a.Accesses()
+	if ok != uint64(succ) || total < ok {
+		t.Error("access counters inconsistent")
+	}
+}
+
+func TestPlainInterpolationIsFooledByGarbage(t *testing.T) {
+	// The motivation test: naive Lagrange interpolation over k shares
+	// with one garbage share yields a *wrong* byte with no error — the
+	// silent failure BuildNoisy exists to prevent.
+	xs := []byte{1, 2, 3, 4, 5}
+	// shares of secret byte 0x42 under the polynomial 0x42 + 7x
+	ys := make([]byte, len(xs))
+	for i, x := range xs {
+		ys[i] = 0x42 ^ gf256Mul(7, x)
+	}
+	ys[0] ^= 0xFF // garbage fault
+	got, err := interpolateNaive(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == 0x42 {
+		t.Error("expected naive interpolation to be fooled (it picked the corrupted share)")
+	}
+}
+
+// gf256Mul avoids importing gf256 in the test twice; Russian-peasant
+// multiply with the package polynomial.
+func gf256Mul(a, b byte) byte {
+	var p byte
+	aa, bb := uint16(a), uint16(b)
+	for i := 0; i < 8; i++ {
+		if bb&1 != 0 {
+			p ^= byte(aa)
+		}
+		bb >>= 1
+		aa <<= 1
+		if aa&0x100 != 0 {
+			aa ^= 0x11D
+		}
+	}
+	return p
+}
+
+func TestBuildNoisyValidation(t *testing.T) {
+	design := smallDesign(t, 20, 0.10)
+	r := rng.New(33)
+	if _, err := BuildNoisy(design, nil, 0, r); err == nil {
+		t.Error("empty secret should be rejected")
+	}
+	if _, err := BuildNoisy(design, []byte("x"), -0.1, r); err == nil {
+		t.Error("negative garbageProb should be rejected")
+	}
+	if _, err := BuildNoisy(design, []byte("x"), 1.1, r); err == nil {
+		t.Error("garbageProb > 1 should be rejected")
+	}
+	unencoded := design
+	unencoded.K = 1
+	if _, err := BuildNoisy(unencoded, []byte("x"), 0, r); err == nil {
+		t.Error("k=1 design should be rejected (no parity to correct with)")
+	}
+	wide := design
+	wide.N = 300
+	if _, err := BuildNoisy(wide, []byte("x"), 0, r); err == nil {
+		t.Error("n > 255 should be rejected for the GF(256) noisy path")
+	}
+}

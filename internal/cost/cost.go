@@ -1,0 +1,102 @@
+// Package cost provides the analytic area, energy and latency models the
+// paper uses for its engineering-space evaluations (§4.3.1, §4.3.2, §6.5).
+//
+// Constants follow the paper: 100 nm² contact area per NEMS switch, 1 nm
+// inter-switch pitch, H-tree layout whose area is on the order of the
+// number of leaves (Brent & Kung), 1e-20 J switching energy, 10 ns
+// switching latency, 50 nm² register cells, 20 ns/bit shift-register
+// readout.
+package cost
+
+import (
+	"lemonade/internal/memory"
+	"lemonade/internal/nems"
+)
+
+// Nm2PerMm2 converts nm² to mm².
+const Nm2PerMm2 = 1e12
+
+// Area is a silicon area in nm², with helpers for the paper's mm² units.
+type Area float64
+
+// Mm2 returns the area in mm².
+func (a Area) Mm2() float64 { return float64(a) / Nm2PerMm2 }
+
+// SwitchArea returns the H-tree layout area of n NEMS switches. The H-tree
+// area is on the order of the number of leaves when nodes sit at unit
+// distance (Brent & Kung 1980, cited in §6.5.1), so the model charges each
+// switch its contact area plus one pitch of wiring.
+func SwitchArea(n int) Area {
+	return Area(float64(n) * (nems.ContactAreaNm2 + nems.PitchNm))
+}
+
+// ShareStorageArea returns the area of the read-destructive storage holding
+// component keys: totalShares shares of bitsPerShare bits in 50 nm² cells.
+// §4.3.2: "the storage for component keys should be proportional to the
+// size of the parallel structure".
+func ShareStorageArea(totalShares, bitsPerShare int) Area {
+	return Area(float64(totalShares) * float64(bitsPerShare) * memory.RegisterCellAreaNm2)
+}
+
+// DecisionTreeArea returns the area of one one-time-pad decision tree of
+// height H whose leaves hold keyBits-bit shift registers (§6.5.1):
+// 100·2^(H-1) nm² for the switch H-tree plus 2^(H-1)·keyBits·50 nm² of
+// registers.
+func DecisionTreeArea(height, keyBits int) Area {
+	leaves := float64(uint64(1) << uint(height-1))
+	return Area(leaves*nems.ContactAreaNm2 + leaves*float64(keyBits)*memory.RegisterCellAreaNm2)
+}
+
+// TreesPerChip returns how many decision trees of the given height fit on a
+// chip of chipMm2 mm², with key length proportional to tree height
+// (~1000·H bits, §6.5.1).
+func TreesPerChip(height int, chipMm2 float64) int {
+	keyBits := 1000 * height
+	per := DecisionTreeArea(height, keyBits)
+	if per <= 0 {
+		return 0
+	}
+	return int(chipMm2 * Nm2PerMm2 / float64(per))
+}
+
+// Energy is an energy in joules.
+type Energy float64
+
+// AccessEnergy returns the switching energy of one access to a parallel
+// structure of n switches: all n actuate, at 1e-20 J each (§4.3.2).
+func AccessEnergy(parallelN int) Energy {
+	return Energy(float64(parallelN) * nems.ActuationEnergyJoules)
+}
+
+// OTPPathEnergy returns the worst-case energy of one one-time-pad key
+// retrieval: N copies of an H-high path, every node actuating (§6.5.2:
+// N·H·1e-20 J).
+func OTPPathEnergy(height, copies int) Energy {
+	return Energy(float64(height) * float64(copies) * nems.ActuationEnergyJoules)
+}
+
+// Latency is a latency in seconds.
+type Latency float64
+
+// Ms returns the latency in milliseconds.
+func (l Latency) Ms() float64 { return float64(l) * 1e3 }
+
+// Ns returns the latency in nanoseconds.
+func (l Latency) Ns() float64 { return float64(l) * 1e9 }
+
+// ParallelAccessLatency returns the latency of one access to a parallel
+// structure: all switches actuate concurrently, so it equals a single
+// switch's 10 ns switching time (§4.3.2).
+func ParallelAccessLatency() Latency {
+	return Latency(nems.ActuationLatencySeconds)
+}
+
+// OTPRetrievalLatency returns the worst-case latency of retrieving one
+// one-time-pad key (§6.5.2): traversing H switches serially in each of N
+// copies (α·H·N with α = 10 ns), plus shifting keyBits bits out of the one
+// register that is read (20 ns/bit).
+func OTPRetrievalLatency(height, copies, keyBits int) Latency {
+	traverse := nems.ActuationLatencySeconds * float64(height) * float64(copies)
+	readout := memory.ShiftRegisterNsPerBit * 1e-9 * float64(keyBits)
+	return Latency(traverse + readout)
+}

@@ -1,0 +1,126 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestSwitchAreaScalesLinearly(t *testing.T) {
+	if SwitchArea(0) != 0 {
+		t.Error("zero switches should cost zero area")
+	}
+	a1 := SwitchArea(1000)
+	a2 := SwitchArea(2000)
+	if !almostEq(float64(a2), 2*float64(a1), 1e-12) {
+		t.Error("switch area should be linear in count")
+	}
+	// ~101 nm² per switch (100 contact + 1 pitch)
+	if float64(a1) != 1000*101 {
+		t.Errorf("SwitchArea(1000) = %g nm²", float64(a1))
+	}
+}
+
+func TestAreaMm2Conversion(t *testing.T) {
+	a := Area(5.2e11) // nm²
+	if !almostEq(a.Mm2(), 0.52, 1e-12) {
+		t.Errorf("Mm2 = %g", a.Mm2())
+	}
+}
+
+func TestTable1Magnitudes(t *testing.T) {
+	// Table 1: (18.69, 10) without encoding is 0.52 mm² — about 5e9
+	// switches' worth of area. Check the model's order of magnitude.
+	devices := 5_000_000_000
+	got := SwitchArea(devices).Mm2()
+	if got < 0.3 || got < 0 || got > 0.8 {
+		t.Errorf("5e9 switches = %g mm², expected ~0.5 mm²", got)
+	}
+	// (10.51, 16) without encoding is 1.27e-4 mm² ≈ 1.26e6 switches.
+	got = SwitchArea(1_260_000).Mm2()
+	if got < 1e-4 || got > 1.5e-4 {
+		t.Errorf("1.26e6 switches = %g mm², expected ~1.27e-4", got)
+	}
+}
+
+func TestShareStorageArea(t *testing.T) {
+	// proportional to share count and share size
+	a := ShareStorageArea(1000, 128)
+	if float64(a) != 1000*128*50 {
+		t.Errorf("ShareStorageArea = %g", float64(a))
+	}
+}
+
+func TestDecisionTreeAreaFig10(t *testing.T) {
+	// §6.5.1: height-H tree has 2^(H-1) leaves, 100 nm² each, plus
+	// 2^(H-1)·1000H·50 nm² of registers. Fig 10: H=4, N=128 → ~4687 pads
+	// in 1 mm² → ~6e5 trees of H=4 per mm² before the 128x copies.
+	for h := 2; h <= 11; h++ {
+		leaves := float64(int(1) << (h - 1))
+		want := leaves*100 + leaves*float64(1000*h)*50
+		if got := float64(DecisionTreeArea(h, 1000*h)); got != want {
+			t.Errorf("H=%d tree area = %g, want %g", h, got, want)
+		}
+	}
+}
+
+func TestTreesPerChipMonotone(t *testing.T) {
+	prev := math.MaxInt64
+	for h := 2; h <= 11; h++ {
+		n := TreesPerChip(h, 1)
+		if n <= 0 {
+			t.Fatalf("no trees fit at H=%d", h)
+		}
+		if n >= prev {
+			t.Errorf("density should fall with height: H=%d gives %d, H=%d gave %d", h, n, h-1, prev)
+		}
+		prev = n
+	}
+}
+
+func TestTreesPerChipPaperPoints(t *testing.T) {
+	// Fig 10 reports ~2e6 trees at H=3 and ~2e3 at H=11 per mm².
+	if n := TreesPerChip(3, 1); n < 1e6 || n > 3e6 {
+		t.Errorf("H=3 density = %d, paper ~2e6", n)
+	}
+	if n := TreesPerChip(11, 1); n < 1e3 || n > 3e3 {
+		t.Errorf("H=11 density = %d, paper ~2e3", n)
+	}
+	// Fig 10 / §6.5.1: H=4 gives ~6e5 trees; with N=128 copies per pad
+	// that is ~4687 one-time pads.
+	if pads := TreesPerChip(4, 1) / 128; pads < 4000 || pads > 5500 {
+		t.Errorf("H=4 pads = %d, paper says ~4687", pads)
+	}
+}
+
+func TestAccessEnergyPaperPoint(t *testing.T) {
+	// §4.3.2: 141-switch parallel structure → 1.41e-18 J per access.
+	if got := float64(AccessEnergy(141)); !almostEq(got, 1.41e-18, 1e-9) {
+		t.Errorf("AccessEnergy(141) = %g J", got)
+	}
+}
+
+func TestOTPPathEnergyPaperPoint(t *testing.T) {
+	// §6.5.2: N=128, H=4 → 5.12e-18 J worst case.
+	if got := float64(OTPPathEnergy(4, 128)); !almostEq(got, 5.12e-18, 1e-9) {
+		t.Errorf("OTPPathEnergy(4,128) = %g J", got)
+	}
+}
+
+func TestParallelAccessLatency(t *testing.T) {
+	if got := ParallelAccessLatency().Ns(); !almostEq(got, 10, 1e-9) {
+		t.Errorf("parallel access latency = %g ns, want 10", got)
+	}
+}
+
+func TestOTPRetrievalLatencyPaperPoint(t *testing.T) {
+	// §6.5.2: H=4, N=128, 4000-bit key → 0.00512 ms traversal + 0.08 ms
+	// readout = 0.08512 ms.
+	got := OTPRetrievalLatency(4, 128, 4000).Ms()
+	if !almostEq(got, 0.08512, 1e-9) {
+		t.Errorf("OTP retrieval latency = %g ms, want 0.08512", got)
+	}
+}

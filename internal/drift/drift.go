@@ -1,0 +1,118 @@
+// Package drift monitors a manufacturing line for wearout-parameter
+// drift. The security of every architecture in this library rests on the
+// fabricated devices actually following the qualified Weibull model
+// (§7: "device parameters must still fall within a specific range to make
+// system use targets practical"), so a production deployment needs
+// statistical process control on incoming lots: refit (α, β) per lot and
+// alarm when the process has moved enough to invalidate the designed
+// usage window.
+package drift
+
+import (
+	"fmt"
+	"math"
+
+	"lemonade/internal/montecarlo"
+	"lemonade/internal/structure"
+	"lemonade/internal/weibull"
+)
+
+// Monitor tracks lots against a qualified reference model.
+type Monitor struct {
+	// Reference is the qualified process model designs were sized from.
+	Reference weibull.Dist
+	// AlphaTolerance and BetaTolerance are the allowed relative drifts
+	// before a lot alarms (e.g. 0.10 = ±10%).
+	AlphaTolerance float64
+	BetaTolerance  float64
+	// KSAlpha is the significance level of the distribution-shape test
+	// (e.g. 0.01): lots whose lifetimes reject the *fitted* Weibull at
+	// this level alarm as "not Weibull at all".
+	KSAlpha float64
+
+	lots []LotReport
+}
+
+// NewMonitor returns a monitor with the given qualification.
+func NewMonitor(ref weibull.Dist, alphaTol, betaTol, ksAlpha float64) (*Monitor, error) {
+	if err := ref.Validate(); err != nil {
+		return nil, err
+	}
+	if alphaTol <= 0 || betaTol <= 0 {
+		return nil, fmt.Errorf("drift: tolerances must be positive, got %g/%g", alphaTol, betaTol)
+	}
+	if ksAlpha <= 0 || ksAlpha >= 1 {
+		return nil, fmt.Errorf("drift: KSAlpha must be in (0,1), got %g", ksAlpha)
+	}
+	return &Monitor{Reference: ref, AlphaTolerance: alphaTol, BetaTolerance: betaTol, KSAlpha: ksAlpha}, nil
+}
+
+// LotReport is the verdict on one incoming lot.
+type LotReport struct {
+	Fitted     weibull.Dist
+	AlphaDrift float64 // relative drift of α from reference
+	BetaDrift  float64 // relative drift of β from reference
+	KSPValue   float64 // goodness of fit of the lot to its own fitted model
+	Alarm      bool
+	Reason     string
+}
+
+// CheckLot fits the lot's lifetimes and compares against the reference.
+// At least ~200 uncensored lifetimes are recommended for a stable fit.
+func (m *Monitor) CheckLot(lifetimes []float64) (LotReport, error) {
+	fitted, err := weibull.FitLifetimes(lifetimes)
+	if err != nil {
+		return LotReport{}, fmt.Errorf("drift: fitting lot: %w", err)
+	}
+	rep := LotReport{
+		Fitted:     fitted,
+		AlphaDrift: math.Abs(fitted.Alpha-m.Reference.Alpha) / m.Reference.Alpha,
+		BetaDrift:  math.Abs(fitted.Beta-m.Reference.Beta) / m.Reference.Beta,
+	}
+	if _, p, err := montecarlo.KolmogorovSmirnov(lifetimes, fitted.CDF); err == nil {
+		rep.KSPValue = p
+	} else {
+		rep.KSPValue = math.NaN()
+	}
+	switch {
+	case rep.AlphaDrift > m.AlphaTolerance:
+		rep.Alarm = true
+		rep.Reason = fmt.Sprintf("alpha drifted %.1f%% (tolerance %.1f%%)", 100*rep.AlphaDrift, 100*m.AlphaTolerance)
+	case rep.BetaDrift > m.BetaTolerance:
+		rep.Alarm = true
+		rep.Reason = fmt.Sprintf("beta drifted %.1f%% (tolerance %.1f%%)", 100*rep.BetaDrift, 100*m.BetaTolerance)
+	case !math.IsNaN(rep.KSPValue) && rep.KSPValue < m.KSAlpha:
+		rep.Alarm = true
+		rep.Reason = fmt.Sprintf("lifetimes reject Weibull shape (KS p=%.2g)", rep.KSPValue)
+	}
+	m.lots = append(m.lots, rep)
+	return rep, nil
+}
+
+// History returns all checked lots in order.
+func (m *Monitor) History() []LotReport { return m.lots }
+
+// ConsecutiveAlarms returns the current run of alarming lots — the
+// line-stop trigger in SPC practice.
+func (m *Monitor) ConsecutiveAlarms() int {
+	run := 0
+	for i := len(m.lots) - 1; i >= 0; i-- {
+		if !m.lots[i].Alarm {
+			break
+		}
+		run++
+	}
+	return run
+}
+
+// ImpactOnDesign quantifies what a drifted process does to an existing
+// design: the per-copy work probability and overrun probability under the
+// drifted model, for a structure sized with the reference model. A
+// security review fails the lot if the overrun probability exceeds
+// maxOverrun (the attack budget grows) or the work probability falls
+// below minWork (legitimate users suffer).
+func ImpactOnDesign(n, k, targetT int, drifted weibull.Dist, minWork, maxOverrun float64) (workProb, overrunProb float64, acceptable bool) {
+	workProb = structure.ParallelReliability(drifted, n, k, float64(targetT))
+	overrunProb = structure.ParallelReliability(drifted, n, k, float64(targetT+1))
+	return workProb, overrunProb, workProb >= minWork && overrunProb <= maxOverrun
+}

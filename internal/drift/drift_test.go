@@ -1,0 +1,130 @@
+package drift
+
+import (
+	"strings"
+	"testing"
+
+	"lemonade/internal/dse"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+func TestNewMonitorValidation(t *testing.T) {
+	ref := weibull.MustNew(14, 8)
+	if _, err := NewMonitor(ref, 0, 0.1, 0.01); err == nil {
+		t.Error("zero alpha tolerance should error")
+	}
+	if _, err := NewMonitor(ref, 0.1, -1, 0.01); err == nil {
+		t.Error("negative beta tolerance should error")
+	}
+	if _, err := NewMonitor(ref, 0.1, 0.1, 1); err == nil {
+		t.Error("KSAlpha=1 should error")
+	}
+	if _, err := NewMonitor(weibull.Dist{}, 0.1, 0.1, 0.01); err == nil {
+		t.Error("invalid reference should error")
+	}
+}
+
+func TestOnTargetLotsPass(t *testing.T) {
+	ref := weibull.MustNew(14, 8)
+	m, err := NewMonitor(ref, 0.10, 0.20, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for lot := 0; lot < 5; lot++ {
+		rep, err := m.CheckLot(ref.SampleN(r, 2000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Alarm {
+			t.Errorf("on-target lot %d alarmed: %s", lot, rep.Reason)
+		}
+	}
+	if m.ConsecutiveAlarms() != 0 {
+		t.Error("no alarms expected")
+	}
+	if len(m.History()) != 5 {
+		t.Error("history length wrong")
+	}
+}
+
+func TestDriftedAlphaAlarms(t *testing.T) {
+	ref := weibull.MustNew(14, 8)
+	m, _ := NewMonitor(ref, 0.10, 0.20, 0.001)
+	drifted := weibull.MustNew(17, 8) // +21% alpha
+	r := rng.New(2)
+	rep, err := m.CheckLot(drifted.SampleN(r, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alarm || !strings.Contains(rep.Reason, "alpha") {
+		t.Errorf("drifted alpha should alarm: %+v", rep)
+	}
+}
+
+func TestDriftedBetaAlarms(t *testing.T) {
+	ref := weibull.MustNew(14, 8)
+	m, _ := NewMonitor(ref, 0.50, 0.20, 0.001)
+	drifted := weibull.MustNew(14, 5) // -37% beta, inside alpha tolerance
+	r := rng.New(3)
+	rep, err := m.CheckLot(drifted.SampleN(r, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alarm || !strings.Contains(rep.Reason, "beta") {
+		t.Errorf("drifted beta should alarm: %+v", rep)
+	}
+}
+
+func TestConsecutiveAlarmRun(t *testing.T) {
+	ref := weibull.MustNew(14, 8)
+	m, _ := NewMonitor(ref, 0.05, 0.10, 0.001)
+	r := rng.New(4)
+	good := ref.SampleN(r, 1000)
+	bad := weibull.MustNew(20, 8).SampleN(r, 1000)
+	_, _ = m.CheckLot(good)
+	_, _ = m.CheckLot(bad)
+	_, _ = m.CheckLot(bad)
+	if got := m.ConsecutiveAlarms(); got != 2 {
+		t.Errorf("run = %d, want 2", got)
+	}
+	_, _ = m.CheckLot(good)
+	if got := m.ConsecutiveAlarms(); got != 0 {
+		t.Errorf("run after good lot = %d, want 0", got)
+	}
+}
+
+func TestImpactOnDesign(t *testing.T) {
+	// Size a design for the reference, then evaluate drifted lots.
+	ref := weibull.MustNew(14, 8)
+	d, err := dse.Explore(dse.Spec{
+		Dist:        ref,
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         1000,
+		KFrac:       0.10,
+		ContinuousT: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the reference process itself is acceptable
+	w, o, ok := ImpactOnDesign(d.N, d.K, d.T, ref, 0.98, 0.05)
+	if !ok {
+		t.Errorf("reference process unacceptable: work=%g overrun=%g", w, o)
+	}
+	// a longer-lived process blows the security bound (overrun explodes)
+	_, oLong, okLong := ImpactOnDesign(d.N, d.K, d.T, weibull.MustNew(20, 8), 0.98, 0.05)
+	if okLong {
+		t.Errorf("α=20 lot should fail the security review (overrun=%g)", oLong)
+	}
+	if oLong < 0.5 {
+		t.Errorf("longer-lived devices should overrun massively, got %g", oLong)
+	}
+	// a shorter-lived process destroys reliability
+	wShort, _, okShort := ImpactOnDesign(d.N, d.K, d.T, weibull.MustNew(10, 8), 0.98, 0.05)
+	if okShort {
+		t.Errorf("α=10 lot should fail the reliability review (work=%g)", wShort)
+	}
+}

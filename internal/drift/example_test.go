@@ -1,0 +1,30 @@
+package drift_test
+
+import (
+	"fmt"
+
+	"lemonade/internal/drift"
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+// ExampleMonitor_CheckLot qualifies a process and alarms on a drifted lot.
+func ExampleMonitor_CheckLot() {
+	ref := weibull.MustNew(14, 8)
+	mon, err := drift.NewMonitor(ref, 0.10, 0.25, 0.001)
+	if err != nil {
+		panic(err)
+	}
+	r := rng.New(7)
+	good, _ := mon.CheckLot(ref.SampleN(r, 2000))
+	fmt.Println("healthy lot alarms:", good.Alarm)
+
+	drifted := weibull.MustNew(18, 8) // +29% lifetime: devices outlive the design
+	bad, _ := mon.CheckLot(drifted.SampleN(r, 2000))
+	fmt.Println("drifted lot alarms:", bad.Alarm)
+	fmt.Println("consecutive alarms:", mon.ConsecutiveAlarms())
+	// Output:
+	// healthy lot alarms: false
+	// drifted lot alarms: true
+	// consecutive alarms: 1
+}

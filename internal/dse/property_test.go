@@ -1,0 +1,81 @@
+package dse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lemonade/internal/reliability"
+	"lemonade/internal/weibull"
+)
+
+// TestExploredDesignsAlwaysMeetCriteria is the DSE's core contract as a
+// property: whatever parameters it is given, a returned design satisfies
+// its own criteria and covers the LAB.
+func TestExploredDesignsAlwaysMeetCriteria(t *testing.T) {
+	f := func(a, b float64, labSeed uint16, kf uint8, cont bool) bool {
+		alpha := 8 + math.Abs(math.Mod(a, 14)) // 8..22
+		beta := 4 + math.Abs(math.Mod(b, 12))  // 4..16
+		lab := int(labSeed%5000) + 10          // 10..5009
+		kFrac := 0.05 + float64(kf%4)*0.05     // 0.05..0.20
+		spec := Spec{
+			Dist:        weibull.MustNew(alpha, beta),
+			Criteria:    reliability.DefaultCriteria,
+			LAB:         lab,
+			KFrac:       kFrac,
+			ContinuousT: cont,
+		}
+		d, err := Explore(spec)
+		if err != nil {
+			return true // infeasible points are allowed to error
+		}
+		if d.WorkProb < spec.Criteria.MinWork-1e-9 {
+			t.Logf("work prob %g below criteria at %+v", d.WorkProb, spec)
+			return false
+		}
+		if d.OverrunProb > spec.Criteria.MaxOverrun+1e-9 {
+			t.Logf("overrun prob %g above criteria at %+v", d.OverrunProb, spec)
+			return false
+		}
+		if d.GuaranteedMinAccesses() < lab {
+			t.Logf("guarantee %d below LAB %d at %+v", d.GuaranteedMinAccesses(), lab, spec)
+			return false
+		}
+		if d.K != int(math.Ceil(kFrac*float64(d.N))) {
+			t.Logf("k=%d inconsistent with frac %g of n=%d", d.K, kFrac, d.N)
+			return false
+		}
+		if d.TotalDevices != d.N*d.Copies {
+			t.Logf("device accounting broken: %+v", d)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUpperBoundNeverBelowLAB: the design's maximum can overshoot the LAB
+// slightly (the paper's 91,326 vs 91,250) but never undershoot it.
+func TestUpperBoundNeverBelowLAB(t *testing.T) {
+	f := func(a float64, labSeed uint16) bool {
+		alpha := 10 + math.Abs(math.Mod(a, 10))
+		lab := int(labSeed%2000) + 20
+		spec := Spec{
+			Dist:        weibull.MustNew(alpha, 8),
+			Criteria:    reliability.DefaultCriteria,
+			LAB:         lab,
+			KFrac:       0.10,
+			ContinuousT: true,
+		}
+		d, err := Explore(spec)
+		if err != nil {
+			return true
+		}
+		return d.MaxAllowedAccesses() >= lab
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

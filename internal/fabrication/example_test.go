@@ -1,0 +1,33 @@
+package fabrication_test
+
+import (
+	"fmt"
+
+	"lemonade/internal/dse"
+	"lemonade/internal/fabrication"
+	"lemonade/internal/reliability"
+	"lemonade/internal/weibull"
+)
+
+// ExampleSweep answers the paper's third design question for a concrete
+// pricing model: which process consistency minimizes total cost?
+func ExampleSweep() {
+	spec := dse.Spec{
+		Dist:        weibull.MustNew(14, 8),
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         91_250,
+		KFrac:       0.10,
+		ContinuousT: true,
+	}
+	points, err := fabrication.Sweep(spec, fabrication.DefaultCostModel,
+		[]float64{4, 8, 12, 16})
+	if err != nil {
+		panic(err)
+	}
+	opt, ok := fabrication.Optimum(points)
+	fmt.Println("feasible:", ok)
+	fmt.Println("optimal process is interior:", opt.Beta > 4 && opt.Beta < 16)
+	// Output:
+	// feasible: true
+	// optimal process is interior: true
+}

@@ -1,0 +1,131 @@
+// Package fabrication explores the paper's third design question (§1):
+// "How do we balance the fabrication cost of more consistent devices (in
+// terms of wearout) with the area cost of architectural techniques to
+// achieve consistency (eg. redundancy and encoding)?"
+//
+// The paper raises the question and qualitatively answers it through its
+// β sweeps (device count explodes as β falls, so cheap inconsistent
+// devices cost area). This package makes the trade explicit with a
+// parametric fabrication-cost model: process consistency (higher β) costs
+// more per wafer, architectural redundancy costs silicon area. Given both
+// prices, sweep β and report the total-cost-minimizing process point.
+//
+// The fabrication cost model is synthetic (no foundry publishes
+// consistency pricing for NEMS); its shape — superlinear growth in β — is
+// the conservative assumption under which the trade-off is non-trivial in
+// both directions.
+package fabrication
+
+import (
+	"fmt"
+	"math"
+
+	"lemonade/internal/dse"
+	"lemonade/internal/weibull"
+)
+
+// CostModel prices a fabricated architecture.
+type CostModel struct {
+	// BaseDeviceCost is the unit cost of a device at BaseBeta consistency
+	// (arbitrary currency units).
+	BaseDeviceCost float64
+	// BaseBeta is the process consistency included in the base price.
+	BaseBeta float64
+	// ConsistencyExponent controls how fast unit cost grows with β:
+	// unit(β) = BaseDeviceCost · (β/BaseBeta)^ConsistencyExponent for
+	// β > BaseBeta (tightening a process is expensive), flat below.
+	ConsistencyExponent float64
+	// AreaCostPerMm2 prices the silicon the architecture occupies.
+	AreaCostPerMm2 float64
+	// KeyBits sizes the share storage in the area model.
+	KeyBits int
+}
+
+// DefaultCostModel is a reasonable synthetic operating point: consistency
+// is costly (quadratic in β) and silicon is cheap but not free. Under this
+// pricing the optimum sits at an interior β — inconsistent processes pay
+// in redundancy area, ultra-consistent ones in unit cost.
+var DefaultCostModel = CostModel{
+	BaseDeviceCost:      1e-6,
+	BaseBeta:            4,
+	ConsistencyExponent: 2.2,
+	AreaCostPerMm2:      5_000,
+	KeyBits:             256,
+}
+
+// Validate checks the model.
+func (m CostModel) Validate() error {
+	if m.BaseDeviceCost <= 0 || m.BaseBeta <= 0 || m.AreaCostPerMm2 < 0 {
+		return fmt.Errorf("fabrication: non-positive cost parameters: %+v", m)
+	}
+	if m.ConsistencyExponent < 0 {
+		return fmt.Errorf("fabrication: negative consistency exponent")
+	}
+	if m.KeyBits < 8 {
+		return fmt.Errorf("fabrication: KeyBits must be >= 8")
+	}
+	return nil
+}
+
+// UnitCost returns the per-device cost at process consistency beta.
+func (m CostModel) UnitCost(beta float64) float64 {
+	if beta <= m.BaseBeta {
+		return m.BaseDeviceCost
+	}
+	return m.BaseDeviceCost * math.Pow(beta/m.BaseBeta, m.ConsistencyExponent)
+}
+
+// Point is one evaluated process choice.
+type Point struct {
+	Beta         float64
+	Design       dse.Design
+	Feasible     bool
+	DeviceCost   float64 // devices × unit cost
+	AreaCost     float64 // silicon
+	TotalCost    float64
+	TotalDevices int
+}
+
+// Sweep evaluates the design problem across process-consistency choices.
+// The spec's Dist.Beta is overridden by each sweep value; Dist.Alpha is
+// kept (the paper treats α as a lifetime target orthogonal to process
+// consistency).
+func Sweep(spec dse.Spec, model CostModel, betas []float64) ([]Point, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Point, 0, len(betas))
+	for _, beta := range betas {
+		s := spec
+		s.Dist = weibull.Dist{Alpha: spec.Dist.Alpha, Beta: beta}
+		p := Point{Beta: beta}
+		d, err := dse.Explore(s)
+		if err == nil {
+			p.Feasible = true
+			p.Design = d
+			p.TotalDevices = d.TotalDevices
+			p.DeviceCost = float64(d.TotalDevices) * model.UnitCost(beta)
+			p.AreaCost = d.Area(model.KeyBits).Mm2() * model.AreaCostPerMm2
+			p.TotalCost = p.DeviceCost + p.AreaCost
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Optimum returns the feasible point with minimum total cost, or false if
+// none is feasible.
+func Optimum(points []Point) (Point, bool) {
+	best := Point{}
+	found := false
+	for _, p := range points {
+		if !p.Feasible {
+			continue
+		}
+		if !found || p.TotalCost < best.TotalCost {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}

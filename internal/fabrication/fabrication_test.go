@@ -1,0 +1,133 @@
+package fabrication
+
+import (
+	"testing"
+
+	"lemonade/internal/dse"
+	"lemonade/internal/reliability"
+	"lemonade/internal/weibull"
+)
+
+func connSpec() dse.Spec {
+	return dse.Spec{
+		Dist:        weibull.MustNew(14, 8),
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         91_250,
+		KFrac:       0.10,
+		ContinuousT: true,
+	}
+}
+
+func TestUnitCostShape(t *testing.T) {
+	m := DefaultCostModel
+	if m.UnitCost(2) != m.BaseDeviceCost {
+		t.Error("below base beta, unit cost should be flat")
+	}
+	if m.UnitCost(4) != m.BaseDeviceCost {
+		t.Error("at base beta, unit cost should equal base")
+	}
+	if !(m.UnitCost(8) > m.UnitCost(6) && m.UnitCost(6) > m.UnitCost(4)) {
+		t.Error("unit cost should grow with consistency")
+	}
+	// power-law exponent: doubling beta costs 2^2.2 ≈ 4.6x
+	if got, want := m.UnitCost(8)/m.UnitCost(4), 4.59; got < want*0.99 || got > want*1.01 {
+		t.Errorf("power-law scaling broken: %g", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultCostModel.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultCostModel
+	bad.BaseDeviceCost = 0
+	if bad.Validate() == nil {
+		t.Error("zero device cost should be invalid")
+	}
+	bad = DefaultCostModel
+	bad.KeyBits = 4
+	if bad.Validate() == nil {
+		t.Error("tiny KeyBits should be invalid")
+	}
+	bad = DefaultCostModel
+	bad.ConsistencyExponent = -1
+	if bad.Validate() == nil {
+		t.Error("negative exponent should be invalid")
+	}
+}
+
+func TestSweepTradeoff(t *testing.T) {
+	betas := []float64{4, 6, 8, 10, 12, 14, 16}
+	points, err := Sweep(connSpec(), DefaultCostModel, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(betas) {
+		t.Fatalf("got %d points", len(points))
+	}
+	// device count must fall as beta rises (the paper's consistency story)
+	var prevDevices int = 1 << 60
+	for _, p := range points {
+		if !p.Feasible {
+			t.Fatalf("β=%g infeasible with encoding", p.Beta)
+		}
+		if p.TotalDevices > prevDevices {
+			t.Errorf("β=%g needs more devices (%d) than a less consistent process (%d)",
+				p.Beta, p.TotalDevices, prevDevices)
+		}
+		prevDevices = p.TotalDevices
+		if p.TotalCost <= 0 || p.DeviceCost <= 0 {
+			t.Errorf("β=%g: non-positive costs %+v", p.Beta, p)
+		}
+	}
+	// under the default model the optimum is interior: neither the
+	// cheapest process (huge device count) nor the most consistent one
+	// (very expensive devices) wins.
+	opt, ok := Optimum(points)
+	if !ok {
+		t.Fatal("no feasible optimum")
+	}
+	if opt.Beta == betas[0] || opt.Beta == betas[len(betas)-1] {
+		t.Errorf("optimum at boundary β=%g — trade-off degenerate", opt.Beta)
+	}
+	t.Logf("optimum at β=%g: %d devices, total cost %.4f", opt.Beta, opt.TotalDevices, opt.TotalCost)
+}
+
+func TestOptimumEmpty(t *testing.T) {
+	if _, ok := Optimum([]Point{{Feasible: false}}); ok {
+		t.Error("no feasible points should yield no optimum")
+	}
+}
+
+func TestSweepRejectsBadModel(t *testing.T) {
+	bad := DefaultCostModel
+	bad.BaseBeta = 0
+	if _, err := Sweep(connSpec(), bad, []float64{8}); err == nil {
+		t.Error("invalid model should be rejected")
+	}
+}
+
+func TestExtremePricingMovesOptimum(t *testing.T) {
+	betas := []float64{4, 8, 12, 16}
+	// silicon nearly free, consistency very expensive → low-β process wins
+	cheapArea := DefaultCostModel
+	cheapArea.AreaCostPerMm2 = 0
+	cheapArea.ConsistencyExponent = 6
+	pts, err := Sweep(connSpec(), cheapArea, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optA, _ := Optimum(pts)
+	// consistency free → high-β process wins (fewer devices, less area)
+	freeConsistency := DefaultCostModel
+	freeConsistency.ConsistencyExponent = 0
+	pts, err = Sweep(connSpec(), freeConsistency, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optB, _ := Optimum(pts)
+	if !(optA.Beta < optB.Beta) {
+		t.Errorf("pricing should move the optimum: expensive-consistency β=%g, free-consistency β=%g",
+			optA.Beta, optB.Beta)
+	}
+}

@@ -1,0 +1,49 @@
+package figures
+
+import "testing"
+
+// TestPaperComparisonAllWithinTolerance is the reproduction's regression
+// guard: every headline quantity must stay within its tolerance band of
+// the paper's published value.
+func TestPaperComparisonAllWithinTolerance(t *testing.T) {
+	rows := PaperComparison()
+	if len(rows) < 14 {
+		t.Fatalf("expected at least 14 comparison rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Within() {
+			t.Errorf("%s / %s: measured %.4g vs paper %.4g (ratio %.3f, tol 10^±%.2f)",
+				r.Exhibit, r.Quantity, r.Measured, r.Paper, r.Ratio(), r.Tolerance)
+		}
+	}
+}
+
+func TestComparisonRowHelpers(t *testing.T) {
+	exact := ComparisonRow{Paper: 10, Measured: 10, Tolerance: 0}
+	if !exact.Within() || exact.Ratio() != 1 {
+		t.Error("exact row should pass")
+	}
+	off := ComparisonRow{Paper: 10, Measured: 25, Tolerance: 0.3}
+	if off.Within() {
+		t.Error("2.5x should exceed a 2x band")
+	}
+	in := ComparisonRow{Paper: 10, Measured: 18, Tolerance: 0.3}
+	if !in.Within() {
+		t.Error("1.8x should pass a 2x band")
+	}
+	neg := ComparisonRow{Paper: 10, Measured: -1, Tolerance: 1}
+	if neg.Within() {
+		t.Error("negative measured should fail")
+	}
+	zeroBoth := ComparisonRow{Paper: 0, Measured: 0, Tolerance: 0}
+	if !zeroBoth.Within() {
+		t.Error("0 vs 0 should pass")
+	}
+	tab := PaperComparisonTable()
+	if len(tab.Rows) != len(PaperComparison()) {
+		t.Error("table should mirror the rows")
+	}
+	if tab.Render() == "" || tab.CSV() == "" {
+		t.Error("renderings empty")
+	}
+}

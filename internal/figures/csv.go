@@ -1,0 +1,54 @@
+package figures
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+)
+
+// CSV renders the figure as CSV: one row per (series, x, y) triple, with a
+// header. Safe for spreadsheet import and the usual plotting tools.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{"figure", "series", f.XLabel, f.YLabel})
+	for _, s := range f.Series {
+		for i := range s.X {
+			_ = w.Write([]string{
+				f.ID,
+				s.Name,
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
+			})
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// CSV renders the table as CSV.
+func (t Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(append([]string{"table"}, t.Header...))
+	for _, row := range t.Rows {
+		_ = w.Write(append([]string{t.ID}, row...))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Slug returns a filesystem-friendly name for the exhibit ID
+// ("Fig 4a" → "fig-4a").
+func Slug(id string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(id) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case b.Len() > 0 && !strings.HasSuffix(b.String(), "-"):
+			b.WriteByte('-')
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}

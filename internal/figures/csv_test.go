@@ -1,0 +1,88 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureCSV(t *testing.T) {
+	f := Figure{
+		ID: "Fig X", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: `has,comma "and quotes"`, X: []float64{1, 2}, Y: []float64{3.5, 4.25}}},
+	}
+	out := f.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "figure,series,x,y") {
+		t.Errorf("header: %q", lines[0])
+	}
+	// the comma-containing series name must be quoted, not split
+	if !strings.Contains(lines[1], `"has,comma ""and quotes"""`) {
+		t.Errorf("CSV escaping broken: %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], "2,4.25") {
+		t.Errorf("row 2: %q", lines[2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{ID: "Table X", Header: []string{"a", "b"}, Rows: [][]string{{"1", "two,three"}}}
+	out := tab.CSV()
+	if !strings.Contains(out, `"two,three"`) {
+		t.Errorf("table CSV escaping broken: %q", out)
+	}
+	if !strings.HasPrefix(out, "table,a,b") {
+		t.Errorf("table header: %q", out)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Fig 4a":       "fig-4a",
+		"Table 1":      "table-1",
+		"§6.5.2":       "6-5-2",
+		"Ablation A1":  "ablation-a1",
+		"Extension E1": "extension-e1",
+	}
+	for in, want := range cases {
+		if got := Slug(in); got != want {
+			t.Errorf("Slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPlot(t *testing.T) {
+	f := Figure{
+		ID: "Fig T", Title: "test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{1, 2, 3, 4}},
+			{Name: "steep", X: []float64{0, 1, 2, 3}, Y: []float64{1, 10, 100, 10000}},
+		},
+	}
+	out := f.Plot(40, 10)
+	if !strings.Contains(out, "(log y)") {
+		t.Error("4-decade spread should trigger log scale")
+	}
+	if !strings.Contains(out, "linear") || !strings.Contains(out, "steep") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("marks missing")
+	}
+	// small linear figure: no log scale
+	lin := Figure{ID: "L", Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{1, 2}}}}
+	if strings.Contains(lin.Plot(30, 6), "(log y)") {
+		t.Error("small spread should stay linear")
+	}
+	// degenerate cases must not panic
+	empty := Figure{ID: "E"}
+	if !strings.Contains(empty.Plot(30, 6), "no data") {
+		t.Error("empty figure should say so")
+	}
+	flat := Figure{ID: "F", Series: []Series{{Name: "s", X: []float64{1, 1}, Y: []float64{5, 5}}}}
+	if flat.Plot(3, 2) == "" {
+		t.Error("flat/min-size plot should render")
+	}
+}

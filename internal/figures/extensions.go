@@ -1,0 +1,265 @@
+package figures
+
+// Extension experiments beyond the paper's published exhibits: ablations
+// of design choices the paper makes implicitly (continuous-time targets,
+// the k-fraction, module replication, the series-chain rejection) and the
+// fabrication-cost trade-off its introduction raises but never quantifies.
+
+import (
+	"fmt"
+	"time"
+
+	"lemonade/internal/attack"
+	"lemonade/internal/baselines"
+	"lemonade/internal/connection"
+	"lemonade/internal/dse"
+	"lemonade/internal/fabrication"
+	"lemonade/internal/password"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/structure"
+	"lemonade/internal/weibull"
+)
+
+// AblationContinuousT compares the paper's continuous-time per-copy
+// targets with physically-integer targets: integer quantization can cost
+// an order of magnitude when a k-fraction lands near an integer access
+// boundary.
+func AblationContinuousT() Table {
+	t := Table{
+		ID:     "Ablation A1",
+		Title:  "Continuous vs integer per-copy targets (connection, k=10%·n)",
+		Header: []string{"(α, β)", "integer-T devices", "continuous-T devices", "ratio"},
+	}
+	for _, p := range []struct{ alpha, beta float64 }{
+		{12, 8}, {14, 8}, {16, 8}, {20, 8}, {14, 12},
+	} {
+		intSpec := connectionSpec(p.alpha, p.beta, 0.10, reliability.DefaultCriteria)
+		intSpec.ContinuousT = false
+		contSpec := connectionSpec(p.alpha, p.beta, 0.10, reliability.DefaultCriteria)
+		intCell, contCell, ratio := "infeasible", "infeasible", "-"
+		di, errI := dse.Explore(intSpec)
+		dc, errC := dse.Explore(contSpec)
+		if errI == nil {
+			intCell = fmt.Sprintf("%d", di.TotalDevices)
+		}
+		if errC == nil {
+			contCell = fmt.Sprintf("%d", dc.TotalDevices)
+		}
+		if errI == nil && errC == nil {
+			ratio = fmt.Sprintf("%.2f", float64(di.TotalDevices)/float64(dc.TotalDevices))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("(%g, %g)", p.alpha, p.beta), intCell, contCell, ratio,
+		})
+	}
+	t.Notes = "integer targets are physically exact but quantize the design space; the paper's smooth curves imply continuous targets"
+	return t
+}
+
+// AblationKFraction sweeps the encoding threshold fraction at α=14, β=8,
+// extending the paper's {10, 20, 30}% to a full curve.
+func AblationKFraction() Figure {
+	f := Figure{
+		ID:     "Ablation A2",
+		Title:  "Encoding threshold fraction sweep (connection, α=14, β=8)",
+		XLabel: "k/n",
+		YLabel: "total NEMS switches",
+	}
+	s := Series{Name: "total devices"}
+	for _, kf := range []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50, 0.60} {
+		d, err := dse.Explore(connectionSpec(14, 8, kf, reliability.DefaultCriteria))
+		if err != nil {
+			continue
+		}
+		s.X = append(s.X, kf)
+		s.Y = append(s.Y, float64(d.TotalDevices))
+	}
+	f.Series = []Series{s}
+	f.Notes = "§4.3.2: gains flatten beyond k=20–30%; very high fractions stretch the window again"
+	return f
+}
+
+// AblationReplication tabulates §4.1.5's M-way replication planning for a
+// range of daily-usage requirements.
+func AblationReplication() Table {
+	t := Table{
+		ID:     "Ablation A3",
+		Title:  "M-way replication plans (5-year lifetime, α=14, β=8 module)",
+		Header: []string{"daily usage", "modules M", "migrate every", "total devices"},
+	}
+	design, err := dse.Explore(connectionSpec(14, 8, 0.10, reliability.DefaultCriteria))
+	if err != nil {
+		t.Rows = append(t.Rows, []string{"error", err.Error(), "", ""})
+		return t
+	}
+	fiveYears := 5 * 365 * 24 * time.Hour
+	for _, daily := range []int{50, 100, 250, 500, 1000} {
+		plan, err := connection.PlanMWay(design, daily, fiveYears)
+		if err != nil {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", daily),
+			fmt.Sprintf("%d", plan.Modules),
+			fmt.Sprintf("%.1f months", plan.MigrateEvery.Hours()/24/30),
+			fmt.Sprintf("%d", plan.TotalDevices),
+		})
+	}
+	t.Notes = "paper's example: 500/day needs M=10 with a re-encryption every 6 months"
+	return t
+}
+
+// SeriesRejection quantifies §4.1.2's rejection of series chains: the
+// number of chained devices needed to scale the effective α down by 2x
+// explodes as y^β.
+func SeriesRejection() Table {
+	t := Table{
+		ID:     "Ablation A4",
+		Title:  "Series-chain blowup: devices to halve effective α (Eq 5)",
+		Header: []string{"β", "devices for α/2", "devices for α/4"},
+	}
+	for _, beta := range []float64{4, 8, 12, 16} {
+		d := weibull.MustNew(20, beta)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", beta),
+			fmt.Sprintf("%.0f", structure.SeriesDevicesForAlphaScale(d, 2)),
+			fmt.Sprintf("%.0f", structure.SeriesDevicesForAlphaScale(d, 4)),
+		})
+	}
+	t.Notes = "β=12 needs 4096 chained devices per halving — the explosion that makes the paper discard Fig 2b"
+	return t
+}
+
+// FabricationTradeoff quantifies the intro's third question: process
+// consistency (β) vs architectural redundancy, under the synthetic cost
+// model of internal/fabrication.
+func FabricationTradeoff() Table {
+	t := Table{
+		ID:     "Extension E1",
+		Title:  "Fabrication vs architecture cost (connection, k=10%·n, synthetic pricing)",
+		Header: []string{"β", "total devices", "device cost", "area cost", "total"},
+	}
+	spec := connectionSpec(14, 8, 0.10, reliability.DefaultCriteria)
+	points, err := fabrication.Sweep(spec, fabrication.DefaultCostModel, []float64{4, 6, 8, 10, 12, 14, 16})
+	if err != nil {
+		t.Rows = append(t.Rows, []string{"error", err.Error(), "", "", ""})
+		return t
+	}
+	for _, p := range points {
+		if !p.Feasible {
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%g", p.Beta), "infeasible", "", "", ""})
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", p.Beta),
+			fmt.Sprintf("%d", p.TotalDevices),
+			fmt.Sprintf("%.3f", p.DeviceCost),
+			fmt.Sprintf("%.3f", p.AreaCost),
+			fmt.Sprintf("%.3f", p.TotalCost),
+		})
+	}
+	if opt, ok := fabrication.Optimum(points); ok {
+		t.Notes = fmt.Sprintf("cost-optimal process: β=%g (%d devices, total %.3f)",
+			opt.Beta, opt.TotalDevices, opt.TotalCost)
+	}
+	return t
+}
+
+// InvasiveAttack quantifies the §4.2 "buried key" argument: delayering
+// success probability vs burial depth for the paper's 141-switch
+// structure, across per-layer share-survival assumptions.
+func InvasiveAttack() Figure {
+	f := Figure{
+		ID:     "Extension E2",
+		Title:  "Invasive (delayering) attack vs burial depth (n=141, k=15)",
+		XLabel: "share burial depth (layers)",
+		YLabel: "P(adversary recovers secret)",
+	}
+	for _, surv := range []float64{0.9, 0.8, 0.7, 0.5} {
+		s := Series{Name: fmt.Sprintf("per-layer survival %.0f%%", surv*100)}
+		for depth := 0; depth <= 16; depth++ {
+			layout := attack.ChipLayout{Layers: 17, ShareDepth: depth, SurvivalPerLayer: surv}
+			p, err := attack.DelayeringSuccess(layout, 141, 15)
+			if err != nil {
+				continue
+			}
+			s.X = append(s.X, float64(depth))
+			s.Y = append(s.Y, p)
+		}
+		f.Series = append(f.Series, s)
+	}
+	f.Notes = fmt.Sprintf("minimum depth for <1e-6 at 70%% survival: %d layers",
+		attack.MinDepthFor(1e-6, 0.7, 141, 15, 30))
+	return f
+}
+
+// DefenseComparison executes the §8 related-work taxonomy: each defense
+// mechanism is run against the attack that defines its weakness, and the
+// observed outcome fills the table. "attempt budget" is what a patient
+// attacker with physical access ultimately gets.
+func DefenseComparison() Table {
+	t := Table{
+		ID:     "Extension E3",
+		Title:  "Defense mechanisms vs a patient physical attacker (executed, not asserted)",
+		Header: []string{"mechanism", "bound type", "needs trigger", "observed attempt budget"},
+	}
+	r := rng.New(8383)
+
+	// 1. Software retry counter, bypassed by NAND mirroring.
+	soft := attack.NewSoftwareCounterDevice(password.PasswordString(1<<30), 10)
+	_, softGuesses := attack.MirrorBruteForce(soft, 50_000)
+	t.Rows = append(t.Rows, []string{
+		"software counter (iOS-style)", "attempts (bypassable)", "no",
+		fmt.Sprintf("unbounded (mirroring reached %d and counting)", softGuesses),
+	})
+
+	// 2. TARDIS-style decay throttle: patient attacker waits out cooldowns.
+	tardis := baselines.NewTARDIS(4096, time.Hour, 30*time.Minute, r.Derive("tardis"))
+	attempts := 0
+	for i := 0; i < 200; i++ {
+		tardis.Advance(time.Hour)
+		if tardis.Attempt() {
+			attempts++
+		}
+	}
+	t.Rows = append(t.Rows, []string{
+		"SRAM-decay throttle (TARDIS)", "rate per time", "no",
+		fmt.Sprintf("unbounded (%d attempts in %d simulated hours)", attempts, 200),
+	})
+
+	// 3. Remotely triggered self-destruction with a blocked channel.
+	chip := baselines.NewSelfDestructChip([]byte("secret"))
+	chip.BlockChannel()
+	chip.Trigger()
+	reads := 0
+	for i := 0; i < 10_000; i++ {
+		if _, err := chip.Read(); err == nil {
+			reads++
+		}
+	}
+	t.Rows = append(t.Rows, []string{
+		"triggered self-destruct chip", "none without trigger", "YES",
+		fmt.Sprintf("unbounded (%d reads with the trigger channel blocked)", reads),
+	})
+
+	// 4. Wearout architecture: drive it to death.
+	design, err := dse.Explore(dse.Spec{
+		Dist:        weibull.MustNew(12, 8),
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         100,
+		KFrac:       0.10,
+		ContinuousT: true,
+	})
+	if err == nil {
+		if dep, err := attack.Depletion(design, r.Derive("wearout")); err == nil {
+			t.Rows = append(t.Rows, []string{
+				"wearout architecture (this paper)", "total attempts", "no",
+				fmt.Sprintf("bounded: locked after %d attempts (designed ≤%d)",
+					dep.AttemptsToLock, design.MaxAllowedAccesses()+2*design.Copies),
+			})
+		}
+	}
+	t.Notes = "PUFs are omitted from the budget column: their gap is unshareability (two chips cannot hold the same pad), executed in the baselines tests"
+	return t
+}

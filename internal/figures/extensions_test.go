@@ -1,0 +1,177 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationContinuousT(t *testing.T) {
+	tab := AblationContinuousT()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// continuous targets should never be worse; at least one point should
+	// show a material integer-quantization penalty (>1.5x)
+	sawPenalty := false
+	for _, row := range tab.Rows {
+		if row[3] == "-" {
+			continue
+		}
+		var ratio float64
+		if _, err := sscan(row[3], &ratio); err != nil {
+			t.Fatal(err)
+		}
+		if ratio < 0.99 {
+			t.Errorf("continuous-T worse than integer-T at %s: ratio %g", row[0], ratio)
+		}
+		if ratio > 1.5 {
+			sawPenalty = true
+		}
+	}
+	if !sawPenalty {
+		t.Error("expected at least one point with a material quantization penalty")
+	}
+}
+
+func TestAblationKFraction(t *testing.T) {
+	f := AblationKFraction()
+	s := f.Series[0]
+	if len(s.X) < 6 {
+		t.Fatalf("too few feasible k-fractions: %d", len(s.X))
+	}
+	// the curve flattens: moving 10% → 30% changes far less than 2% → 10%
+	y := func(x float64) float64 {
+		for i := range s.X {
+			if s.X[i] == x {
+				return s.Y[i]
+			}
+		}
+		return -1
+	}
+	if y(0.02) > 0 && y(0.10) > 0 && y(0.30) > 0 {
+		early := y(0.02) / y(0.10)
+		late := y(0.10) / y(0.30)
+		if late > early {
+			t.Errorf("returns should diminish: 2→10%% gain %.2fx, 10→30%% gain %.2fx", early, late)
+		}
+	}
+}
+
+func TestAblationReplication(t *testing.T) {
+	tab := AblationReplication()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	// 500/day must be the paper's M=10
+	for _, row := range tab.Rows {
+		if row[0] == "500" && row[1] != "10" {
+			t.Errorf("500/day plan has M=%s, paper says 10", row[1])
+		}
+	}
+	// M grows with usage
+	prev := 0.0
+	for _, row := range tab.Rows {
+		var m float64
+		if _, err := sscan(row[1], &m); err != nil {
+			t.Fatal(err)
+		}
+		if m < prev {
+			t.Error("M should grow with daily usage")
+		}
+		prev = m
+	}
+}
+
+func TestSeriesRejection(t *testing.T) {
+	tab := SeriesRejection()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// β=12 halving needs 4096 devices (2^12)
+	for _, row := range tab.Rows {
+		if row[0] == "12" && row[1] != "4096" {
+			t.Errorf("β=12 halving = %s, want 4096", row[1])
+		}
+	}
+}
+
+func TestFabricationTradeoff(t *testing.T) {
+	tab := FabricationTradeoff()
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Notes, "cost-optimal process") {
+		t.Errorf("missing optimum note: %q", tab.Notes)
+	}
+	// device counts fall with β throughout
+	prev := 1e18
+	for _, row := range tab.Rows {
+		var dev float64
+		if _, err := sscan(row[1], &dev); err != nil {
+			t.Fatal(err)
+		}
+		if dev > prev {
+			t.Errorf("device count rose with β at row %v", row)
+		}
+		prev = dev
+	}
+}
+
+func TestInvasiveAttack(t *testing.T) {
+	f := InvasiveAttack()
+	if len(f.Series) != 4 {
+		t.Fatalf("series: %d", len(f.Series))
+	}
+	for _, s := range f.Series {
+		// monotone decreasing in depth, starting at 1 (surface = exposed)
+		if s.Y[0] != 1 {
+			t.Errorf("%s: surface probability should be 1, got %g", s.Name, s.Y[0])
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+1e-12 {
+				t.Fatalf("%s: probability rose with depth", s.Name)
+			}
+		}
+	}
+	// fragile layers (50%) must kill the attack far shallower than robust
+	// ones (90%)
+	depthTo := func(si int) int {
+		for i, y := range f.Series[si].Y {
+			if y < 1e-6 {
+				return i
+			}
+		}
+		return 1 << 30
+	}
+	if depthTo(3) >= depthTo(0) {
+		t.Error("fragile layers should need shallower burial than robust ones")
+	}
+	if !strings.Contains(f.Notes, "minimum depth") {
+		t.Errorf("notes: %q", f.Notes)
+	}
+}
+
+func TestDefenseComparison(t *testing.T) {
+	tab := DefenseComparison()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 mechanisms, got %d", len(tab.Rows))
+	}
+	// the first three mechanisms must read "unbounded"; the wearout row
+	// must read "bounded"
+	for i, row := range tab.Rows[:3] {
+		if !strings.Contains(row[3], "unbounded") {
+			t.Errorf("row %d (%s) should be unbounded: %q", i, row[0], row[3])
+		}
+	}
+	last := tab.Rows[3]
+	if !strings.Contains(last[0], "wearout") || !strings.Contains(last[3], "bounded:") {
+		t.Errorf("wearout row wrong: %v", last)
+	}
+	// only the triggered chip needs a trigger
+	for i, row := range tab.Rows {
+		wantTrigger := i == 2
+		if (row[2] == "YES") != wantTrigger {
+			t.Errorf("trigger column wrong at row %d: %v", i, row)
+		}
+	}
+}

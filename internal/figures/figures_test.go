@@ -1,0 +1,372 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFigure1Shapes(t *testing.T) {
+	f := Figure1()
+	if len(f.Series) != 6 {
+		t.Fatalf("expected 6 series (pdf+rel × 3 betas), got %d", len(f.Series))
+	}
+	// reliability curves start at 1 and end near 0
+	for _, s := range f.Series {
+		if !strings.HasPrefix(s.Name, "Reliability") {
+			continue
+		}
+		if s.Y[0] != 1 {
+			t.Errorf("%s should start at 1, got %g", s.Name, s.Y[0])
+		}
+		if s.Y[len(s.Y)-1] > 0.4 {
+			t.Errorf("%s should have decayed by 2e6 cycles, got %g", s.Name, s.Y[len(s.Y)-1])
+		}
+	}
+	if f.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFigure3aWindow(t *testing.T) {
+	f := Figure3a()
+	// the note records R(1)≈1, R(2)≈0
+	if !strings.Contains(f.Notes, "R(1)=0.99") && !strings.Contains(f.Notes, "R(1)=1.00") {
+		t.Errorf("unexpected note: %s", f.Notes)
+	}
+}
+
+func TestFigure3bMonotoneInN(t *testing.T) {
+	f := Figure3b()
+	if len(f.Series) != 4 {
+		t.Fatalf("expected 4 series, got %d", len(f.Series))
+	}
+	// at every x, more devices → higher reliability
+	for i := range f.Series[0].X {
+		for j := 1; j < len(f.Series); j++ {
+			if f.Series[j].Y[i]+1e-12 < f.Series[j-1].Y[i] {
+				t.Fatalf("series %d below series %d at x=%g", j, j-1, f.Series[0].X[i])
+			}
+		}
+	}
+}
+
+func TestFigure3cOrdering(t *testing.T) {
+	f := Figure3c()
+	if len(f.Series) != 5 {
+		t.Fatalf("expected 5 series, got %d", len(f.Series))
+	}
+	// higher k → lower reliability at every x
+	for i := range f.Series[0].X {
+		for j := 1; j < len(f.Series); j++ {
+			if f.Series[j].Y[i] > f.Series[j-1].Y[i]+1e-12 {
+				t.Fatalf("k ordering violated at x=%g", f.Series[0].X[i])
+			}
+		}
+	}
+}
+
+func TestFigure4aExponentialInAlpha(t *testing.T) {
+	f := Figure4a()
+	if len(f.Series) == 0 {
+		t.Fatal("no series")
+	}
+	for _, s := range f.Series {
+		if len(s.X) < 5 {
+			t.Errorf("series %s mostly infeasible (%d points)", s.Name, len(s.X))
+			continue
+		}
+		// exponential sensitivity: low-β curves explode (>100x over the
+		// sweep); even the most consistent devices (β=16) grow >20x
+		want := 100.0
+		if strings.Contains(s.Name, "β=14") || strings.Contains(s.Name, "β=16") {
+			want = 20
+		}
+		if s.Y[len(s.Y)-1] < want*s.Y[0] {
+			t.Errorf("series %s should grow >%.0fx over the α sweep, got %.3g→%.3g",
+				s.Name, want, s.Y[0], s.Y[len(s.Y)-1])
+		}
+	}
+	// larger β needs fewer devices at matching α
+	b8, b16 := f.Series[0], f.Series[4]
+	if b8.Y[0] < b16.Y[0] {
+		t.Error("β=8 should cost at least as much as β=16")
+	}
+}
+
+func TestFigure4bLinearInAlpha(t *testing.T) {
+	f := Figure4b()
+	for _, s := range f.Series {
+		if len(s.X) < 5 {
+			t.Errorf("series %s mostly infeasible", s.Name)
+			continue
+		}
+		growth := s.Y[len(s.Y)-1] / s.Y[0]
+		if growth > 30 {
+			t.Errorf("series %s grew %.0fx — should be roughly linear in α", s.Name, growth)
+		}
+	}
+}
+
+func TestFigure4bVsFigure4aHeadline(t *testing.T) {
+	h := HeadlineReduction()
+	if len(h.Rows) != 3 {
+		t.Fatalf("headline rows: %v", h.Rows)
+	}
+	var orders float64
+	if _, err := sscan(h.Rows[2][1], &orders); err != nil {
+		t.Fatalf("cannot parse reduction %q", h.Rows[2][1])
+	}
+	// paper: 4e9 → 0.8e6, i.e. 5000x = 3.7 orders, rounded to "4 orders"
+	if orders < 3.5 {
+		t.Errorf("headline reduction = %.1f orders, paper says ~4", orders)
+	}
+	var noEnc, enc float64
+	if _, err := sscan(h.Rows[0][1], &noEnc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(h.Rows[1][1], &enc); err != nil {
+		t.Fatal(err)
+	}
+	if noEnc < 1e9 || noEnc > 2e10 {
+		t.Errorf("no-encoding total = %g, paper says ~4e9", noEnc)
+	}
+	if enc < 4e5 || enc > 2e6 {
+		t.Errorf("encoded total = %g, paper says ~8e5", enc)
+	}
+}
+
+// sscan parses the leading numeric token of a cell.
+func sscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+// fmtSscanf parses the leading token of a cell into v (the third argument
+// exists only for call-site symmetry and is ignored).
+func fmtSscanf(s string, v interface{}, _ interface{}) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+func TestFigure4cRelaxationMonotone(t *testing.T) {
+	f, tab := Figure4c()
+	if len(f.Series) != 6 {
+		t.Fatalf("expected 6 series, got %d", len(f.Series))
+	}
+	// at α=14 (x index), device counts should not increase as p relaxes
+	if len(tab.Rows) < 2 {
+		t.Fatal("bounds table empty")
+	}
+	var prevDevices, prevMean float64 = math.Inf(1), 0
+	for _, row := range tab.Rows {
+		var dev, mean float64
+		if _, err := fmtSscanf(row[1], &dev, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscanf(row[2], &mean, nil); err != nil {
+			t.Fatal(err)
+		}
+		if dev > prevDevices {
+			t.Errorf("device count rose when relaxing p: %v", row)
+		}
+		if mean < prevMean {
+			t.Errorf("expected accesses fell when relaxing p: %v", row)
+		}
+		prevDevices, prevMean = dev, mean
+	}
+	// paper: expected accesses stay just above the LAB
+	var firstMean float64
+	if _, err := fmtSscanf(tab.Rows[0][2], &firstMean, nil); err != nil {
+		t.Fatal(err)
+	}
+	// the expected total sits within ~1% of the LAB (copies deliver their
+	// targets with 99% probability each, so the mean dips slightly below)
+	if firstMean < float64(ConnectionLAB)*0.99 || firstMean > float64(ConnectionLAB)*1.02 {
+		t.Errorf("expected accesses %g should be within ~1%% of LAB %d", firstMean, ConnectionLAB)
+	}
+}
+
+func TestFigure4dMonotone(t *testing.T) {
+	tab := Figure4d()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(tab.Rows))
+	}
+	// for each β, device counts must fall as the upper bound loosens
+	for _, beta := range []string{"4", "8"} {
+		var prev float64 = math.Inf(1)
+		for _, row := range tab.Rows {
+			if row[2] != beta || row[3] == "infeasible" {
+				continue
+			}
+			var dev float64
+			if _, err := fmtSscanf(row[3], &dev, nil); err != nil {
+				t.Fatal(err)
+			}
+			if dev > prev {
+				t.Errorf("β=%s: device count rose with looser bound: %v", beta, row)
+			}
+			prev = dev
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] == "infeasible" {
+			t.Errorf("encoded design should be feasible for %s", row[0])
+			continue
+		}
+		var noEnc, enc float64
+		ok1, _ := fmtSscanf(row[1], &noEnc, nil)
+		ok2, _ := fmtSscanf(row[2], &enc, nil)
+		if ok1 == 1 && ok2 == 1 && enc > noEnc {
+			t.Errorf("encoding should not cost more area: %v", row)
+		}
+	}
+	if tab.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	a := Figure5a()
+	b := Figure5b()
+	if len(a.Series) == 0 || len(b.Series) == 0 {
+		t.Fatal("empty targeting sweeps")
+	}
+	// encoded targeting needs far fewer devices than unencoded at β=8
+	minB := math.Inf(1)
+	for _, s := range b.Series {
+		for _, y := range s.Y {
+			if y < minB {
+				minB = y
+			}
+		}
+	}
+	if minB > 5000 {
+		t.Errorf("best encoded targeting design = %.0f devices, paper says ~810", minB)
+	}
+	// and everything is far below the connection scale
+	maxB := 0.0
+	for _, s := range b.Series {
+		for _, y := range s.Y {
+			if y > maxB {
+				maxB = y
+			}
+		}
+	}
+	if maxB > 1e6 {
+		t.Errorf("encoded targeting should stay below 1e6 devices, got %.3g", maxB)
+	}
+}
+
+func TestFigure8Properties(t *testing.T) {
+	recv, adv := Figure8()
+	if len(recv.Series) != len(adv.Series) {
+		t.Fatal("mismatched grids")
+	}
+	// receiver success is non-increasing in k for every H
+	for _, s := range recv.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+1e-9 {
+				t.Fatalf("%s: receiver success rose with k", s.Name)
+			}
+		}
+	}
+	// Paper: "when the tree height is 8 or more, the adversaries' success
+	// probability reduces to zero". Checked against Eq 15 this holds at
+	// the paper's operating redundancy k >= 8 (at k=1 the exact equations
+	// give 0.36 — below their heatmap's color resolution but not zero).
+	for _, s := range adv.Series {
+		var h int
+		if _, err := fmtSscanf(strings.TrimPrefix(s.Name, "H="), &h, nil); err != nil {
+			t.Fatal(err)
+		}
+		if h >= 8 {
+			for i, y := range s.Y {
+				if s.X[i] >= 8 && y > 1e-6 {
+					t.Errorf("H=%d k=%g: adversary success %g should be ~0", h, s.X[i], y)
+				}
+			}
+		}
+	}
+	// and adversary success falls monotonically with H at fixed k
+	for i := range adv.Series[0].X {
+		for j := 1; j < len(adv.Series); j++ {
+			if adv.Series[j].Y[i] > adv.Series[j-1].Y[i]+1e-9 {
+				t.Fatalf("adversary success rose with H at k=%g", adv.Series[0].X[i])
+			}
+		}
+	}
+}
+
+func TestFigure9Properties(t *testing.T) {
+	recv, adv := Figure9()
+	// receiver success is non-decreasing in α for every H
+	for _, s := range recv.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1]-1e-9 {
+				t.Fatalf("%s: receiver success fell with α", s.Name)
+			}
+		}
+	}
+	// adversary stays ~0 for H >= 8 across all α at the paper's k=8
+	// (the largest exact value on the grid is ~4e-6 at α=80, far below
+	// the paper heatmap's color resolution)
+	for _, s := range adv.Series {
+		var h int
+		if _, err := fmtSscanf(strings.TrimPrefix(s.Name, "H="), &h, nil); err != nil {
+			t.Fatal(err)
+		}
+		if h >= 8 {
+			for _, y := range s.Y {
+				if y > 1e-4 {
+					t.Errorf("H=%d: adversary success %g should be ~0", h, y)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure10Density(t *testing.T) {
+	f := Figure10()
+	s := f.Series[0]
+	if len(s.X) != 10 {
+		t.Fatalf("expected H=2..11, got %d points", len(s.X))
+	}
+	// paper endpoints: ~5e6 at H=2, ~2e3 at H=11
+	if s.Y[0] < 3e6 || s.Y[0] > 8e6 {
+		t.Errorf("H=2 density = %g, paper says ~5e6", s.Y[0])
+	}
+	if s.Y[9] < 1e3 || s.Y[9] > 4e3 {
+		t.Errorf("H=11 density = %g, paper says ~2e3", s.Y[9])
+	}
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] >= s.Y[i-1] {
+			t.Error("density must fall with height")
+		}
+	}
+}
+
+func TestScalarTables(t *testing.T) {
+	lat := OTPLatencyEnergy()
+	if len(lat.Rows) != 4 {
+		t.Fatalf("§6.5.2 rows: %d", len(lat.Rows))
+	}
+	if lat.Rows[0][1] != "0.08512" {
+		t.Errorf("retrieval latency = %s, want 0.08512", lat.Rows[0][1])
+	}
+	conn := ConnectionEnergyLatency()
+	if len(conn.Rows) != 4 {
+		t.Fatalf("§4.3.2 rows: %d (%v)", len(conn.Rows), conn.Rows)
+	}
+	var n float64
+	if _, err := fmtSscanf(conn.Rows[0][1], &n, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n < 110 || n > 180 {
+		t.Errorf("devices per structure = %g, paper says 141", n)
+	}
+}

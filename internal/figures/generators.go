@@ -1,0 +1,489 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"lemonade/internal/cost"
+	"lemonade/internal/dse"
+	"lemonade/internal/mathx"
+	"lemonade/internal/otp"
+	"lemonade/internal/password"
+	"lemonade/internal/reliability"
+	"lemonade/internal/structure"
+	"lemonade/internal/weibull"
+)
+
+// ConnectionLAB is the paper's legitimate access bound for the smartphone
+// use case: 5 years × 365 days × 50 unlocks (Eq 4).
+const ConnectionLAB = 5 * 365 * 50
+
+// TargetingLAB is the §5 mission usage bound.
+const TargetingLAB = 100
+
+// connectionSpec is the base design problem for Figs 4a–4d and Table 1.
+func connectionSpec(alpha, beta, kFrac float64, criteria reliability.Criteria) dse.Spec {
+	return dse.Spec{
+		Dist:        weibull.MustNew(alpha, beta),
+		Criteria:    criteria,
+		LAB:         ConnectionLAB,
+		KFrac:       kFrac,
+		ContinuousT: true,
+	}
+}
+
+// Figure1 regenerates the Weibull wearout model curves: failure PDF and
+// reliability for β ∈ {1, 6, 12} at α = 1e6 cycles.
+func Figure1() Figure {
+	f := Figure{
+		ID:     "Fig 1",
+		Title:  "Weibull wearout model with different shape parameters",
+		XLabel: "time to failure (cycles)",
+		YLabel: "PDF / reliability",
+	}
+	xs := mathx.Linspace(0, 2e6, 81)
+	for _, beta := range []float64{1, 6, 12} {
+		d := weibull.MustNew(1e6, beta)
+		pdf := Series{Name: fmt.Sprintf("PDF β=%g", beta)}
+		rel := Series{Name: fmt.Sprintf("Reliability β=%g", beta)}
+		for _, x := range xs {
+			pdf.X = append(pdf.X, x)
+			pdf.Y = append(pdf.Y, d.PDF(x))
+			rel.X = append(rel.X, x)
+			rel.Y = append(rel.Y, d.Reliability(x))
+		}
+		f.Series = append(f.Series, pdf, rel)
+	}
+	f.Notes = "β=12 matches the MEMS lifetime plots of Slack et al. with geometrical variations"
+	return f
+}
+
+// Figure3a regenerates the scaled-α degradation window: α=1.7, β=12 gives
+// reliability ≈1 at t=1 and ≈0 at t=2.
+func Figure3a() Figure {
+	d := weibull.MustNew(1.7, 12)
+	f := Figure{
+		ID:     "Fig 3a",
+		Title:  "Scaling α down creates a sub-cycle degradation window",
+		XLabel: "time to failure (cycles)",
+		YLabel: "PDF / reliability",
+	}
+	xs := mathx.Linspace(0, 3, 61)
+	pdf := Series{Name: "PDF β=12"}
+	rel := Series{Name: "Reliability β=12"}
+	for _, x := range xs {
+		pdf.X = append(pdf.X, x)
+		pdf.Y = append(pdf.Y, d.PDF(x))
+		rel.X = append(rel.X, x)
+		rel.Y = append(rel.Y, d.Reliability(x))
+	}
+	f.Series = append(f.Series, pdf, rel)
+	f.Notes = fmt.Sprintf("R(1)=%.4f R(2)=%.4g", d.Reliability(1), d.Reliability(2))
+	return f
+}
+
+// Figure3b regenerates the parallel-structure reliability curves: α=9.3,
+// β=12, n ∈ {1, 20, 40, 60} devices, 1-out-of-n.
+func Figure3b() Figure {
+	d := weibull.MustNew(9.3, 12)
+	f := Figure{
+		ID:     "Fig 3b",
+		Title:  "Parallel devices push the high-reliability threshold toward the degradation edge",
+		XLabel: "time to failure (cycles)",
+		YLabel: "reliability",
+	}
+	xs := mathx.Linspace(7, 14, 71)
+	for _, n := range []int{1, 20, 40, 60} {
+		s := Series{Name: fmt.Sprintf("%d devices", n)}
+		for _, x := range xs {
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, structure.ParallelReliability(d, n, 1, x))
+		}
+		f.Series = append(f.Series, s)
+	}
+	f.Notes = fmt.Sprintf("40 devices: R(10)=%.4f R(11)=%.4f (paper: ~0.98 / ~0.022)",
+		structure.ParallelReliability(d, 40, 1, 10), structure.ParallelReliability(d, 40, 1, 11))
+	return f
+}
+
+// Figure3c regenerates the Reed-Solomon k-out-of-60 curves: α=20, β=12,
+// k ∈ {1, 10, 20, 30, 60}.
+func Figure3c() Figure {
+	d := weibull.MustNew(20, 12)
+	f := Figure{
+		ID:     "Fig 3c",
+		Title:  "Redundant encoding (k-out-of-60) accelerates degradation",
+		XLabel: "time to failure (cycles)",
+		YLabel: "reliability",
+	}
+	xs := mathx.Linspace(8, 32, 97)
+	for _, k := range []int{1, 10, 20, 30, 60} {
+		s := Series{Name: fmt.Sprintf("k=%d", k)}
+		for _, x := range xs {
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, structure.ParallelReliability(d, 60, k, x))
+		}
+		f.Series = append(f.Series, s)
+	}
+	f.Notes = fmt.Sprintf("k=30: R(19)=%.3f R(20)=%.3f (paper quotes ~0.92 / ~0.02 for the 20th/21st access)",
+		structure.ParallelReliability(d, 60, 30, 19), structure.ParallelReliability(d, 60, 30, 20))
+	return f
+}
+
+// figure4Alphas is the sweep range of Figs 4a–4c.
+func figure4Alphas() []float64 { return mathx.Linspace(10, 20, 21) }
+
+// Figure4a regenerates the no-encoding device-count sweep: total NEMS
+// switches vs α for β ∈ {8, 10, 12, 14, 16} (log-scale y in the paper).
+func Figure4a() Figure {
+	f := Figure{
+		ID:     "Fig 4a",
+		Title:  "Limited-use connection without redundant encoding",
+		XLabel: "α (cycles)",
+		YLabel: "total NEMS switches (log scale in paper)",
+	}
+	for _, beta := range []float64{8, 10, 12, 14, 16} {
+		s := Series{Name: fmt.Sprintf("β=%g", beta)}
+		pts := dse.SweepAlpha(connectionSpec(10, beta, 0, reliability.DefaultCriteria), figure4Alphas())
+		for _, p := range pts {
+			if !p.Feasible {
+				continue
+			}
+			s.X = append(s.X, p.Alpha)
+			s.Y = append(s.Y, float64(p.Design.TotalDevices))
+		}
+		f.Series = append(f.Series, s)
+	}
+	f.Notes = "device count grows exponentially with α and explodes as β falls"
+	return f
+}
+
+// Figure4b regenerates the encoded sweep: k ∈ {10, 20, 30}%·n for
+// β ∈ {4, 8}.
+func Figure4b() Figure {
+	f := Figure{
+		ID:     "Fig 4b",
+		Title:  "Limited-use connection with redundant encoding",
+		XLabel: "α (cycles)",
+		YLabel: "total NEMS switches",
+	}
+	for _, kf := range []float64{0.10, 0.20, 0.30} {
+		for _, beta := range []float64{8, 4} {
+			s := Series{Name: fmt.Sprintf("k=%d%%·n, β=%g", int(kf*100), beta)}
+			pts := dse.SweepAlpha(connectionSpec(10, beta, kf, reliability.DefaultCriteria), figure4Alphas())
+			for _, p := range pts {
+				if !p.Feasible {
+					continue
+				}
+				s.X = append(s.X, p.Alpha)
+				s.Y = append(s.Y, float64(p.Design.TotalDevices))
+			}
+			f.Series = append(f.Series, s)
+		}
+	}
+	f.Notes = "linear α-scaling; ~4 orders of magnitude below Fig 4a at α=14, β=8"
+	return f
+}
+
+// Figure4c regenerates the relaxed-criteria sweep: overrun probability
+// p ∈ {1, 2, 4, 6, 8, 10}% with k = 10%·n, β = 8, plus the empirical
+// access upper bounds the relaxation buys.
+func Figure4c() (Figure, Table) {
+	f := Figure{
+		ID:     "Fig 4c",
+		Title:  "Relaxed degradation criteria reduce device count",
+		XLabel: "α (cycles)",
+		YLabel: "total NEMS switches",
+	}
+	t := Table{
+		ID:     "Fig 4c (bounds)",
+		Title:  "Empirical access bounds vs degradation criterion p (α=14)",
+		Header: []string{"p", "total switches", "expected accesses", "99.9% quantile"},
+	}
+	for _, p := range []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.10} {
+		crit := reliability.Criteria{MinWork: 0.99, MaxOverrun: p}
+		s := Series{Name: fmt.Sprintf("p=%d%%", int(p*100+0.5))}
+		pts := dse.SweepAlpha(connectionSpec(10, 8, 0.10, crit), figure4Alphas())
+		for _, pt := range pts {
+			if !pt.Feasible {
+				continue
+			}
+			s.X = append(s.X, pt.Alpha)
+			s.Y = append(s.Y, float64(pt.Design.TotalDevices))
+		}
+		f.Series = append(f.Series, s)
+		d, err := dse.Explore(connectionSpec(14, 8, 0.10, crit))
+		if err == nil {
+			mean, _ := d.System().ExpectedTotalAccesses()
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d%%", int(p*100+0.5)),
+				fmt.Sprintf("%d", d.TotalDevices),
+				fmt.Sprintf("%.0f", mean),
+				fmt.Sprintf("%.0f", d.System().UpperBoundQuantile(0.999)),
+			})
+		}
+	}
+	f.Notes = "paper: raising p from 1% to 10% cuts devices ~40% and raises the empirical bound 91,326→92,028"
+	return f, t
+}
+
+// Figure4d regenerates the stronger-passcode comparison: upper-bound
+// targets of the baseline LAB, 100k (popular 1% rejected) and 200k
+// (popular 2% rejected), for β ∈ {4, 8}, k = 10%·n, α = 10.
+func Figure4d() Table {
+	t := Table{
+		ID:     "Fig 4d",
+		Title:  "Stronger passcodes: device count vs upper-bound target (α=10, k=10%·n)",
+		Header: []string{"passcode policy", "upper-bound target", "β", "total switches"},
+	}
+	curve := password.UrEtAl()
+	policies := []struct {
+		name   string
+		reject float64
+	}{
+		{"baseline", 0},
+		{"reject most popular 1%", 0.01},
+		{"reject most popular 2%", 0.02},
+	}
+	for _, pol := range policies {
+		upper := ConnectionLAB
+		if pol.reject > 0 {
+			// §4.3.3: with the popular head rejected in software, the
+			// hardware upper bound extends to "the minimum guesses needed
+			// to crack the passcode" — the guess budget at which the
+			// rejected fraction of the original population falls
+			// (100,000 for 1%, 200,000 for 2%).
+			upper = int(curve.MinGuessesToCrackProb(pol.reject))
+		}
+		for _, beta := range []float64{4, 8} {
+			spec := connectionSpec(10, beta, 0.10, reliability.DefaultCriteria)
+			if upper > spec.LAB {
+				spec.UpperBound = upper
+			}
+			d, err := dse.Explore(spec)
+			cell := "infeasible"
+			if err == nil {
+				cell = fmt.Sprintf("%d", d.TotalDevices)
+			}
+			t.Rows = append(t.Rows, []string{pol.name, fmt.Sprintf("%d", upper), fmt.Sprintf("%g", beta), cell})
+		}
+	}
+	t.Notes = "paper (β=8): 675,250 baseline → 38,325 @100k → 29,200 @200k"
+	return t
+}
+
+// Table1 regenerates the area-cost table for the four (α, β) device
+// points, with and without encoding.
+func Table1() Table {
+	t := Table{
+		ID:     "Table 1",
+		Title:  "Area cost of the limited-use connection",
+		Header: []string{"(α, β)", "without encoding (mm²)", "with encoding k=10%·n (mm²)"},
+	}
+	const keyBits = 256
+	points := []struct{ alpha, beta float64 }{
+		{10.51, 16}, {10.21, 10}, {19.68, 16}, {18.69, 10},
+	}
+	for _, p := range points {
+		noEnc := "infeasible"
+		if d, err := dse.Explore(connectionSpec(p.alpha, p.beta, 0, reliability.DefaultCriteria)); err == nil {
+			noEnc = fmt.Sprintf("%.3g", d.Area(keyBits).Mm2())
+		}
+		enc := "infeasible"
+		if d, err := dse.Explore(connectionSpec(p.alpha, p.beta, 0.10, reliability.DefaultCriteria)); err == nil {
+			enc = fmt.Sprintf("%.3g", d.Area(keyBits).Mm2())
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("(%g, %g)", p.alpha, p.beta), noEnc, enc})
+	}
+	t.Notes = "paper: 1.27e-4/2.03e-3/2.03e-3/0.52 without, 3.2e-5/1.3e-4/1.3e-4/1.3e-4 with"
+	return t
+}
+
+// Figure5a regenerates the targeting-system no-encoding sweep.
+func Figure5a() Figure {
+	f := Figure{
+		ID:     "Fig 5a",
+		Title:  "Limited-use targeting system without redundant encoding",
+		XLabel: "α (cycles)",
+		YLabel: "total NEMS switches (log scale in paper)",
+	}
+	for _, beta := range []float64{8, 10, 12, 14, 16} {
+		s := Series{Name: fmt.Sprintf("β=%g", beta)}
+		spec := connectionSpec(10, beta, 0, reliability.DefaultCriteria)
+		spec.LAB = TargetingLAB
+		pts := dse.SweepAlpha(spec, figure4Alphas())
+		for _, p := range pts {
+			if !p.Feasible {
+				continue
+			}
+			s.X = append(s.X, p.Alpha)
+			s.Y = append(s.Y, float64(p.Design.TotalDevices))
+		}
+		f.Series = append(f.Series, s)
+	}
+	f.Notes = "orders of magnitude below the connection use case (paper: 8,855 best, 842,941 worst)"
+	return f
+}
+
+// Figure5b regenerates the targeting-system encoded sweep.
+func Figure5b() Figure {
+	f := Figure{
+		ID:     "Fig 5b",
+		Title:  "Limited-use targeting system with redundant encoding",
+		XLabel: "α (cycles)",
+		YLabel: "total NEMS switches",
+	}
+	for _, kf := range []float64{0.10, 0.20, 0.30} {
+		for _, beta := range []float64{8, 4} {
+			s := Series{Name: fmt.Sprintf("k=%d%%·n, β=%g", int(kf*100), beta)}
+			spec := connectionSpec(10, beta, kf, reliability.DefaultCriteria)
+			spec.LAB = TargetingLAB
+			pts := dse.SweepAlpha(spec, figure4Alphas())
+			for _, p := range pts {
+				if !p.Feasible {
+					continue
+				}
+				s.X = append(s.X, p.Alpha)
+				s.Y = append(s.Y, float64(p.Design.TotalDevices))
+			}
+			f.Series = append(f.Series, s)
+		}
+	}
+	f.Notes = "paper: down to ~810 switches at k=10%·n, α=10, β=8; jagged curves from the small usage target"
+	return f
+}
+
+// otpDist is the §6.4 default device: α=10, β=1.
+func otpDist() weibull.Dist { return weibull.MustNew(10, 1) }
+
+// Figure8 regenerates the (k, H) success grids: receiver (8a) and
+// adversary (8b) success probability, α=10, β=1, n=128.
+func Figure8() (recv, adv Figure) {
+	ks := []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128}
+	hs := []int{1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 120}
+	d := otpDist()
+	recv = Figure{ID: "Fig 8a", Title: "Receiver success probability (α=10, β=1, n=128)",
+		XLabel: "k", YLabel: "S_recv"}
+	adv = Figure{ID: "Fig 8b", Title: "Adversary success probability (α=10, β=1, n=128)",
+		XLabel: "k", YLabel: "S_adv"}
+	for _, h := range hs {
+		r := Series{Name: fmt.Sprintf("H=%d", h)}
+		a := Series{Name: fmt.Sprintf("H=%d", h)}
+		for _, k := range ks {
+			r.X = append(r.X, float64(k))
+			r.Y = append(r.Y, otp.ReceiverSuccessProb(d, h, 128, k))
+			a.X = append(a.X, float64(k))
+			a.Y = append(a.Y, otp.AdversarySuccessProb(d, h, 128, k))
+		}
+		recv.Series = append(recv.Series, r)
+		adv.Series = append(adv.Series, a)
+	}
+	adv.Notes = "paper: H ≥ 8 drives adversary success to ~0 at any redundancy"
+	return recv, adv
+}
+
+// Figure9 regenerates the (α, H) success grids at β=1, k=8, n=128.
+func Figure9() (recv, adv Figure) {
+	alphas := []float64{1, 2, 4, 8, 10, 16, 24, 32, 48, 64, 80}
+	hs := []int{1, 2, 4, 6, 7, 8, 12, 16, 24, 32, 64, 120}
+	recv = Figure{ID: "Fig 9a", Title: "Receiver success probability (β=1, k=8, n=128)",
+		XLabel: "α", YLabel: "S_recv"}
+	adv = Figure{ID: "Fig 9b", Title: "Adversary success probability (β=1, k=8, n=128)",
+		XLabel: "α", YLabel: "S_adv"}
+	for _, h := range hs {
+		r := Series{Name: fmt.Sprintf("H=%d", h)}
+		a := Series{Name: fmt.Sprintf("H=%d", h)}
+		for _, alpha := range alphas {
+			d := weibull.MustNew(alpha, 1)
+			r.X = append(r.X, alpha)
+			r.Y = append(r.Y, otp.ReceiverSuccessProb(d, h, 128, 8))
+			a.X = append(a.X, alpha)
+			a.Y = append(a.Y, otp.AdversarySuccessProb(d, h, 128, 8))
+		}
+		recv.Series = append(recv.Series, r)
+		adv.Series = append(adv.Series, a)
+	}
+	recv.Notes = "higher α helps both parties; H ≤ 7 trades against wearout bounds, H ≥ 8 blocks adversaries outright"
+	return recv, adv
+}
+
+// Figure10 regenerates the one-time-pad density estimate: decision trees
+// per 1 mm² chip for H = 2..11.
+func Figure10() Figure {
+	f := Figure{
+		ID:     "Fig 10",
+		Title:  "Density estimate of one-time pads (1 mm² chip)",
+		XLabel: "tree height H",
+		YLabel: "decision trees per chip",
+	}
+	s := Series{Name: "trees per 1 mm²"}
+	for h := 2; h <= 11; h++ {
+		s.X = append(s.X, float64(h))
+		s.Y = append(s.Y, float64(cost.TreesPerChip(h, 1)))
+	}
+	f.Series = []Series{s}
+	f.Notes = "paper: 5e6 at H=2 down to 2e3 at H=11; H=4 with N=128 copies → ~4,687 pads"
+	return f
+}
+
+// OTPLatencyEnergy regenerates the §6.5.2 scalar results.
+func OTPLatencyEnergy() Table {
+	p := otp.Params{Dist: otpDist(), Height: 4, Copies: 128, K: 8}
+	t := Table{
+		ID:     "§6.5.2",
+		Title:  "One-time pad retrieval cost (H=4, N=128)",
+		Header: []string{"metric", "measured", "paper"},
+	}
+	t.Rows = [][]string{
+		{"retrieval latency (ms)", fmt.Sprintf("%.5f", p.RetrievalLatency().Ms()), "0.08512"},
+		{"path traversal latency (ms)", fmt.Sprintf("%.5f", 10e-9*4*128*1e3), "0.00512"},
+		{"register readout (ms)", fmt.Sprintf("%.5f", 20e-9*4000*1e3), "0.08"},
+		{"worst-case path energy (J)", fmt.Sprintf("%.3g", float64(p.RetrievalEnergy())), "5.12e-18"},
+	}
+	return t
+}
+
+// ConnectionEnergyLatency regenerates the §4.3.2 scalar results for the
+// α=14, β=8, k=10%·n design point.
+func ConnectionEnergyLatency() Table {
+	t := Table{
+		ID:     "§4.3.2",
+		Title:  "Connection access cost (α=14, β=8, k=10%·n)",
+		Header: []string{"metric", "measured", "paper"},
+	}
+	d, err := dse.Explore(connectionSpec(14, 8, 0.10, reliability.DefaultCriteria))
+	if err != nil {
+		t.Rows = [][]string{{"error", err.Error(), ""}}
+		return t
+	}
+	t.Rows = [][]string{
+		{"devices per structure", fmt.Sprintf("%d", d.N), "141"},
+		{"total devices", fmt.Sprintf("%d", d.TotalDevices), "~800,000"},
+		{"energy per access (J)", fmt.Sprintf("%.3g", float64(d.EnergyPerAccess())), "1.41e-18"},
+		{"switching latency (ns)", fmt.Sprintf("%.0f", d.LatencyPerAccess().Ns()), "10"},
+	}
+	return t
+}
+
+// HeadlineReduction computes the abstract's headline: the device-count
+// reduction redundant encoding buys at α=14, β=8.
+func HeadlineReduction() Table {
+	t := Table{
+		ID:     "Abstract",
+		Title:  "Redundant encoding reduction at α=14, β=8",
+		Header: []string{"variant", "total switches", "paper"},
+	}
+	noEnc, err1 := dse.Explore(connectionSpec(14, 8, 0, reliability.DefaultCriteria))
+	enc, err2 := dse.Explore(connectionSpec(14, 8, 0.10, reliability.DefaultCriteria))
+	if err1 != nil || err2 != nil {
+		t.Rows = append(t.Rows, []string{"error", fmt.Sprint(err1, err2), ""})
+		return t
+	}
+	t.Rows = [][]string{
+		{"no encoding", fmt.Sprintf("%d", noEnc.TotalDevices), "~4e9"},
+		{"k=10%·n encoding", fmt.Sprintf("%d", enc.TotalDevices), "~8e5"},
+		{"reduction", fmt.Sprintf("%.1f orders of magnitude",
+			math.Log10(float64(noEnc.TotalDevices)/float64(enc.TotalDevices))), "4 orders"},
+	}
+	return t
+}

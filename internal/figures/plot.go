@@ -1,0 +1,96 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure as an ASCII chart so the *shape* of a
+// reproduced curve — who wins, where the knee is, exponential vs linear —
+// can be inspected straight from a terminal. Log-scale is applied to the
+// y axis automatically when the data spans more than three decades.
+// width and height are the plot area in characters (sensible minimums are
+// enforced).
+func (f Figure) Plot(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range f.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if first {
+		return f.ID + ": (no data)\n"
+	}
+	logY := ymin > 0 && ymax/math.Max(ymin, math.SmallestNonzeroFloat64) > 1e3
+	ty := func(y float64) float64 {
+		if logY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	pymin, pymax := ty(ymin), ty(ymax)
+	if pymax == pymin {
+		pymax = pymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*+o#x%@&"
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			y := s.Y[i]
+			if math.IsNaN(y) || math.IsInf(y, 0) || (logY && y <= 0) {
+				continue
+			}
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((ty(y) - pymin) / (pymax - pymin) * float64(height-1)))
+			row = height - 1 - row
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	scale := ""
+	if logY {
+		scale = " (log y)"
+	}
+	fmt.Fprintf(&b, "%s — %s%s\n", f.ID, f.Title, scale)
+	fmt.Fprintf(&b, "%11.4g ┤%s\n", ymax, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(&b, "%11s │%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&b, "%11.4g ┤%s\n", ymin, string(grid[height-1]))
+	fmt.Fprintf(&b, "%11s └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%12s%-*g%*g\n", "", width/2, xmin, width-width/2, xmax)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package figures
+
+// Exhibit is one regenerable paper (or extension) exhibit: an ID and a
+// generator producing its renderable blocks.
+type Exhibit struct {
+	ID  string
+	Gen func() []Renderable
+}
+
+// Renderable is anything an exhibit produces — Figure or Table.
+type Renderable interface {
+	Render() string
+	CSV() string
+}
+
+// Exhibits returns the complete registry, in presentation order: every
+// table and figure of the paper's evaluation, the machine-checked
+// summary, then this repo's ablation and extension exhibits.
+func Exhibits() []Exhibit {
+	one := func(r Renderable) []Renderable { return []Renderable{r} }
+	return []Exhibit{
+		{"Fig 1", func() []Renderable { return one(Figure1()) }},
+		{"Fig 3a", func() []Renderable { return one(Figure3a()) }},
+		{"Fig 3b", func() []Renderable { return one(Figure3b()) }},
+		{"Fig 3c", func() []Renderable { return one(Figure3c()) }},
+		{"Fig 4a", func() []Renderable { return one(Figure4a()) }},
+		{"Fig 4b", func() []Renderable { return one(Figure4b()) }},
+		{"Fig 4c", func() []Renderable {
+			f, t := Figure4c()
+			return []Renderable{f, t}
+		}},
+		{"Fig 4d", func() []Renderable { return one(Figure4d()) }},
+		{"Table 1", func() []Renderable { return one(Table1()) }},
+		{"Fig 5a", func() []Renderable { return one(Figure5a()) }},
+		{"Fig 5b", func() []Renderable { return one(Figure5b()) }},
+		{"Fig 8", func() []Renderable {
+			r, a := Figure8()
+			return []Renderable{r, a}
+		}},
+		{"Fig 9", func() []Renderable {
+			r, a := Figure9()
+			return []Renderable{r, a}
+		}},
+		{"Fig 10", func() []Renderable { return one(Figure10()) }},
+		{"§6.5.2", func() []Renderable { return one(OTPLatencyEnergy()) }},
+		{"§4.3.2", func() []Renderable { return one(ConnectionEnergyLatency()) }},
+		{"Abstract", func() []Renderable { return one(HeadlineReduction()) }},
+		{"Summary", func() []Renderable { return one(PaperComparisonTable()) }},
+		{"Ablation A1", func() []Renderable { return one(AblationContinuousT()) }},
+		{"Ablation A2", func() []Renderable { return one(AblationKFraction()) }},
+		{"Ablation A3", func() []Renderable { return one(AblationReplication()) }},
+		{"Ablation A4", func() []Renderable { return one(SeriesRejection()) }},
+		{"Extension E1", func() []Renderable { return one(FabricationTradeoff()) }},
+		{"Extension E2", func() []Renderable { return one(InvasiveAttack()) }},
+		{"Extension E3", func() []Renderable { return one(DefenseComparison()) }},
+	}
+}

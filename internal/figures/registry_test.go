@@ -1,0 +1,57 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryStructure(t *testing.T) {
+	ex := Exhibits()
+	if len(ex) < 25 {
+		t.Fatalf("registry has %d exhibits, expected 25+", len(ex))
+	}
+	seenID := map[string]bool{}
+	seenSlug := map[string]bool{}
+	for _, e := range ex {
+		if e.ID == "" || e.Gen == nil {
+			t.Fatalf("malformed exhibit: %+v", e)
+		}
+		if seenID[e.ID] {
+			t.Errorf("duplicate exhibit ID %q", e.ID)
+		}
+		seenID[e.ID] = true
+		slug := Slug(e.ID)
+		if slug == "" {
+			t.Errorf("empty slug for %q", e.ID)
+		}
+		if seenSlug[slug] {
+			t.Errorf("slug collision for %q", e.ID)
+		}
+		seenSlug[slug] = true
+	}
+}
+
+func TestEveryExhibitRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full exhibit regeneration is slow")
+	}
+	for _, e := range Exhibits() {
+		e := e
+		t.Run(Slug(e.ID), func(t *testing.T) {
+			t.Parallel()
+			blocks := e.Gen()
+			if len(blocks) == 0 {
+				t.Fatal("no blocks")
+			}
+			for _, b := range blocks {
+				text := b.Render()
+				if !strings.Contains(text, e.ID) {
+					t.Errorf("rendered block does not carry its ID %q", e.ID)
+				}
+				if len(b.CSV()) == 0 {
+					t.Error("empty CSV")
+				}
+			}
+		})
+	}
+}

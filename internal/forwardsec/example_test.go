@@ -1,0 +1,30 @@
+package forwardsec_test
+
+import (
+	"fmt"
+
+	"lemonade/internal/forwardsec"
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+)
+
+// ExampleArchive shows the §1 forward-secrecy property: after a read, not
+// even a total compromise (with cold reads) recovers the message.
+func ExampleArchive() {
+	archive := forwardsec.NewArchive(rng.New(1))
+	id, err := archive.Seal([]byte("ephemeral"))
+	if err != nil {
+		panic(err)
+	}
+	plain, err := archive.Read(id, nems.RoomTemp)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("read: %s\n", plain)
+	dump := archive.CompromiseDump()
+	_, leaked := dump[id]
+	fmt.Println("leaked after compromise:", leaked)
+	// Output:
+	// read: ephemeral
+	// leaked after compromise: false
+}

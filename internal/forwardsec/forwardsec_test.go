@@ -1,0 +1,121 @@
+package forwardsec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+)
+
+func TestSealReadRoundTrip(t *testing.T) {
+	a := NewArchive(rng.New(1))
+	idx, err := a.Seal([]byte("quarterly numbers"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Read(idx, nems.RoomTemp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("quarterly numbers")) {
+		t.Errorf("Read = %q", got)
+	}
+}
+
+func TestSecondReadFailsForever(t *testing.T) {
+	a := NewArchive(rng.New(2))
+	idx, _ := a.Seal([]byte("once only"))
+	if _, err := a.Read(idx, nems.RoomTemp); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := a.Read(idx, nems.RoomTemp); !errors.Is(err, ErrKeyConsumed) {
+			t.Fatalf("re-read %d should fail with ErrKeyConsumed, got %v", i, err)
+		}
+	}
+	if a.Readable(idx) {
+		t.Error("consumed message should not be readable")
+	}
+}
+
+func TestForwardSecrecyUnderFullCompromise(t *testing.T) {
+	// The package's raison d'être: after a total compromise (cold reads
+	// bypassing read destruction!), messages read before the compromise
+	// stay secret; unread ones fall.
+	a := NewArchive(rng.New(3))
+	var idxs []int
+	for _, m := range []string{"already read A", "already read B", "never read C"} {
+		i, err := a.Seal([]byte(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxs = append(idxs, i)
+	}
+	// legitimate reads of the first two
+	for _, i := range idxs[:2] {
+		if _, err := a.Read(i, nems.RoomTemp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dump := a.CompromiseDump()
+	if _, leaked := dump[idxs[0]]; leaked {
+		t.Error("message A leaked after its key was consumed")
+	}
+	if _, leaked := dump[idxs[1]]; leaked {
+		t.Error("message B leaked after its key was consumed")
+	}
+	plain, leaked := dump[idxs[2]]
+	if !leaked {
+		t.Error("unread message C should fall to a full compromise")
+	} else if !bytes.Equal(plain, []byte("never read C")) {
+		t.Error("dump recovered wrong plaintext for C")
+	}
+}
+
+func TestReadableTracking(t *testing.T) {
+	a := NewArchive(rng.New(4))
+	i, _ := a.Seal([]byte("x"))
+	if !a.Readable(i) {
+		t.Error("fresh message should be readable")
+	}
+	if a.Readable(99) || a.Readable(-1) {
+		t.Error("out-of-range indices should not be readable")
+	}
+	if a.Len() != 1 {
+		t.Errorf("Len = %d", a.Len())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	a := NewArchive(rng.New(5))
+	if _, err := a.Read(0, nems.RoomTemp); !errors.Is(err, ErrNoSuchMessage) {
+		t.Errorf("empty archive read: %v", err)
+	}
+}
+
+func TestManyMessagesIndependentKeys(t *testing.T) {
+	// consuming one key must not affect any other message
+	a := NewArchive(rng.New(6))
+	const n = 30
+	msgs := make([][]byte, n)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), byte(i + 1), byte(i + 2)}
+		if _, err := a.Seal(msgs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// read evens, leave odds
+	for i := 0; i < n; i += 2 {
+		got, err := a.Read(i, nems.RoomTemp)
+		if err != nil || !bytes.Equal(got, msgs[i]) {
+			t.Fatalf("message %d: %v %x", i, err, got)
+		}
+	}
+	for i := 1; i < n; i += 2 {
+		if !a.Readable(i) {
+			t.Errorf("odd message %d lost its key", i)
+		}
+	}
+}

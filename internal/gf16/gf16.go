@@ -1,0 +1,108 @@
+// Package gf16 implements arithmetic in GF(2^16) with the primitive
+// polynomial x^16 + x^12 + x^3 + x + 1 (0x1100B).
+//
+// The connection designs at low β need parallel structures with thousands
+// of devices per copy; Shamir sharing over GF(2^8) caps out at 255 shares.
+// This field supports up to 65,535 shares (see package shamir16).
+package gf16
+
+import "fmt"
+
+// Poly is the primitive reduction polynomial.
+const Poly = 0x1100B
+
+// Order is the multiplicative group order.
+const Order = 1<<16 - 1
+
+var (
+	expTable [2 * Order]uint16
+	logTable [1 << 16]uint16
+)
+
+func init() {
+	x := uint32(1)
+	for i := 0; i < Order; i++ {
+		expTable[i] = uint16(x)
+		logTable[x] = uint16(i)
+		x <<= 1
+		if x&0x10000 != 0 {
+			x ^= Poly
+		}
+	}
+	for i := Order; i < 2*Order; i++ {
+		expTable[i] = expTable[i-Order]
+	}
+}
+
+// Add returns a + b (XOR); subtraction is identical.
+func Add(a, b uint16) uint16 { return a ^ b }
+
+// Mul returns a·b.
+func Mul(a, b uint16) uint16 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a/b; it panics on division by zero.
+func Div(a, b uint16) uint16 {
+	if b == 0 {
+		panic("gf16: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+Order-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a; it panics for a == 0.
+func Inv(a uint16) uint16 {
+	if a == 0 {
+		panic("gf16: zero has no inverse")
+	}
+	return expTable[Order-int(logTable[a])]
+}
+
+// Interpolate evaluates at x the unique degree-(k-1) polynomial through
+// the k points (xs[i], ys[i]); the xs must be distinct.
+func Interpolate(xs, ys []uint16, x uint16) (uint16, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("gf16: mismatched point slices (%d vs %d)", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("gf16: no points to interpolate")
+	}
+	seen := make(map[uint16]bool, len(xs))
+	for _, v := range xs {
+		if seen[v] {
+			return 0, fmt.Errorf("gf16: duplicate x coordinate %d", v)
+		}
+		seen[v] = true
+	}
+	var acc uint16
+	for i := range xs {
+		num, den := uint16(1), uint16(1)
+		for j := range xs {
+			if j == i {
+				continue
+			}
+			num = Mul(num, x^xs[j])
+			den = Mul(den, xs[i]^xs[j])
+		}
+		acc ^= Mul(ys[i], Div(num, den))
+	}
+	return acc, nil
+}
+
+// Polynomial is a polynomial over GF(2^16), ascending degree order.
+type Polynomial []uint16
+
+// Eval evaluates the polynomial at x by Horner's rule.
+func (p Polynomial) Eval(x uint16) uint16 {
+	var y uint16
+	for i := len(p) - 1; i >= 0; i-- {
+		y = Mul(y, x) ^ p[i]
+	}
+	return y
+}

@@ -1,0 +1,62 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KolmogorovSmirnov runs a one-sample KS goodness-of-fit test of the
+// samples against the hypothesized CDF. It returns the KS statistic D and
+// an approximate p-value (Kolmogorov asymptotic distribution with the
+// Stephens small-sample correction). A small p-value rejects the fit.
+func KolmogorovSmirnov(samples []float64, cdf func(float64) float64) (d, pValue float64, err error) {
+	n := len(samples)
+	if n < 8 {
+		return 0, 0, fmt.Errorf("montecarlo: KS test needs at least 8 samples, got %d", n)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	for i, x := range sorted {
+		f := cdf(x)
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return 0, 0, fmt.Errorf("montecarlo: hypothesized CDF returned %v at %v", f, x)
+		}
+		lo := f - float64(i)/float64(n)
+		hi := float64(i+1)/float64(n) - f
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	sqrtN := math.Sqrt(float64(n))
+	lambda := (sqrtN + 0.12 + 0.11/sqrtN) * d
+	return d, ksQ(lambda), nil
+}
+
+// ksQ is the Kolmogorov survival function Q_KS(λ) = 2 Σ (-1)^{j-1} e^{-2j²λ²}.
+func ksQ(lambda float64) float64 {
+	if lambda < 1e-3 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(-2*float64(j*j)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

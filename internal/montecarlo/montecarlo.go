@@ -1,0 +1,164 @@
+// Package montecarlo is the simulation harness used by the experiments:
+// it runs independent trials with per-trial deterministic RNG streams
+// (reproducible regardless of scheduling), optionally in parallel, and
+// aggregates summary statistics.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lemonade/internal/rng"
+)
+
+// Trial computes one observation from its private RNG stream.
+type Trial func(r *rng.RNG) float64
+
+// Summary aggregates the observations of a run.
+type Summary struct {
+	Trials int
+	Mean   float64
+	SD     float64 // sample standard deviation
+	Min    float64
+	Max    float64
+	values []float64 // sorted
+}
+
+// Quantile returns the empirical q-quantile (0 <= q <= 1).
+func (s Summary) Quantile(q float64) float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.values[0]
+	}
+	if q >= 1 {
+		return s.values[len(s.values)-1]
+	}
+	pos := q * float64(len(s.values)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s.values) {
+		return s.values[len(s.values)-1]
+	}
+	return s.values[lo]*(1-frac) + s.values[lo+1]*frac
+}
+
+// Median returns the empirical median.
+func (s Summary) Median() float64 { return s.Quantile(0.5) }
+
+// StdErr returns the standard error of the mean.
+func (s Summary) StdErr() float64 {
+	if s.Trials == 0 {
+		return math.NaN()
+	}
+	return s.SD / math.Sqrt(float64(s.Trials))
+}
+
+// CI95 returns an approximate 95% confidence interval for the mean.
+func (s Summary) CI95() (lo, hi float64) {
+	se := s.StdErr()
+	return s.Mean - 1.96*se, s.Mean + 1.96*se
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.4g [%.6g, %.6g]", s.Trials, s.Mean, s.SD, s.Min, s.Max)
+}
+
+// Run executes trials sequentially with per-trial derived streams.
+// Trial i always sees the same stream for a given seed.
+func Run(seed uint64, trials int, f Trial) Summary {
+	vals := make([]float64, trials)
+	base := rng.New(seed)
+	for i := range vals {
+		vals[i] = f(base.Derive(fmt.Sprintf("trial-%d", i)))
+	}
+	return summarize(vals)
+}
+
+// RunParallel is Run across GOMAXPROCS workers. Results are identical to
+// Run for the same seed: stream derivation depends only on the trial index.
+func RunParallel(seed uint64, trials int, f Trial) Summary {
+	vals := make([]float64, trials)
+	base := rng.New(seed)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < trials; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				vals[i] = f(base.Derive(fmt.Sprintf("trial-%d", i)))
+			}
+		}()
+	}
+	wg.Wait()
+	return summarize(vals)
+}
+
+func summarize(vals []float64) Summary {
+	s := Summary{Trials: len(vals)}
+	if len(vals) == 0 {
+		s.Mean, s.SD = math.NaN(), math.NaN()
+		return s
+	}
+	var sum, sumSq float64
+	s.Min, s.Max = vals[0], vals[0]
+	for _, v := range vals {
+		sum += v
+		sumSq += v * v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	n := float64(len(vals))
+	s.Mean = sum / n
+	variance := (sumSq - sum*sum/n) / math.Max(1, n-1)
+	if variance < 0 {
+		variance = 0
+	}
+	s.SD = math.Sqrt(variance)
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	s.values = sorted
+	return s
+}
+
+// Proportion is a convenience for Bernoulli trials: it runs f and reports
+// the success fraction with a Wilson 95% interval.
+func Proportion(seed uint64, trials int, f func(r *rng.RNG) bool) (p, lo, hi float64) {
+	succ := 0
+	base := rng.New(seed)
+	for i := 0; i < trials; i++ {
+		if f(base.Derive(fmt.Sprintf("trial-%d", i))) {
+			succ++
+		}
+	}
+	n := float64(trials)
+	p = float64(succ) / n
+	const z = 1.96
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	return p, math.Max(0, center-half), math.Min(1, center+half)
+}

@@ -1,0 +1,93 @@
+package otp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lemonade/internal/mathx"
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+)
+
+// ReliableChannel wraps a chip/codebook pair with a retransmission
+// protocol: if the receiver's retrieval fails (the designed ≤1−S_recv
+// event), the receiver NACKs over the short-string channel and the sender
+// re-encrypts the message with the next pad. This turns the per-pad
+// success probability into an end-to-end delivery guarantee at the cost
+// of pad budget.
+type ReliableChannel struct {
+	chip       *Chip
+	book       *Codebook
+	maxRetries int
+
+	delivered  int
+	retries    int
+	padsBurned int
+}
+
+// ErrChannelExhausted is returned when the pads run out mid-protocol.
+var ErrChannelExhausted = errors.New("otp: channel exhausted its pads")
+
+// NewReliableChannel provisions a channel with `pads` one-time pads and a
+// per-message retry budget.
+func NewReliableChannel(p Params, pads, maxRetries int, r *rng.RNG) (*ReliableChannel, error) {
+	if maxRetries < 0 {
+		return nil, fmt.Errorf("otp: negative retry budget %d", maxRetries)
+	}
+	chip, book, err := FabricateChip(p, pads, r)
+	if err != nil {
+		return nil, err
+	}
+	return &ReliableChannel{chip: chip, book: book, maxRetries: maxRetries}, nil
+}
+
+// Send delivers one message end to end, retrying on retrieval failure.
+func (c *ReliableChannel) Send(plain []byte, env nems.Environment) ([]byte, error) {
+	for attempt := 0; attempt <= c.maxRetries; attempt++ {
+		msg, err := c.book.Encrypt(plain)
+		if errors.Is(err, ErrPadExhausted) {
+			return nil, ErrChannelExhausted
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.padsBurned++
+		got, err := c.chip.Decrypt(msg, env)
+		if err == nil {
+			c.delivered++
+			return got, nil
+		}
+		c.retries++
+	}
+	return nil, fmt.Errorf("otp: message undeliverable after %d attempts", c.maxRetries+1)
+}
+
+// Stats returns (messages delivered, retries used, pads burned).
+func (c *ReliableChannel) Stats() (delivered, retries, padsBurned int) {
+	return c.delivered, c.retries, c.padsBurned
+}
+
+// PadsRemaining returns the unused pad count.
+func (c *ReliableChannel) PadsRemaining() int { return c.book.PadsRemaining() }
+
+// DeliveryProb returns the analytic end-to-end delivery probability with
+// the given retry budget: 1 − (1 − S_recv)^(retries+1).
+func DeliveryProb(p Params, maxRetries int) float64 {
+	fail := 1 - p.ReceiverSuccess()
+	prob := 1.0
+	for i := 0; i <= maxRetries; i++ {
+		prob *= fail
+	}
+	return mathx.Clamp01(1 - prob)
+}
+
+// PadsPerMessage returns the expected pad consumption per delivered
+// message: 1/S_recv for an unbounded retry budget (geometric).
+func PadsPerMessage(p Params) float64 {
+	s := p.ReceiverSuccess()
+	if s <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / s
+}

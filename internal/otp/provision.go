@@ -1,0 +1,57 @@
+package otp
+
+import (
+	"fmt"
+	"math"
+
+	"lemonade/internal/weibull"
+)
+
+// ChipPlan sizes a one-time-pad chip for a messaging workload: how tall
+// the trees must be for the message size, whether the point is secure,
+// and what the chip costs in area.
+type ChipPlan struct {
+	Params          Params
+	Pads            int     // messages supported
+	MaxMessageBytes int     // per-message capacity
+	AreaMm2         float64 // total silicon
+	ReceiverSuccess float64
+	AdversarySucces float64
+}
+
+// PlanChip sizes a chip for `messages` messages of up to maxMessageBytes
+// each, using the given device model and redundancy (copies, k). The tree
+// height is the larger of the security floor (H=8, §6.4.2) and the height
+// whose 1000·H-bit keys cover the message size.
+func PlanChip(dist weibull.Dist, messages, maxMessageBytes, copies, k int) (ChipPlan, error) {
+	if messages < 1 {
+		return ChipPlan{}, fmt.Errorf("otp: need at least one message, got %d", messages)
+	}
+	if maxMessageBytes < 1 {
+		return ChipPlan{}, fmt.Errorf("otp: message size must be positive, got %d", maxMessageBytes)
+	}
+	const securityFloor = 8
+	h := securityFloor
+	if need := int(math.Ceil(float64(8*maxMessageBytes) / 1000)); need > h {
+		h = need
+	}
+	p := Params{Dist: dist, Height: h, Copies: copies, K: k}
+	if err := p.Validate(); err != nil {
+		return ChipPlan{}, err
+	}
+	area := float64(p.TreeArea()) * float64(copies) * float64(messages)
+	return ChipPlan{
+		Params:          p,
+		Pads:            messages,
+		MaxMessageBytes: p.KeyBits() / 8,
+		AreaMm2:         area / 1e12,
+		ReceiverSuccess: p.ReceiverSuccess(),
+		AdversarySucces: p.AdversarySuccess(),
+	}, nil
+}
+
+// String implements fmt.Stringer.
+func (c ChipPlan) String() string {
+	return fmt.Sprintf("ChipPlan{%d pads, H=%d, ≤%dB/message, %.4g mm², recv %.4f, adv %.2e}",
+		c.Pads, c.Params.Height, c.MaxMessageBytes, c.AreaMm2, c.ReceiverSuccess, c.AdversarySucces)
+}

@@ -1,0 +1,151 @@
+package password
+
+import (
+	"math"
+	"testing"
+
+	"lemonade/internal/rng"
+)
+
+func TestUrEtAlCalibration(t *testing.T) {
+	c := UrEtAl()
+	// the paper's quoted operating points
+	if got := c.SuccessProb(100_000); math.Abs(got-0.01) > 1e-9 {
+		t.Errorf("P(crack|100k) = %g, want 0.01", got)
+	}
+	if got := c.SuccessProb(200_000); math.Abs(got-0.02) > 1e-9 {
+		t.Errorf("P(crack|200k) = %g, want 0.02", got)
+	}
+	if got := c.SuccessProb(91_250); got >= 0.01 {
+		t.Errorf("P(crack|91250) = %g, must be below 1%%", got)
+	}
+}
+
+func TestSuccessProbMonotone(t *testing.T) {
+	c := UrEtAl()
+	prev := -1.0
+	for g := 1.0; g < 1e15; g *= 3 {
+		p := c.SuccessProb(g)
+		if p < prev {
+			t.Fatalf("curve not monotone at %g guesses", g)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %g", p)
+		}
+		prev = p
+	}
+	if c.SuccessProb(0.5) != 0 {
+		t.Error("below one guess nothing cracks")
+	}
+}
+
+func TestGuessesForProbInverse(t *testing.T) {
+	c := UrEtAl()
+	for _, p := range []float64{0.001, 0.01, 0.02, 0.1, 0.5} {
+		g := c.GuessesForProb(p)
+		back := c.SuccessProb(g)
+		if math.Abs(back-p) > 1e-6 {
+			t.Errorf("inverse broken at p=%g: guesses=%g back=%g", p, g, back)
+		}
+	}
+	if !math.IsInf(c.GuessesForProb(1.1), 1) {
+		t.Error("impossible fraction should need infinite guesses")
+	}
+	if c.GuessesForProb(0) != 0 {
+		t.Error("zero fraction needs zero guesses")
+	}
+}
+
+func TestNewCurveValidation(t *testing.T) {
+	if _, err := NewCurve([]Anchor{{1, 0.1}}); err == nil {
+		t.Error("single anchor should fail")
+	}
+	if _, err := NewCurve([]Anchor{{1, 0.1}, {10, 0.05}}); err == nil {
+		t.Error("non-increasing prob should fail")
+	}
+	if _, err := NewCurve([]Anchor{{1, 0.1}, {1, 0.2}}); err == nil {
+		t.Error("duplicate guesses should fail")
+	}
+	if _, err := NewCurve([]Anchor{{0.5, 0.1}, {10, 0.2}}); err == nil {
+		t.Error("sub-one guesses should fail")
+	}
+	if _, err := NewCurve([]Anchor{{1, 0.1}, {10, 1.5}}); err == nil {
+		t.Error("prob > 1 should fail")
+	}
+}
+
+func TestSampleRankDistribution(t *testing.T) {
+	// Fraction of sampled ranks below G guesses must match SuccessProb(G).
+	c := UrEtAl()
+	r := rng.New(17)
+	const n = 300000
+	within100k, within1e8 := 0, 0
+	for i := 0; i < n; i++ {
+		rank := c.SampleRank(r)
+		if rank <= 100_000 {
+			within100k++
+		}
+		if rank <= 1e8 {
+			within1e8++
+		}
+	}
+	f100k := float64(within100k) / n
+	if math.Abs(f100k-0.01) > 0.002 {
+		t.Errorf("P(rank<=100k) = %g, want ~0.01", f100k)
+	}
+	f1e8 := float64(within1e8) / n
+	if math.Abs(f1e8-0.45) > 0.01 {
+		t.Errorf("P(rank<=1e8) = %g, want ~0.45", f1e8)
+	}
+}
+
+func TestRejectPopularShiftsCurve(t *testing.T) {
+	c := UrEtAl()
+	// Rejecting the most popular 1% means the attacker's first 100k guesses
+	// (the old head) are all refused choices; cracking the *remaining*
+	// population needs far more guesses.
+	r1, err := c.RejectPopular(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift identity: the attacker skips the banned head, so
+	// P_rejected(G) = (P(G + skip) - frac) / (1 - frac).
+	skip := c.GuessesForProb(0.01)
+	for _, g := range []float64{150_000, 500_000, 5e6, 5e8} {
+		want := (c.SuccessProb(g+skip) - 0.01) / 0.99
+		got := r1.SuccessProb(g)
+		if math.Abs(got-want) > 0.01*want+1e-9 {
+			t.Errorf("shift identity broken at G=%g: got %g want %g", g, got, want)
+		}
+	}
+	// Fig 4d's operating point: with the popular 1% rejected, a hardware
+	// upper bound of 100,000 attempts keeps the residual crack probability
+	// at ~1% — the same risk level the baseline had at its tighter bound.
+	if got := r1.SuccessProb(100_000); got > 0.012 {
+		t.Errorf("P_rejected(100k) = %g, should stay ~1%%", got)
+	}
+	if _, err := c.RejectPopular(2.0); err == nil {
+		t.Error("rejecting beyond ceiling should fail")
+	}
+	same, err := c.RejectPopular(0)
+	if err != nil || same != c {
+		t.Error("rejecting nothing should return the curve unchanged")
+	}
+}
+
+func TestPasswordStringDeterministicAndDistinct(t *testing.T) {
+	if PasswordString(5) != PasswordString(5) {
+		t.Error("PasswordString must be deterministic")
+	}
+	seen := map[string]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		s := PasswordString(i)
+		if len(s) != 8 {
+			t.Fatalf("password %q not 8 chars", s)
+		}
+		if seen[s] {
+			t.Fatalf("collision at rank %d: %q", i, s)
+		}
+		seen[s] = true
+	}
+}

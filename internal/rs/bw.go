@@ -1,0 +1,216 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"lemonade/internal/gf256"
+)
+
+// This file adds Berlekamp–Welch decoding: recovery from *corrupted*
+// shards, not just erased ones. The paper's architectures only face
+// erasures (a dead switch returns nothing), but RS is introduced as "the
+// error correction version of Shamir's secret-sharing scheme", and a
+// hardware fault model in which a failing switch returns garbage instead
+// of nothing needs genuine error correction. With n shards of a k-data
+// code, up to ⌊(n−k)/2⌋ corrupted shards are corrected.
+
+// ErrTooManyErrors is returned when decoding fails to find a consistent
+// codeword, i.e. more shards are corrupt than the code can correct.
+var ErrTooManyErrors = errors.New("rs: too many corrupted shards to correct")
+
+// DecodeWithErrors reconstructs the original data from n' >= k shards of
+// which up to ⌊(n'−k)/2⌋ may be silently corrupted. All shards must be
+// present (by index) and equal length; use Decode for the erasure-only
+// case, which tolerates more loss.
+func (c *Code) DecodeWithErrors(shards []Shard) ([]byte, error) {
+	distinct := make([]Shard, 0, len(shards))
+	seen := map[int]bool{}
+	for _, s := range shards {
+		if s.Index < 0 || s.Index >= c.n {
+			return nil, fmt.Errorf("rs: shard index %d out of range [0,%d)", s.Index, c.n)
+		}
+		if seen[s.Index] {
+			continue
+		}
+		seen[s.Index] = true
+		distinct = append(distinct, s)
+	}
+	if len(distinct) < c.k {
+		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrTooFewShards, len(distinct), c.k)
+	}
+	shardLen := len(distinct[0].Data)
+	for _, s := range distinct {
+		if len(s.Data) != shardLen {
+			return nil, errors.New("rs: shards have inconsistent lengths")
+		}
+	}
+	nn := len(distinct)
+	e := (nn - c.k) / 2 // correctable errors
+	xs := make([]byte, nn)
+	for i, s := range distinct {
+		xs[i] = byte(s.Index + 1)
+	}
+	data := make([]byte, c.k*shardLen)
+	ys := make([]byte, nn)
+	for col := 0; col < shardLen; col++ {
+		for i, s := range distinct {
+			ys[i] = s.Data[col]
+		}
+		poly, err := berlekampWelch(xs, ys, c.k, e)
+		if err != nil {
+			return nil, err
+		}
+		for di := 0; di < c.k; di++ {
+			data[di*shardLen+col] = poly.Eval(byte(di + 1))
+		}
+	}
+	return data, nil
+}
+
+// RecoverPolynomial recovers the degree < k polynomial through the points
+// (xs, ys), of which up to ⌊(len(xs)−k)/2⌋ may be corrupted. This is the
+// McEliece–Sarwate bridge the paper cites: Shamir shares are evaluations
+// of a degree-(k−1) polynomial, i.e. a Reed-Solomon codeword, so they can
+// be decoded with error correction and the secret read off at x = 0.
+func RecoverPolynomial(xs, ys []byte, k int) (gf256.Polynomial, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("rs: mismatched point slices (%d vs %d)", len(xs), len(ys))
+	}
+	if len(xs) < k {
+		return nil, fmt.Errorf("%w: have %d points, need %d", ErrTooFewShards, len(xs), k)
+	}
+	return berlekampWelch(xs, ys, k, (len(xs)-k)/2)
+}
+
+// berlekampWelch recovers the degree < k message polynomial from points
+// (xs, ys) with at most e errors. It solves for an error locator E (monic,
+// degree e) and Q (degree < k+e) with Q(x_i) = y_i·E(x_i), then divides.
+func berlekampWelch(xs, ys []byte, k, e int) (gf256.Polynomial, error) {
+	n := len(xs)
+	// Unknowns: q_0..q_{k+e-1} then e_0..e_{e-1} (E's leading coeff is 1).
+	cols := k + 2*e
+	if cols > n {
+		cols = n // cannot use more unknowns than equations
+	}
+	// Build the augmented system row per point:
+	//   sum_j q_j x^j − y·sum_j e_j x^j = y·x^e
+	m := make([][]byte, n)
+	for i := range m {
+		row := make([]byte, cols+1)
+		xp := byte(1)
+		for j := 0; j < k+e; j++ {
+			row[j] = xp
+			xp = gf256.Mul(xp, xs[i])
+		}
+		xp = byte(1)
+		for j := 0; j < e; j++ {
+			row[k+e+j] = gf256.Mul(ys[i], xp)
+			xp = gf256.Mul(xp, xs[i])
+		}
+		// RHS: y_i · x_i^e
+		rhs := ys[i]
+		for j := 0; j < e; j++ {
+			rhs = gf256.Mul(rhs, xs[i])
+		}
+		row[cols] = rhs
+		m[i] = row
+	}
+	sol, ok := solveGF256(m, cols)
+	if !ok {
+		return nil, ErrTooManyErrors
+	}
+	q := gf256.Polynomial(sol[:k+e])
+	eloc := make(gf256.Polynomial, e+1)
+	copy(eloc, sol[k+e:])
+	eloc[e] = 1 // monic
+	p, rem := polyDiv(q, eloc)
+	for _, r := range rem {
+		if r != 0 {
+			return nil, ErrTooManyErrors
+		}
+	}
+	// trim/extend to degree < k
+	out := make(gf256.Polynomial, k)
+	copy(out, p)
+	for i := k; i < len(p); i++ {
+		if p[i] != 0 {
+			return nil, ErrTooManyErrors
+		}
+	}
+	return out, nil
+}
+
+// solveGF256 solves the augmented linear system (rows of length cols+1)
+// over GF(256) by Gaussian elimination, returning one solution (free
+// variables set to zero). ok is false if the system is inconsistent.
+func solveGF256(m [][]byte, cols int) (sol []byte, ok bool) {
+	rows := len(m)
+	pivotCol := make([]int, 0, cols)
+	r := 0
+	for c := 0; c < cols && r < rows; c++ {
+		// find pivot
+		pivot := -1
+		for i := r; i < rows; i++ {
+			if m[i][c] != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m[r], m[pivot] = m[pivot], m[r]
+		inv := gf256.Inv(m[r][c])
+		for j := c; j <= cols; j++ {
+			m[r][j] = gf256.Mul(m[r][j], inv)
+		}
+		for i := 0; i < rows; i++ {
+			if i == r || m[i][c] == 0 {
+				continue
+			}
+			f := m[i][c]
+			for j := c; j <= cols; j++ {
+				m[i][j] ^= gf256.Mul(f, m[r][j])
+			}
+		}
+		pivotCol = append(pivotCol, c)
+		r++
+	}
+	// consistency: zero rows must have zero RHS
+	for i := r; i < rows; i++ {
+		if m[i][cols] != 0 {
+			return nil, false
+		}
+	}
+	sol = make([]byte, cols)
+	for i, c := range pivotCol {
+		sol[c] = m[i][cols]
+	}
+	return sol, true
+}
+
+// polyDiv divides a by b over GF(256), returning quotient and remainder.
+func polyDiv(a, b gf256.Polynomial) (q, r gf256.Polynomial) {
+	db := b.Degree()
+	if db < 0 {
+		panic("rs: division by zero polynomial")
+	}
+	r = append(gf256.Polynomial(nil), a...)
+	if a.Degree() < db {
+		return gf256.Polynomial{}, r
+	}
+	q = make(gf256.Polynomial, a.Degree()-db+1)
+	inv := gf256.Inv(b[db])
+	for d := a.Degree(); d >= db; d-- {
+		if r[d] == 0 {
+			continue
+		}
+		coef := gf256.Mul(r[d], inv)
+		q[d-db] = coef
+		for j := 0; j <= db; j++ {
+			r[d-db+j] ^= gf256.Mul(coef, b[j])
+		}
+	}
+	return q, r
+}

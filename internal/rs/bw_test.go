@@ -1,0 +1,154 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lemonade/internal/rng"
+)
+
+func TestDecodeWithErrorsNoCorruption(t *testing.T) {
+	c, _ := New(4, 10)
+	data := []byte("error correcting")
+	shards, _ := c.Encode(data)
+	all := make([]Shard, len(shards))
+	for i, s := range shards {
+		all[i] = Shard{Index: i, Data: append([]byte(nil), s...)}
+	}
+	got, err := c.DecodeWithErrors(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("clean decode = %q", got)
+	}
+}
+
+func TestDecodeWithErrorsCorrectsCorruption(t *testing.T) {
+	// n=10, k=4: corrects up to 3 corrupted shards.
+	c, _ := New(4, 10)
+	data := []byte("error correcting")
+	shards, _ := c.Encode(data)
+	for nErrors := 1; nErrors <= 3; nErrors++ {
+		all := make([]Shard, len(shards))
+		for i, s := range shards {
+			all[i] = Shard{Index: i, Data: append([]byte(nil), s...)}
+		}
+		// corrupt shards silently
+		for e := 0; e < nErrors; e++ {
+			idx := (e * 3) % len(all)
+			for b := range all[idx].Data {
+				all[idx].Data[b] ^= 0x5A
+			}
+		}
+		got, err := c.DecodeWithErrors(all)
+		if err != nil {
+			t.Fatalf("%d errors: %v", nErrors, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("%d errors: decode = %q", nErrors, got)
+		}
+	}
+}
+
+func TestDecodeWithErrorsDetectsOverload(t *testing.T) {
+	// 4 corrupted of 10 with k=4 exceeds the (n-k)/2 = 3 bound; the
+	// decoder must fail rather than return wrong data... except for
+	// pathological corruptions that land on another codeword; XOR of a
+	// constant into 4 specific shards is overwhelmingly not one.
+	c, _ := New(4, 10)
+	data := []byte("error correcting")
+	shards, _ := c.Encode(data)
+	all := make([]Shard, len(shards))
+	for i, s := range shards {
+		all[i] = Shard{Index: i, Data: append([]byte(nil), s...)}
+	}
+	for e := 0; e < 4; e++ {
+		for b := range all[e].Data {
+			all[e].Data[b] ^= byte(0x11 * (e + 1))
+		}
+	}
+	got, err := c.DecodeWithErrors(all)
+	if err == nil && bytes.Equal(got, data) {
+		t.Error("decoder should not silently succeed beyond its bound")
+	}
+}
+
+func TestDecodeWithErrorsSubsetOfShards(t *testing.T) {
+	// 7 of 10 shards present, one corrupted: e = (7-4)/2 = 1 correctable.
+	c, _ := New(4, 10)
+	data := []byte("subset decoding!")
+	shards, _ := c.Encode(data)
+	subset := []Shard{
+		{Index: 0, Data: append([]byte(nil), shards[0]...)},
+		{Index: 2, Data: append([]byte(nil), shards[2]...)},
+		{Index: 3, Data: append([]byte(nil), shards[3]...)},
+		{Index: 5, Data: append([]byte(nil), shards[5]...)},
+		{Index: 6, Data: append([]byte(nil), shards[6]...)},
+		{Index: 8, Data: append([]byte(nil), shards[8]...)},
+		{Index: 9, Data: append([]byte(nil), shards[9]...)},
+	}
+	subset[4].Data[1] ^= 0xFF
+	got, err := c.DecodeWithErrors(subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("subset decode = %q", got)
+	}
+}
+
+func TestDecodeWithErrorsValidation(t *testing.T) {
+	c, _ := New(3, 6)
+	if _, err := c.DecodeWithErrors([]Shard{{Index: 0, Data: []byte{1}}}); !errors.Is(err, ErrTooFewShards) {
+		t.Errorf("too few shards: %v", err)
+	}
+	if _, err := c.DecodeWithErrors([]Shard{{Index: 9, Data: []byte{1}}}); err == nil {
+		t.Error("bad index should error")
+	}
+	bad := []Shard{
+		{Index: 0, Data: []byte{1, 2}},
+		{Index: 1, Data: []byte{1}},
+		{Index: 2, Data: []byte{1, 2}},
+	}
+	if _, err := c.DecodeWithErrors(bad); err == nil {
+		t.Error("inconsistent lengths should error")
+	}
+}
+
+func TestDecodeWithErrorsRandomized(t *testing.T) {
+	r := rng.New(999)
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + r.Intn(5)
+		n := k + 2 + r.Intn(8)
+		c, err := New(k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, k*3)
+		r.Bytes(data)
+		shards, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make([]Shard, n)
+		for i, s := range shards {
+			all[i] = Shard{Index: i, Data: append([]byte(nil), s...)}
+		}
+		e := (n - k) / 2
+		nErr := r.Intn(e + 1)
+		perm := r.Perm(n)[:nErr]
+		for _, idx := range perm {
+			pos := r.Intn(len(all[idx].Data))
+			all[idx].Data[pos] ^= byte(1 + r.Intn(255))
+		}
+		got, err := c.DecodeWithErrors(all)
+		if err != nil {
+			t.Fatalf("trial %d (k=%d n=%d errs=%d): %v", trial, k, n, nErr, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: wrong data", trial)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package rs
+
+import (
+	"bytes"
+	"testing"
+
+	"lemonade/internal/rng"
+)
+
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add([]byte("0123456789ab"), uint8(3), uint8(6), uint64(7))
+	f.Add([]byte{1, 2}, uint8(1), uint8(4), uint64(9))
+	f.Fuzz(func(t *testing.T, data []byte, k8, n8 uint8, seed uint64) {
+		k := int(k8%16) + 1
+		n := k + int(n8%32)
+		if len(data) == 0 || len(data) > 512 {
+			return
+		}
+		c, err := New(k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		padded, orig := Pad(data, k)
+		shards, err := c.Encode(padded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// decode from a pseudo-random k-subset
+		r := rng.New(seed)
+		perm := r.Perm(n)[:k]
+		survivors := make([]Shard, k)
+		for i, idx := range perm {
+			survivors[i] = Shard{Index: idx, Data: shards[idx]}
+		}
+		got, err := c.Decode(survivors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(Unpad(got, orig), data) {
+			t.Fatal("erasure round trip failed")
+		}
+	})
+}
+
+func FuzzRecoverPolynomialWithErrors(f *testing.F) {
+	f.Add([]byte("abcdefgh"), uint8(3), uint8(9), uint64(1), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, k8, n8 uint8, seed uint64, errCount uint8) {
+		k := int(k8%8) + 1
+		n := k + 2 + int(n8%16)
+		if len(data) == 0 || len(data) > 64 {
+			return
+		}
+		c, err := New(k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		padded, orig := Pad(data, k)
+		shards, err := c.Encode(padded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make([]Shard, n)
+		for i, s := range shards {
+			all[i] = Shard{Index: i, Data: append([]byte(nil), s...)}
+		}
+		r := rng.New(seed)
+		maxErr := (n - k) / 2
+		nErr := int(errCount) % (maxErr + 1)
+		for _, idx := range r.Perm(n)[:nErr] {
+			pos := r.Intn(len(all[idx].Data))
+			all[idx].Data[pos] ^= byte(1 + r.Intn(255))
+		}
+		got, err := c.DecodeWithErrors(all)
+		if err != nil {
+			t.Fatalf("k=%d n=%d errs=%d: %v", k, n, nErr, err)
+		}
+		if !bytes.Equal(Unpad(got, orig), data) {
+			t.Fatal("error-correcting round trip failed")
+		}
+	})
+}

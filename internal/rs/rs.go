@@ -1,0 +1,170 @@
+// Package rs implements a systematic Reed-Solomon erasure code over
+// GF(2^8) — the "error correction version of Shamir's secret-sharing
+// scheme" the paper uses for redundant encoding (§4.1.4, citing McEliece &
+// Sarwate).
+//
+// Encoding: k data shards are interpreted, byte column by byte column, as
+// evaluations of a degree-(k-1) polynomial at x = 1..k. The n-k parity
+// shards are that polynomial's evaluations at x = k+1..n. Any k of the n
+// shards reconstruct every column by Lagrange interpolation, so the code
+// tolerates up to n-k erasures — exactly the device-failure erasures a
+// k-out-of-n NEMS parallel structure produces.
+//
+// Unlike Shamir, RS is not secret-hiding on its own (the data shards are
+// plaintext); the paper's security argument for the key components comes
+// from pairing the encoding with Shamir-style secret shares or from
+// encoding an already-random key. Both packages are provided so the
+// architectures can choose.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"lemonade/internal/gf256"
+)
+
+// MaxShards is the maximum total number of shards (field size limit).
+const MaxShards = 255
+
+// ErrTooFewShards is returned when fewer than k shards survive.
+var ErrTooFewShards = errors.New("rs: not enough shards to reconstruct")
+
+// Code is a fixed (k, n) Reed-Solomon erasure code.
+type Code struct {
+	k, n int
+}
+
+// New constructs a code with k data shards and n total shards.
+func New(k, n int) (*Code, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("rs: k must be >= 1, got %d", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("rs: n (%d) must be >= k (%d)", n, k)
+	}
+	if n > MaxShards {
+		return nil, fmt.Errorf("rs: n must be <= %d, got %d", MaxShards, n)
+	}
+	return &Code{k: k, n: n}, nil
+}
+
+// K returns the number of data shards.
+func (c *Code) K() int { return c.k }
+
+// N returns the total number of shards.
+func (c *Code) N() int { return c.n }
+
+// Encode splits data into k shards and appends n-k parity shards.
+// len(data) must be a multiple of k (pad upstream if needed). The returned
+// slice has n shards of len(data)/k bytes each; the first k are the data
+// itself (systematic code).
+func (c *Code) Encode(data []byte) ([][]byte, error) {
+	if len(data) == 0 || len(data)%c.k != 0 {
+		return nil, fmt.Errorf("rs: data length %d is not a positive multiple of k=%d", len(data), c.k)
+	}
+	shardLen := len(data) / c.k
+	shards := make([][]byte, c.n)
+	for i := 0; i < c.k; i++ {
+		shards[i] = append([]byte(nil), data[i*shardLen:(i+1)*shardLen]...)
+	}
+	for i := c.k; i < c.n; i++ {
+		shards[i] = make([]byte, shardLen)
+	}
+	xs := make([]byte, c.k)
+	for i := range xs {
+		xs[i] = byte(i + 1)
+	}
+	ys := make([]byte, c.k)
+	for col := 0; col < shardLen; col++ {
+		for i := 0; i < c.k; i++ {
+			ys[i] = shards[i][col]
+		}
+		for i := c.k; i < c.n; i++ {
+			v, err := gf256.Interpolate(xs, ys, byte(i+1))
+			if err != nil {
+				return nil, err
+			}
+			shards[i][col] = v
+		}
+	}
+	return shards, nil
+}
+
+// Shard pairs a shard index with its bytes, for decoding from survivors.
+type Shard struct {
+	Index int // 0-based shard index as produced by Encode
+	Data  []byte
+}
+
+// Decode reconstructs the original data from any k surviving shards.
+// Duplicate indices are ignored; shards must agree on length.
+func (c *Code) Decode(survivors []Shard) ([]byte, error) {
+	distinct := make([]Shard, 0, c.k)
+	seen := map[int]bool{}
+	for _, s := range survivors {
+		if s.Index < 0 || s.Index >= c.n {
+			return nil, fmt.Errorf("rs: shard index %d out of range [0,%d)", s.Index, c.n)
+		}
+		if seen[s.Index] {
+			continue
+		}
+		seen[s.Index] = true
+		distinct = append(distinct, s)
+		if len(distinct) == c.k {
+			break
+		}
+	}
+	if len(distinct) < c.k {
+		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrTooFewShards, len(distinct), c.k)
+	}
+	shardLen := len(distinct[0].Data)
+	for _, s := range distinct {
+		if len(s.Data) != shardLen {
+			return nil, errors.New("rs: shards have inconsistent lengths")
+		}
+	}
+	xs := make([]byte, c.k)
+	for i, s := range distinct {
+		xs[i] = byte(s.Index + 1)
+	}
+	ys := make([]byte, c.k)
+	data := make([]byte, c.k*shardLen)
+	for col := 0; col < shardLen; col++ {
+		for i, s := range distinct {
+			ys[i] = s.Data[col]
+		}
+		for di := 0; di < c.k; di++ {
+			v, err := gf256.Interpolate(xs, ys, byte(di+1))
+			if err != nil {
+				return nil, err
+			}
+			data[di*shardLen+col] = v
+		}
+	}
+	return data, nil
+}
+
+// Pad returns data padded with zeros to a multiple of k, plus the original
+// length for Unpad.
+func Pad(data []byte, k int) ([]byte, int) {
+	orig := len(data)
+	rem := len(data) % k
+	if rem == 0 && len(data) > 0 {
+		return data, orig
+	}
+	padded := make([]byte, len(data)+(k-rem)%k)
+	if len(padded) == 0 {
+		padded = make([]byte, k)
+	}
+	copy(padded, data)
+	return padded, orig
+}
+
+// Unpad trims padded data back to its original length.
+func Unpad(data []byte, origLen int) []byte {
+	if origLen > len(data) {
+		return data
+	}
+	return data[:origLen]
+}

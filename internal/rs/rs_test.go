@@ -1,0 +1,195 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lemonade/internal/rng"
+)
+
+func TestEncodeDecodeAllShards(t *testing.T) {
+	c, err := New(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("abcdefghijklmnop") // 16 bytes, 4 shards of 4
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 7 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	// systematic: first k shards are the data
+	if !bytes.Equal(shards[0], []byte("abcd")) || !bytes.Equal(shards[3], []byte("mnop")) {
+		t.Error("code is not systematic")
+	}
+	all := make([]Shard, 7)
+	for i, s := range shards {
+		all[i] = Shard{Index: i, Data: s}
+	}
+	got, err := c.Decode(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("decode = %q", got)
+	}
+}
+
+func TestDecodeFromParityOnly(t *testing.T) {
+	c, _ := New(3, 6)
+	data := []byte("123456789") // 3 shards of 3
+	shards, _ := c.Encode(data)
+	survivors := []Shard{
+		{Index: 3, Data: shards[3]},
+		{Index: 4, Data: shards[4]},
+		{Index: 5, Data: shards[5]},
+	}
+	got, err := c.Decode(survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("parity-only decode = %q, want %q", got, data)
+	}
+}
+
+func TestDecodeEveryKSubset(t *testing.T) {
+	c, _ := New(2, 5)
+	data := []byte("hello world!") // 2 shards of 6
+	shards, _ := c.Encode(data)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			got, err := c.Decode([]Shard{{i, shards[i]}, {j, shards[j]}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("subset (%d,%d) decode failed", i, j)
+			}
+		}
+	}
+}
+
+func TestTooFewShards(t *testing.T) {
+	c, _ := New(3, 5)
+	data := []byte("abcdef")
+	shards, _ := c.Encode(data)
+	_, err := c.Decode([]Shard{{0, shards[0]}, {1, shards[1]}})
+	if !errors.Is(err, ErrTooFewShards) {
+		t.Errorf("expected ErrTooFewShards, got %v", err)
+	}
+	// duplicates don't count
+	_, err = c.Decode([]Shard{{0, shards[0]}, {0, shards[0]}, {0, shards[0]}})
+	if !errors.Is(err, ErrTooFewShards) {
+		t.Errorf("duplicates satisfied threshold: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 5); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := New(5, 3); err == nil {
+		t.Error("n<k should error")
+	}
+	if _, err := New(2, 300); err == nil {
+		t.Error("n>255 should error")
+	}
+	c, _ := New(3, 5)
+	if _, err := c.Encode([]byte("ab")); err == nil {
+		t.Error("non-multiple data length should error")
+	}
+	if _, err := c.Encode(nil); err == nil {
+		t.Error("empty data should error")
+	}
+	if _, err := c.Decode([]Shard{{Index: 9, Data: []byte{1}}}); err == nil {
+		t.Error("out-of-range shard index should error")
+	}
+	shards, _ := c.Encode([]byte("abcdef"))
+	bad := []Shard{{0, shards[0]}, {1, shards[1][:1]}, {2, shards[2]}}
+	if _, err := c.Decode(bad); err == nil {
+		t.Error("inconsistent shard lengths should error")
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	c, _ := New(4, 4) // no parity: pure striping
+	data := []byte("12345678")
+	shards, _ := c.Encode(data)
+	all := make([]Shard, 4)
+	for i := range shards {
+		all[i] = Shard{Index: i, Data: shards[i]}
+	}
+	got, err := c.Decode(all)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("k=n round trip failed: %v %q", err, got)
+	}
+}
+
+func TestK1IsReplication(t *testing.T) {
+	c, _ := New(1, 4)
+	data := []byte{0xAB, 0xCD}
+	shards, _ := c.Encode(data)
+	for i, s := range shards {
+		if !bytes.Equal(s, data) {
+			t.Errorf("k=1 shard %d is not a replica", i)
+		}
+	}
+}
+
+func TestPropertyRandomErasures(t *testing.T) {
+	r := rng.New(2024)
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		k := 1 + rr.Intn(8)
+		n := k + rr.Intn(10)
+		c, err := New(k, n)
+		if err != nil {
+			return false
+		}
+		data := make([]byte, k*(1+rr.Intn(8)))
+		r.Bytes(data)
+		shards, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		perm := rr.Perm(n)[:k] // survive a random k-subset
+		survivors := make([]Shard, k)
+		for i, idx := range perm {
+			survivors[i] = Shard{Index: idx, Data: shards[idx]}
+		}
+		got, err := c.Decode(survivors)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPadUnpad(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 11} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i + 1)
+		}
+		padded, orig := Pad(data, 4)
+		if len(padded)%4 != 0 || len(padded) == 0 {
+			t.Errorf("Pad(%d bytes) -> %d bytes, not positive multiple of 4", n, len(padded))
+		}
+		got := Unpad(padded, orig)
+		if !bytes.Equal(got, data) {
+			t.Errorf("Unpad round trip failed for n=%d", n)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c, _ := New(3, 9)
+	if c.K() != 3 || c.N() != 9 {
+		t.Error("accessors wrong")
+	}
+}

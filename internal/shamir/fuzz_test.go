@@ -1,0 +1,40 @@
+package shamir
+
+import (
+	"bytes"
+	"testing"
+
+	"lemonade/internal/rng"
+)
+
+func FuzzSplitCombine(f *testing.F) {
+	f.Add([]byte("seed secret"), uint8(3), uint8(5), uint64(1))
+	f.Add([]byte{0}, uint8(1), uint8(1), uint64(2))
+	f.Add([]byte{255, 0, 127}, uint8(8), uint8(128), uint64(3))
+	f.Fuzz(func(t *testing.T, secret []byte, k8, n8 uint8, seed uint64) {
+		k := int(k8%32) + 1
+		n := k + int(n8%64)
+		if len(secret) == 0 || len(secret) > 256 {
+			return
+		}
+		r := rng.New(seed)
+		shares, err := Split(secret, k, n, r)
+		if err != nil {
+			t.Fatalf("Split(k=%d, n=%d): %v", k, n, err)
+		}
+		// combine from the last k shares (any subset must work)
+		got, err := Combine(shares[n-k:], k)
+		if err != nil {
+			t.Fatalf("Combine: %v", err)
+		}
+		if !bytes.Equal(got, secret) {
+			t.Fatalf("round trip failed: %x != %x", got, secret)
+		}
+		// k-1 shares must never reconstruct
+		if k > 1 {
+			if _, err := Combine(shares[:k-1], k); err == nil {
+				t.Fatal("below-threshold reconstruction succeeded")
+			}
+		}
+	})
+}

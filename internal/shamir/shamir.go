@@ -1,0 +1,129 @@
+// Package shamir implements Shamir's (k, n) threshold secret-sharing scheme
+// over GF(2^8), the redundant-encoding mechanism of §4.1.4 of the paper.
+//
+// A secret byte string is encoded into n component shares such that any k
+// shares reconstruct the secret exactly, while k-1 or fewer shares reveal
+// no information about it. The paper stores each component in a
+// read-destructive memory behind a NEMS structure; device failures show up
+// as share *erasures*, which the scheme tolerates by design.
+//
+// Share x-coordinates are 1..n (x = 0 would leak the secret directly, since
+// the secret is the constant coefficient q(0)).
+package shamir
+
+import (
+	"errors"
+	"fmt"
+
+	"lemonade/internal/gf256"
+	"lemonade/internal/rng"
+)
+
+// MaxShares is the largest supported n: the field has 255 usable nonzero
+// x-coordinates.
+const MaxShares = 255
+
+// Share is one component of a split secret.
+type Share struct {
+	X    byte   // evaluation point, 1..n
+	Data []byte // q_i(X) for each secret byte i
+}
+
+// Clone returns a deep copy of the share.
+func (s Share) Clone() Share {
+	d := make([]byte, len(s.Data))
+	copy(d, s.Data)
+	return Share{X: s.X, Data: d}
+}
+
+var (
+	// ErrTooFewShares is returned by Combine when fewer than the threshold
+	// number of distinct shares are supplied.
+	ErrTooFewShares = errors.New("shamir: not enough shares to reconstruct")
+	// ErrInconsistent is returned when shares disagree on length.
+	ErrInconsistent = errors.New("shamir: shares have inconsistent lengths")
+)
+
+// Split encodes secret into n shares with threshold k. Every byte of the
+// secret is embedded as the constant term of an independent random
+// polynomial of degree k-1 (Eq 7 of the paper), evaluated at x = 1..n.
+func Split(secret []byte, k, n int, r *rng.RNG) ([]Share, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("shamir: threshold k must be >= 1, got %d", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("shamir: n (%d) must be >= k (%d)", n, k)
+	}
+	if n > MaxShares {
+		return nil, fmt.Errorf("shamir: n must be <= %d, got %d", MaxShares, n)
+	}
+	if len(secret) == 0 {
+		return nil, errors.New("shamir: empty secret")
+	}
+	shares := make([]Share, n)
+	for i := range shares {
+		shares[i] = Share{X: byte(i + 1), Data: make([]byte, len(secret))}
+	}
+	coeffs := make(gf256.Polynomial, k)
+	for b, s := range secret {
+		coeffs[0] = s
+		for j := 1; j < k; j++ {
+			coeffs[j] = byte(r.Intn(256))
+		}
+		for i := range shares {
+			shares[i].Data[b] = coeffs.Eval(shares[i].X)
+		}
+	}
+	return shares, nil
+}
+
+// Combine reconstructs the secret from at least k distinct shares.
+// Extra shares beyond k are ignored (the first k distinct ones are used),
+// mirroring a receiver that stops reading components once enough paths
+// succeeded.
+func Combine(shares []Share, k int) ([]byte, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("shamir: threshold k must be >= 1, got %d", k)
+	}
+	distinct := make([]Share, 0, k)
+	seen := map[byte]bool{}
+	for _, s := range shares {
+		if s.X == 0 {
+			return nil, errors.New("shamir: share with x=0 is invalid")
+		}
+		if seen[s.X] {
+			continue
+		}
+		seen[s.X] = true
+		distinct = append(distinct, s)
+		if len(distinct) == k {
+			break
+		}
+	}
+	if len(distinct) < k {
+		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrTooFewShares, len(distinct), k)
+	}
+	length := len(distinct[0].Data)
+	for _, s := range distinct {
+		if len(s.Data) != length {
+			return nil, ErrInconsistent
+		}
+	}
+	xs := make([]byte, k)
+	for i, s := range distinct {
+		xs[i] = s.X
+	}
+	secret := make([]byte, length)
+	ys := make([]byte, k)
+	for b := 0; b < length; b++ {
+		for i, s := range distinct {
+			ys[i] = s.Data[b]
+		}
+		v, err := gf256.Interpolate(xs, ys, 0)
+		if err != nil {
+			return nil, err
+		}
+		secret[b] = v
+	}
+	return secret, nil
+}

@@ -1,0 +1,141 @@
+// Package shamir16 is Shamir's (k, n) threshold secret sharing over
+// GF(2^16): functionally identical to package shamir but supporting up to
+// 65,535 shares, as needed by the wide parallel structures of the paper's
+// low-β designs (a β=4 connection structure has thousands of devices).
+//
+// Secrets are byte strings; they are processed as 16-bit words (odd-length
+// secrets carry a one-byte pad recorded in each share).
+package shamir16
+
+import (
+	"errors"
+	"fmt"
+
+	"lemonade/internal/gf16"
+	"lemonade/internal/rng"
+)
+
+// MaxShares is the widest supported sharing.
+const MaxShares = 1<<16 - 1
+
+// Share is one component of a split secret.
+type Share struct {
+	X      uint16   // evaluation point, 1..n
+	Data   []uint16 // q_i(X) per 16-bit secret word
+	Padded bool     // the secret had odd length; last word's low byte is padding
+}
+
+var (
+	// ErrTooFewShares mirrors shamir.ErrTooFewShares.
+	ErrTooFewShares = errors.New("shamir16: not enough shares to reconstruct")
+	// ErrInconsistent is returned when shares disagree on shape.
+	ErrInconsistent = errors.New("shamir16: shares have inconsistent shapes")
+)
+
+// Split encodes secret into n shares with threshold k.
+func Split(secret []byte, k, n int, r *rng.RNG) ([]Share, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("shamir16: threshold k must be >= 1, got %d", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("shamir16: n (%d) must be >= k (%d)", n, k)
+	}
+	if n > MaxShares {
+		return nil, fmt.Errorf("shamir16: n must be <= %d, got %d", MaxShares, n)
+	}
+	if len(secret) == 0 {
+		return nil, errors.New("shamir16: empty secret")
+	}
+	words, padded := toWords(secret)
+	shares := make([]Share, n)
+	for i := range shares {
+		shares[i] = Share{X: uint16(i + 1), Data: make([]uint16, len(words)), Padded: padded}
+	}
+	coeffs := make(gf16.Polynomial, k)
+	for w, s := range words {
+		coeffs[0] = s
+		for j := 1; j < k; j++ {
+			coeffs[j] = uint16(r.Intn(1 << 16))
+		}
+		for i := range shares {
+			shares[i].Data[w] = coeffs.Eval(shares[i].X)
+		}
+	}
+	return shares, nil
+}
+
+// Combine reconstructs the secret from at least k distinct shares.
+func Combine(shares []Share, k int) ([]byte, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("shamir16: threshold k must be >= 1, got %d", k)
+	}
+	distinct := make([]Share, 0, k)
+	seen := map[uint16]bool{}
+	for _, s := range shares {
+		if s.X == 0 {
+			return nil, errors.New("shamir16: share with x=0 is invalid")
+		}
+		if seen[s.X] {
+			continue
+		}
+		seen[s.X] = true
+		distinct = append(distinct, s)
+		if len(distinct) == k {
+			break
+		}
+	}
+	if len(distinct) < k {
+		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrTooFewShares, len(distinct), k)
+	}
+	words := len(distinct[0].Data)
+	padded := distinct[0].Padded
+	for _, s := range distinct {
+		if len(s.Data) != words || s.Padded != padded {
+			return nil, ErrInconsistent
+		}
+	}
+	xs := make([]uint16, k)
+	for i, s := range distinct {
+		xs[i] = s.X
+	}
+	out := make([]uint16, words)
+	ys := make([]uint16, k)
+	for w := 0; w < words; w++ {
+		for i, s := range distinct {
+			ys[i] = s.Data[w]
+		}
+		v, err := gf16.Interpolate(xs, ys, 0)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = v
+	}
+	return fromWords(out, padded), nil
+}
+
+// toWords packs bytes big-endian into 16-bit words, padding odd lengths.
+func toWords(b []byte) (words []uint16, padded bool) {
+	padded = len(b)%2 != 0
+	n := (len(b) + 1) / 2
+	words = make([]uint16, n)
+	for i := 0; i < len(b); i++ {
+		if i%2 == 0 {
+			words[i/2] = uint16(b[i]) << 8
+		} else {
+			words[i/2] |= uint16(b[i])
+		}
+	}
+	return words, padded
+}
+
+// fromWords unpacks words back into bytes, trimming padding.
+func fromWords(words []uint16, padded bool) []byte {
+	out := make([]byte, 0, 2*len(words))
+	for _, w := range words {
+		out = append(out, byte(w>>8), byte(w))
+	}
+	if padded && len(out) > 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+// Package targeting implements use case 2 of the paper (§5): a limited-use
+// targeting system. The launching station receives encrypted targeting
+// commands over a (possibly compromised) network; each decryption of a
+// command requires reading the command-decryption key through wearout
+// hardware sized for the mission's expected usage (e.g. 100 commands).
+// The bound both caps how many commands the station will ever execute —
+// even for an adversary who fully controls the communication link — and
+// throttles brute-force attacks on the command encryption.
+//
+// The degradation criteria here are strict: "we do not want a single
+// unintentional targeting command to be executed" past the bound.
+package targeting
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"lemonade/internal/core"
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+var (
+	// ErrExpired is returned once the station's wearout hardware is
+	// exhausted: no further commands will ever execute.
+	ErrExpired = errors.New("targeting: station expired (hardware worn out)")
+	// ErrBadCommand is returned for commands that do not authenticate.
+	ErrBadCommand = errors.New("targeting: command failed authentication")
+	// ErrTransient is returned when the hardware access failed but the
+	// station may recover on retry.
+	ErrTransient = errors.New("targeting: transient hardware failure; retry")
+)
+
+// Command is a decrypted, authenticated targeting order.
+type Command struct {
+	Seq     uint64
+	Payload string
+}
+
+// Station is a simulated launching station. It is safe for concurrent
+// use: multiple communication links may deliver commands simultaneously,
+// and the wearout budget must be consumed consistently across them.
+type Station struct {
+	mu       sync.Mutex
+	arch     *core.Architecture
+	executed []Command
+}
+
+// CommandCenter encrypts targeting commands with the mission key. It lives
+// on the command-and-control side of the link.
+type CommandCenter struct {
+	key []byte
+	seq uint64
+	r   *rng.RNG
+}
+
+// NewMission provisions a command center and a station sharing a fresh
+// mission key; the station's copy sits behind wearout hardware built from
+// design.
+func NewMission(design dse.Design, r *rng.RNG) (*CommandCenter, *Station, error) {
+	key := make([]byte, 32)
+	r.Bytes(key)
+	arch, err := core.Build(design, key, r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("targeting: building station hardware: %w", err)
+	}
+	return &CommandCenter{key: key, r: r}, &Station{arch: arch}, nil
+}
+
+// MissionSpec returns the paper's §5 design problem: an expected usage of
+// `commands` orders with strict fast-degradation criteria.
+func MissionSpec(dist weibull.Dist, commands int, kFrac float64) dse.Spec {
+	return dse.Spec{
+		Dist:        dist,
+		Criteria:    reliability.Criteria{MinWork: 0.99, MaxOverrun: 0.01},
+		LAB:         commands,
+		KFrac:       kFrac,
+		ContinuousT: true,
+	}
+}
+
+// Encrypt seals a targeting order for the station.
+func (c *CommandCenter) Encrypt(payload string) ([]byte, error) {
+	c.seq++
+	plain := fmt.Sprintf("%d|%s", c.seq, payload)
+	block, err := aes.NewCipher(kdf(c.key))
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	c.r.Bytes(nonce)
+	return gcm.Seal(nonce, nonce, []byte(plain), nil), nil
+}
+
+// Execute decrypts and "executes" one encrypted command. Every call —
+// valid or not — consumes one hardware access, which is exactly the
+// throttling property §5 wants.
+func (s *Station) Execute(encrypted []byte, env nems.Environment) (Command, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key, err := s.arch.Access(env)
+	switch {
+	case errors.Is(err, core.ErrWornOut):
+		return Command{}, ErrExpired
+	case errors.Is(err, core.ErrTransient):
+		return Command{}, ErrTransient
+	case err != nil:
+		return Command{}, err
+	}
+	block, err := aes.NewCipher(kdf(key))
+	if err != nil {
+		return Command{}, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return Command{}, err
+	}
+	if len(encrypted) < gcm.NonceSize() {
+		return Command{}, ErrBadCommand
+	}
+	plain, err := gcm.Open(nil, encrypted[:gcm.NonceSize()], encrypted[gcm.NonceSize():], nil)
+	if err != nil {
+		return Command{}, ErrBadCommand
+	}
+	var cmd Command
+	if _, err := fmt.Sscanf(string(plain), "%d|", &cmd.Seq); err != nil {
+		return Command{}, ErrBadCommand
+	}
+	for i := 0; i < len(plain); i++ {
+		if plain[i] == '|' {
+			cmd.Payload = string(plain[i+1:])
+			break
+		}
+	}
+	s.executed = append(s.executed, cmd)
+	return cmd, nil
+}
+
+// Executed returns a snapshot of the commands the station has carried out.
+func (s *Station) Executed() []Command {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Command(nil), s.executed...)
+}
+
+// Expired reports whether the station can never execute again.
+func (s *Station) Expired() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.arch.Alive()
+}
+
+// Attempts returns how many command decryptions were attempted.
+func (s *Station) Attempts() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total, _ := s.arch.Accesses()
+	return total
+}
+
+func kdf(key []byte) []byte {
+	h := sha256.Sum256(append([]byte("lemonade-targeting-v1"), key...))
+	return h[:]
+}

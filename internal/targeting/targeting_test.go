@@ -1,0 +1,198 @@
+package targeting
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+func missionDesign(t *testing.T, commands int) dse.Design {
+	t.Helper()
+	d, err := dse.Explore(MissionSpec(weibull.MustNew(10, 8), commands, 0.10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestExecuteValidCommands(t *testing.T) {
+	design := missionDesign(t, 100)
+	r := rng.New(1)
+	cc, st, err := NewMission(design, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		enc, err := cc.Encrypt("strike grid 42")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd, err := st.Execute(enc, nems.RoomTemp)
+		if errors.Is(err, ErrTransient) {
+			// a module copy died mid-access; the protocol is to retry
+			cmd, err = st.Execute(enc, nems.RoomTemp)
+		}
+		if err != nil {
+			t.Fatalf("command %d failed: %v", i, err)
+		}
+		if cmd.Payload != "strike grid 42" {
+			t.Errorf("payload = %q", cmd.Payload)
+		}
+		if cmd.Seq != uint64(i+1) {
+			t.Errorf("seq = %d, want %d", cmd.Seq, i+1)
+		}
+	}
+	if len(st.Executed()) != 20 {
+		t.Errorf("executed log has %d entries", len(st.Executed()))
+	}
+}
+
+func TestForgedCommandRejectedButConsumesBudget(t *testing.T) {
+	design := missionDesign(t, 100)
+	r := rng.New(2)
+	_, st, err := NewMission(design, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Attempts()
+	forged := make([]byte, 64)
+	r.Bytes(forged)
+	if _, err := st.Execute(forged, nems.RoomTemp); !errors.Is(err, ErrBadCommand) {
+		t.Errorf("expected ErrBadCommand, got %v", err)
+	}
+	if st.Attempts() != before+1 {
+		t.Error("forged command must still consume hardware budget — that is the throttle")
+	}
+	if len(st.Executed()) != 0 {
+		t.Error("forged command must not appear in the executed log")
+	}
+}
+
+func TestStationExpiresNearBound(t *testing.T) {
+	design := missionDesign(t, 100)
+	r := rng.New(3)
+	cc, st, err := NewMission(design, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := 0
+	for i := 0; i < 1000; i++ {
+		enc, err := cc.Encrypt("fire")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = st.Execute(enc, nems.RoomTemp)
+		if errors.Is(err, ErrExpired) {
+			break
+		}
+		if err == nil {
+			executed++
+		}
+	}
+	if !st.Expired() {
+		t.Fatal("station never expired")
+	}
+	// §5 design goals: work reliably for ~100 commands, not far beyond.
+	if executed < 95 {
+		t.Errorf("station executed only %d commands, mission needs ~100", executed)
+	}
+	upper := design.MaxAllowedAccesses() + 2*design.Copies
+	if executed > upper {
+		t.Errorf("station executed %d commands, beyond the hard bound %d", executed, upper)
+	}
+	// expired means expired
+	enc, _ := cc.Encrypt("one more")
+	if _, err := st.Execute(enc, nems.RoomTemp); !errors.Is(err, ErrExpired) {
+		t.Error("expired station executed a command")
+	}
+}
+
+func TestAdversaryWithLinkCannotExceedBound(t *testing.T) {
+	// §5 threat: attacker controls the link and replays/floods commands.
+	// The hardware bound caps total executions regardless.
+	design := missionDesign(t, 100)
+	r := rng.New(4)
+	cc, st, err := NewMission(design, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, _ := cc.Encrypt("legit")
+	total := 0
+	for i := 0; i < 5000 && !st.Expired(); i++ {
+		if _, err := st.Execute(enc, nems.RoomTemp); err == nil {
+			total++
+		}
+	}
+	upper := design.MaxAllowedAccesses() + 2*design.Copies
+	if total > upper {
+		t.Errorf("replay flood achieved %d executions, bound is %d", total, upper)
+	}
+}
+
+func TestMissionSpecShape(t *testing.T) {
+	spec := MissionSpec(weibull.MustNew(10, 8), 100, 0.10)
+	if spec.LAB != 100 || spec.KFrac != 0.10 || !spec.ContinuousT {
+		t.Error("MissionSpec fields wrong")
+	}
+	if err := spec.Validate(); err != nil {
+		t.Error(err)
+	}
+	// paper: ~810 devices at α=10, β=8, k=10%·n
+	d, err := dse.Explore(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalDevices > 5000 {
+		t.Errorf("targeting design uses %d devices, paper says ~810", d.TotalDevices)
+	}
+}
+
+func TestConcurrentLinksShareTheBudget(t *testing.T) {
+	// Several communication links hammer the station concurrently; the
+	// wearout budget must be consumed consistently (run with -race).
+	design := missionDesign(t, 100)
+	r := rng.New(5)
+	cc, st, err := NewMission(design, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := cc.Encrypt("concurrent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const links = 8
+	var wg sync.WaitGroup
+	var executed atomic.Int64
+	for l := 0; l < links; l++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, err := st.Execute(enc, nems.RoomTemp)
+				if errors.Is(err, ErrExpired) {
+					return
+				}
+				if err == nil {
+					executed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	upper := int64(design.MaxAllowedAccesses() + 2*design.Copies)
+	if executed.Load() > upper {
+		t.Errorf("concurrent links executed %d commands, bound is %d", executed.Load(), upper)
+	}
+	if executed.Load() < 80 {
+		t.Errorf("station under-delivered: %d", executed.Load())
+	}
+	if len(st.Executed()) != int(executed.Load()) {
+		t.Errorf("log has %d entries, counted %d", len(st.Executed()), executed.Load())
+	}
+}

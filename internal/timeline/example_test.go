@@ -1,0 +1,36 @@
+package timeline_test
+
+import (
+	"fmt"
+
+	"lemonade/internal/dse"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/timeline"
+	"lemonade/internal/weibull"
+)
+
+// ExampleSimulate runs a week of realistic usage against a small module.
+func ExampleSimulate() {
+	design, err := dse.Explore(dse.Spec{
+		Dist:        weibull.MustNew(12, 8),
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         100,
+		KFrac:       0.10,
+		ContinuousT: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := timeline.Simulate(design,
+		timeline.UserModel{MeanDailyUnlocks: 10, TypoRate: 0.05},
+		[]string{"week-one", "week-two"}, 7, rng.New(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("survived the week:", !res.LockedEarly)
+	fmt.Println("delivered some unlocks:", res.Unlocks > 50)
+	// Output:
+	// survived the week: true
+	// delivered some unlocks: true
+}

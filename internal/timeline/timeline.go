@@ -1,0 +1,117 @@
+// Package timeline simulates a device's whole deployment life day by day:
+// a user with stochastic daily usage (Poisson unlocks, occasional typos)
+// operating an M-way replicated limited-use connection over years, with
+// migrations triggered automatically as modules approach exhaustion.
+//
+// The paper sizes its LAB from a fixed "50 times a day for 5 years"
+// assumption (Eq 4); this simulator stress-tests that sizing under
+// realistic usage variance: does a Poisson(50) user ever exhaust the
+// budget early, and how much margin do typos consume?
+package timeline
+
+import (
+	"errors"
+	"fmt"
+
+	"lemonade/internal/connection"
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+)
+
+// UserModel describes day-to-day usage behaviour.
+type UserModel struct {
+	// MeanDailyUnlocks is the Poisson mean of unlocks per day.
+	MeanDailyUnlocks float64
+	// TypoRate is the probability any unlock attempt is preceded by one
+	// mistyped passcode (which still burns a hardware access).
+	TypoRate float64
+}
+
+// Validate checks the model.
+func (u UserModel) Validate() error {
+	if u.MeanDailyUnlocks <= 0 {
+		return fmt.Errorf("timeline: MeanDailyUnlocks must be positive, got %g", u.MeanDailyUnlocks)
+	}
+	if u.TypoRate < 0 || u.TypoRate >= 1 {
+		return fmt.Errorf("timeline: TypoRate must be in [0,1), got %g", u.TypoRate)
+	}
+	return nil
+}
+
+// Result summarizes one simulated deployment.
+type Result struct {
+	TargetDays     int
+	DaysSurvived   int    // days until the last module died (or TargetDays)
+	Unlocks        uint64 // successful unlocks delivered
+	FailedUnlocks  uint64 // unlocks lost (transients not recovered by retry)
+	TypoAttempts   uint64 // wasted hardware accesses from typos
+	Migrations     int    // module migrations performed
+	LockedEarly    bool   // the device died before TargetDays
+	MarginAccesses int    // unused guaranteed accesses at end of life (>=0 only if survived)
+}
+
+// Simulate runs one deployment: design sizes each module; passcodes has
+// one entry per module (M-way replication). Migration is triggered when
+// the active module's attempts reach 95% of its guaranteed budget.
+func Simulate(design dse.Design, user UserModel, passcodes []string, days int, r *rng.RNG) (Result, error) {
+	if err := user.Validate(); err != nil {
+		return Result{}, err
+	}
+	if days < 1 {
+		return Result{}, fmt.Errorf("timeline: days must be >= 1, got %d", days)
+	}
+	if len(passcodes) == 0 {
+		return Result{}, errors.New("timeline: need at least one passcode")
+	}
+	dev, err := connection.NewMWayDevice(design, passcodes, []byte("user data"), r.Derive("fab"))
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{TargetDays: days}
+	budget := design.GuaranteedMinAccesses()
+	moduleAttempts := 0
+	active := 0
+	usage := r.Derive("usage")
+
+	for day := 0; day < days; day++ {
+		unlocksToday := usage.Poisson(user.MeanDailyUnlocks)
+		for u := 0; u < unlocksToday; u++ {
+			// migrate proactively near the module budget
+			if moduleAttempts >= budget*95/100 && active+1 < len(passcodes) {
+				if err := dev.Migrate(passcodes[active], nems.RoomTemp, r.Derive(fmt.Sprintf("mig-%d", active))); err == nil {
+					active++
+					res.Migrations++
+					moduleAttempts = 0
+				}
+			}
+			if usage.Bernoulli(user.TypoRate) {
+				_, _ = dev.Unlock("tpyo!", nems.RoomTemp)
+				res.TypoAttempts++
+				moduleAttempts++
+			}
+			_, err := dev.Unlock(passcodes[active], nems.RoomTemp)
+			moduleAttempts++
+			if errors.Is(err, connection.ErrTransient) {
+				_, err = dev.Unlock(passcodes[active], nems.RoomTemp)
+				moduleAttempts++
+			}
+			if err == nil {
+				res.Unlocks++
+			} else {
+				res.FailedUnlocks++
+				if dev.Locked() {
+					res.DaysSurvived = day
+					res.LockedEarly = true
+					return res, nil
+				}
+			}
+		}
+	}
+	res.DaysSurvived = days
+	res.MarginAccesses = budget*(len(passcodes)-active) - moduleAttempts
+	if res.MarginAccesses < 0 {
+		res.MarginAccesses = 0
+	}
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package timeline
+
+import (
+	"testing"
+
+	"lemonade/internal/dse"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+// weekModule sizes a module for ~7 days of 10 unlocks/day plus typo margin.
+func weekModule(t *testing.T) dse.Design {
+	t.Helper()
+	d, err := dse.Explore(dse.Spec{
+		Dist:        weibull.MustNew(12, 8),
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         100,
+		KFrac:       0.10,
+		ContinuousT: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeploymentSurvivesDesignLife(t *testing.T) {
+	// 3 modules × ~100 accesses vs 7 days × Poisson(10) ≈ 70 attempts
+	// plus 5% typos: ample margin, so deployments should survive.
+	design := weekModule(t)
+	user := UserModel{MeanDailyUnlocks: 10, TypoRate: 0.05}
+	survived := 0
+	const trials = 10
+	for seed := uint64(0); seed < trials; seed++ {
+		res, err := Simulate(design, user, []string{"a", "b", "c"}, 7, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.LockedEarly {
+			survived++
+			if res.DaysSurvived != 7 {
+				t.Errorf("survived but days=%d", res.DaysSurvived)
+			}
+		}
+		if res.Unlocks == 0 {
+			t.Error("no unlocks delivered")
+		}
+	}
+	if survived < trials-1 {
+		t.Errorf("only %d/%d deployments survived a comfortably-sized design", survived, trials)
+	}
+}
+
+func TestOverdrivenDeploymentLocksEarly(t *testing.T) {
+	// A single ~100-access module driven at Poisson(60)/day for 7 days
+	// (~420 attempts) must exhaust early — the LAB sizing matters.
+	design := weekModule(t)
+	user := UserModel{MeanDailyUnlocks: 60, TypoRate: 0}
+	locked := 0
+	const trials = 8
+	for seed := uint64(100); seed < 100+trials; seed++ {
+		res, err := Simulate(design, user, []string{"only"}, 7, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LockedEarly {
+			locked++
+			if res.DaysSurvived >= 7 {
+				t.Error("locked early but survived full term?")
+			}
+		}
+	}
+	if locked < trials {
+		t.Errorf("only %d/%d overdriven deployments locked early", locked, trials)
+	}
+}
+
+func TestTyposConsumeBudget(t *testing.T) {
+	// Same usage with heavy typos must deliver fewer unlocks before
+	// exhaustion than a clean typist on a single module.
+	design := weekModule(t)
+	clean, err := Simulate(design, UserModel{MeanDailyUnlocks: 40, TypoRate: 0},
+		[]string{"only"}, 10, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sloppy, err := Simulate(design, UserModel{MeanDailyUnlocks: 40, TypoRate: 0.4},
+		[]string{"only"}, 10, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sloppy.TypoAttempts == 0 {
+		t.Fatal("no typos simulated")
+	}
+	if sloppy.Unlocks >= clean.Unlocks {
+		t.Errorf("typos should cost unlocks: sloppy=%d clean=%d", sloppy.Unlocks, clean.Unlocks)
+	}
+}
+
+func TestMigrationsHappen(t *testing.T) {
+	design := weekModule(t)
+	user := UserModel{MeanDailyUnlocks: 30, TypoRate: 0}
+	res, err := Simulate(design, user, []string{"a", "b", "c", "d"}, 12, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 {
+		t.Error("expected proactive migrations at this usage level")
+	}
+	if res.LockedEarly {
+		t.Errorf("4 modules should cover 12 days of 30/day: %+v", res)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	design := weekModule(t)
+	if _, err := Simulate(design, UserModel{MeanDailyUnlocks: 0}, []string{"a"}, 7, rng.New(1)); err == nil {
+		t.Error("zero usage should error")
+	}
+	if _, err := Simulate(design, UserModel{MeanDailyUnlocks: 10, TypoRate: 1}, []string{"a"}, 7, rng.New(1)); err == nil {
+		t.Error("typo rate 1 should error")
+	}
+	if _, err := Simulate(design, UserModel{MeanDailyUnlocks: 10}, []string{"a"}, 0, rng.New(1)); err == nil {
+		t.Error("zero days should error")
+	}
+	if _, err := Simulate(design, UserModel{MeanDailyUnlocks: 10}, nil, 7, rng.New(1)); err == nil {
+		t.Error("no passcodes should error")
+	}
+}

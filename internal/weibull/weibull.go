@@ -1,0 +1,372 @@
+// Package weibull implements the two-parameter Weibull wearout model of
+// §2.2 of the paper (Eqs 1–3): the probability density, cumulative
+// distribution and reliability functions of the time-to-failure of a NEMS
+// contact switch, together with quantiles, moments, random sampling, and
+// maximum-likelihood fitting from (possibly right-censored) lifetime data.
+//
+// Time is measured in actuation cycles throughout, matching the paper:
+// "time to failure" of a NEMS switch is the number of open/close cycles it
+// survives.
+package weibull
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lemonade/internal/mathx"
+	"lemonade/internal/rng"
+)
+
+// Dist is a two-parameter Weibull distribution with scale alpha (cycles)
+// and shape beta (dimensionless). Alpha approximates the mean time to
+// failure; beta controls the consistency of wearout across devices —
+// larger beta means a sharper failure peak (paper Fig 1).
+type Dist struct {
+	Alpha float64 // scale parameter α > 0, in cycles
+	Beta  float64 // shape parameter β > 0
+}
+
+// New returns the distribution after validating the parameters.
+func New(alpha, beta float64) (Dist, error) {
+	d := Dist{Alpha: alpha, Beta: beta}
+	if err := d.Validate(); err != nil {
+		return Dist{}, err
+	}
+	return d, nil
+}
+
+// MustNew is New but panics on invalid parameters; for literals in tests
+// and experiment tables.
+func MustNew(alpha, beta float64) Dist {
+	d, err := New(alpha, beta)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Validate reports whether the parameters define a proper distribution.
+func (d Dist) Validate() error {
+	if !(d.Alpha > 0) || math.IsInf(d.Alpha, 0) || math.IsNaN(d.Alpha) {
+		return fmt.Errorf("weibull: scale alpha must be positive and finite, got %v", d.Alpha)
+	}
+	if !(d.Beta > 0) || math.IsInf(d.Beta, 0) || math.IsNaN(d.Beta) {
+		return fmt.Errorf("weibull: shape beta must be positive and finite, got %v", d.Beta)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (d Dist) String() string {
+	return fmt.Sprintf("Weibull(α=%g, β=%g)", d.Alpha, d.Beta)
+}
+
+// PDF returns the failure probability density f(x) of Eq 1.
+func (d Dist) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		switch {
+		case d.Beta < 1:
+			return math.Inf(1)
+		case d.Beta == 1:
+			return 1 / d.Alpha
+		default:
+			return 0
+		}
+	}
+	z := x / d.Alpha
+	return d.Beta / d.Alpha * math.Pow(z, d.Beta-1) * math.Exp(-math.Pow(z, d.Beta))
+}
+
+// CDF returns the failure probability F(x) of Eq 2, i.e. the probability the
+// device has failed by time x.
+func (d Dist) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/d.Alpha, d.Beta))
+}
+
+// Reliability returns R(x) = 1 - F(x) of Eq 3: the probability the device
+// still works at time x. Computed directly from the exponential form so it
+// stays accurate deep into the tail.
+func (d Dist) Reliability(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Exp(-math.Pow(x/d.Alpha, d.Beta))
+}
+
+// LogReliability returns ln R(x) = -(x/α)^β without underflow.
+func (d Dist) LogReliability(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Pow(x/d.Alpha, d.Beta)
+}
+
+// Hazard returns the instantaneous failure rate f(x)/R(x).
+func (d Dist) Hazard(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		return d.PDF(0)
+	}
+	return d.Beta / d.Alpha * math.Pow(x/d.Alpha, d.Beta-1)
+}
+
+// Quantile returns the time x by which the failure probability reaches p,
+// i.e. F(x) = p. It returns 0 for p <= 0 and +Inf for p >= 1.
+func (d Dist) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return d.Alpha * math.Pow(-math.Log1p(-p), 1/d.Beta)
+}
+
+// Mean returns E[X] = α·Γ(1 + 1/β).
+func (d Dist) Mean() float64 {
+	return d.Alpha * math.Gamma(1+1/d.Beta)
+}
+
+// Variance returns Var[X] = α²(Γ(1+2/β) − Γ(1+1/β)²).
+func (d Dist) Variance() float64 {
+	g1 := math.Gamma(1 + 1/d.Beta)
+	g2 := math.Gamma(1 + 2/d.Beta)
+	return d.Alpha * d.Alpha * (g2 - g1*g1)
+}
+
+// Median returns the 50th percentile.
+func (d Dist) Median() float64 { return d.Quantile(0.5) }
+
+// Sample draws one time-to-failure by inverse-CDF sampling.
+func (d Dist) Sample(r *rng.RNG) float64 {
+	u := r.Float64Open()
+	return d.Alpha * math.Pow(-math.Log(u), 1/d.Beta)
+}
+
+// SampleN draws n independent lifetimes.
+func (d Dist) SampleN(r *rng.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(r)
+	}
+	return out
+}
+
+// SampleCycles draws a lifetime and floors it to the whole number of
+// actuations the device will complete successfully. A device with
+// continuous lifetime X conducts its t-th actuation iff floor(X) >= t, i.e.
+// with probability exactly R(t) — so the discrete simulator and the
+// continuous analytic models (Eqs 3, 6, 8) agree without an off-by-one.
+// A draw below one cycle yields a device that fails on its first actuation
+// (infant mortality).
+func (d Dist) SampleCycles(r *rng.RNG) uint64 {
+	x := d.Sample(r)
+	c := math.Floor(x)
+	if c < 0 {
+		return 0
+	}
+	if c > math.MaxUint64/2 {
+		return math.MaxUint64 / 2
+	}
+	return uint64(c)
+}
+
+// DegradationWindow returns [t1, t2] such that R(t1) = hi and R(t2) = lo
+// (hi > lo), i.e. the span over which reliability collapses from hi to lo.
+// Fig 3a of the paper studies exactly this window.
+func (d Dist) DegradationWindow(hi, lo float64) (t1, t2 float64) {
+	return d.Quantile(1 - hi), d.Quantile(1 - lo)
+}
+
+// --- Fitting -----------------------------------------------------------------
+
+// ErrInsufficientData is returned when fewer than two uncensored
+// observations are available.
+var ErrInsufficientData = errors.New("weibull: need at least two uncensored failures to fit")
+
+// Obs is one lifetime observation. If Censored is true the device was still
+// alive at Time (right censoring) — common when a wearout experiment stops
+// before every device has failed.
+type Obs struct {
+	Time     float64
+	Censored bool
+}
+
+// Fit estimates (alpha, beta) by maximum likelihood from the observations,
+// supporting right censoring. The profile-likelihood equation in beta is
+// solved by bisection; alpha follows in closed form.
+func Fit(obs []Obs) (Dist, error) {
+	var failures int
+	for _, o := range obs {
+		if o.Time <= 0 {
+			return Dist{}, fmt.Errorf("weibull: non-positive observation time %g", o.Time)
+		}
+		if !o.Censored {
+			failures++
+		}
+	}
+	if failures < 2 {
+		return Dist{}, ErrInsufficientData
+	}
+
+	// Profile likelihood: for X_i all observations (failures D, censored C),
+	// g(β) = Σ_all t^β ln t / Σ_all t^β − 1/β − (1/|D|) Σ_D ln t = 0.
+	g := func(beta float64) float64 {
+		var num, den mathx.KahanSum
+		var sumLogFail mathx.KahanSum
+		for _, o := range obs {
+			tb := math.Pow(o.Time, beta)
+			lt := math.Log(o.Time)
+			num.Add(tb * lt)
+			den.Add(tb)
+			if !o.Censored {
+				sumLogFail.Add(lt)
+			}
+		}
+		return num.Sum()/den.Sum() - 1/beta - sumLogFail.Sum()/float64(failures)
+	}
+
+	// Bracket the root. g is increasing in beta for Weibull data; scan
+	// outward from a broad default range.
+	lo, hi := 1e-3, 1.0
+	for g(hi) < 0 && hi < 1e5 {
+		hi *= 2
+	}
+	if g(hi) < 0 {
+		return Dist{}, mathx.ErrNoConvergence
+	}
+	for g(lo) > 0 && lo > 1e-9 {
+		lo /= 2
+	}
+	beta, err := mathx.Brent(g, lo, hi, 1e-10)
+	if err != nil {
+		return Dist{}, err
+	}
+
+	var den mathx.KahanSum
+	for _, o := range obs {
+		den.Add(math.Pow(o.Time, beta))
+	}
+	alpha := math.Pow(den.Sum()/float64(failures), 1/beta)
+	return New(alpha, beta)
+}
+
+// FitLifetimes is Fit for fully observed (uncensored) lifetime data.
+func FitLifetimes(times []float64) (Dist, error) {
+	obs := make([]Obs, len(times))
+	for i, t := range times {
+		obs[i] = Obs{Time: t}
+	}
+	return Fit(obs)
+}
+
+// --- Process variation --------------------------------------------------------
+
+// Variation models manufacturing/process variation across individual devices
+// (§2.2): each fabricated device gets its own effective (α, β) drawn around
+// the nominal distribution. CVAlpha/CVBeta are coefficients of variation of
+// log-normal perturbations; zero disables that component.
+type Variation struct {
+	Nominal Dist
+	CVAlpha float64 // coefficient of variation of per-device alpha
+	CVBeta  float64 // coefficient of variation of per-device beta
+}
+
+// Draw samples the effective distribution of one manufactured device.
+func (v Variation) Draw(r *rng.RNG) Dist {
+	d := v.Nominal
+	if v.CVAlpha > 0 {
+		sigma := math.Sqrt(math.Log(1 + v.CVAlpha*v.CVAlpha))
+		d.Alpha *= r.LogNormal(-sigma*sigma/2, sigma)
+	}
+	if v.CVBeta > 0 {
+		sigma := math.Sqrt(math.Log(1 + v.CVBeta*v.CVBeta))
+		d.Beta *= r.LogNormal(-sigma*sigma/2, sigma)
+	}
+	if d.Alpha <= 0 {
+		d.Alpha = math.SmallestNonzeroFloat64
+	}
+	if d.Beta <= 0 {
+		d.Beta = math.SmallestNonzeroFloat64
+	}
+	return d
+}
+
+// --- Reference parameter sets ---------------------------------------------------
+
+// A NamedModel is a literature-derived (α, β) pair used in the paper's
+// discussion of realistic device populations.
+type NamedModel struct {
+	Name string
+	Dist Dist
+}
+
+// SlackMEMSModels are the Weibull lifetime models simulated by Slack et al.
+// for LIGA Ni MEMS devices, quoted in §2.2 of the paper: geometrical
+// variations only, material elasticity variations, and material resistance
+// variations.
+func SlackMEMSModels() []NamedModel {
+	return []NamedModel{
+		{Name: "geometrical", Dist: MustNew(2.6e6, 12.94)},
+		{Name: "elasticity", Dist: MustNew(2.2e6, 7.2)},
+		{Name: "resistance", Dist: MustNew(1.8e6, 8.58)},
+	}
+}
+
+// ConditionalReliability returns P(X > s + t | X > s): the probability a
+// device that has already survived s cycles survives t more. For β > 1
+// (wearout-dominated devices) this decreases with age — the property the
+// health monitor and migration planners rely on.
+func (d Dist) ConditionalReliability(age, t float64) float64 {
+	if age < 0 {
+		age = 0
+	}
+	if t <= 0 {
+		return 1
+	}
+	return math.Exp(d.LogReliability(age+t) - d.LogReliability(age))
+}
+
+// PercentileLife returns the B(p) life: the age by which a fraction p of
+// devices has failed (e.g. PercentileLife(0.10) is the reliability
+// engineer's B10 life). It is an alias of Quantile with the conventional
+// name.
+func (d Dist) PercentileLife(p float64) float64 { return d.Quantile(p) }
+
+// MeanResidualLife returns E[X − age | X > age], integrated numerically
+// from the conditional reliability (Simpson's rule over an adaptive
+// horizon).
+func (d Dist) MeanResidualLife(age float64) float64 {
+	if age < 0 {
+		age = 0
+	}
+	// integrate R(age+t)/R(age) dt from 0 until negligible
+	horizon := d.Quantile(1 - 1e-12)
+	if horizon <= age {
+		horizon = age + d.Alpha
+	}
+	upper := horizon - age
+	const steps = 4096
+	h := upper / steps
+	var sum mathx.KahanSum
+	for i := 0; i <= steps; i++ {
+		w := 2.0
+		switch {
+		case i == 0 || i == steps:
+			w = 1
+		case i%2 == 1:
+			w = 4
+		}
+		sum.Add(w * d.ConditionalReliability(age, float64(i)*h))
+	}
+	return sum.Sum() * h / 3
+}

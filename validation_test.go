@@ -1,0 +1,103 @@
+// Cross-validation sweep: the repository's central correctness claim is
+// that the analytic reliability models (the paper's equations) and the
+// executable device simulations agree. This test sweeps a grid of
+// structures and verifies the agreement statistically everywhere.
+package lemonade_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"lemonade/internal/montecarlo"
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+	"lemonade/internal/structure"
+	"lemonade/internal/weibull"
+)
+
+func TestAnalyticMatchesSimulationEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation sweep is slow")
+	}
+	type point struct {
+		alpha, beta float64
+		n, k, at    int
+	}
+	grid := []point{
+		{10, 8, 20, 1, 8},
+		{10, 8, 20, 1, 12},
+		{14, 8, 141, 15, 14},
+		{14, 8, 141, 15, 16},
+		{20, 12, 60, 30, 19},
+		{20, 12, 60, 30, 21},
+		{9.3, 12, 40, 1, 10},
+		{12, 4, 80, 8, 9},
+		{10, 1, 30, 3, 5},
+		{16, 16, 25, 5, 15},
+	}
+	for _, p := range grid {
+		p := p
+		name := fmt.Sprintf("a%g_b%g_n%d_k%d_t%d", p.alpha, p.beta, p.n, p.k, p.at)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			d := weibull.MustNew(p.alpha, p.beta)
+			analytic := structure.ParallelReliability(d, p.n, p.k, float64(p.at))
+			emp, lo, hi := montecarlo.Proportion(uint64(p.n*1000+p.k*10+p.at), 3000, func(r *rng.RNG) bool {
+				st, err := structure.NewParallel(d, p.n, p.k, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < p.at; i++ {
+					if !st.Access(nems.RoomTemp) {
+						return false
+					}
+				}
+				return true
+			})
+			// Wilson interval plus a small epsilon for the MC noise floor.
+			const eps = 0.015
+			if analytic < lo-eps || analytic > hi+eps {
+				t.Errorf("analytic %.4f outside MC interval [%.4f, %.4f] (emp %.4f)",
+					analytic, lo, hi, emp)
+			}
+		})
+	}
+}
+
+func TestSerialCopiesCompositionMatchesAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation sweep is slow")
+	}
+	// System-level composition: total accesses across N serial copies
+	// should match the sum of per-copy analytic means.
+	d := weibull.MustNew(12, 8)
+	const n, k, copies = 50, 5, 6
+	var perCopyMean float64
+	{
+		// E[T] = Σ_t P(T >= t)
+		for tt := 1; ; tt++ {
+			w := structure.ParallelReliability(d, n, k, float64(tt))
+			if w < 1e-12 {
+				break
+			}
+			perCopyMean += w
+		}
+	}
+	sum := montecarlo.Run(777, 800, func(r *rng.RNG) float64 {
+		cs := make([]structure.Structure, copies)
+		for i := range cs {
+			p, err := structure.NewParallel(d, n, k, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs[i] = p
+		}
+		sys := structure.NewSerialCopies(cs)
+		return float64(structure.CountSuccessfulAccesses(sys, nems.RoomTemp, 1000))
+	})
+	want := perCopyMean * copies
+	if math.Abs(sum.Mean-want) > 0.03*want {
+		t.Errorf("system mean %.2f vs analytic %.2f", sum.Mean, want)
+	}
+}
