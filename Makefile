@@ -1,0 +1,32 @@
+# Local developer workflow; `make check` runs exactly what CI runs
+# (.github/workflows/ci.yml), so a green check here is a green CI.
+
+GO ?= go
+
+.PHONY: check lint race bench test build fmt
+
+## check: everything CI runs — format, vet, lemonvet, build, tests, race
+check: lint build test race
+
+## lint: gofmt (fail on diff), go vet, and the lemonvet static-analysis suite
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/lemonvet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: race detector over the concurrency-sensitive packages, then the
+## whole module in short mode (matches the CI race matrix entry)
+race:
+	$(GO) test -race ./internal/montecarlo/... ./internal/targeting/...
+	$(GO) test -race -short ./...
+
+## bench: the repo benchmarks, including the DeriveIndex hot path
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/rng/ ./internal/montecarlo/ .

@@ -1,0 +1,76 @@
+// Command lemonvet runs the repo-specific static-analysis suite from
+// internal/analysis over the given packages (default ./...).
+//
+// Usage:
+//
+//	go run ./cmd/lemonvet [-json] [packages...]
+//
+// It exits 0 when every check passes, 1 when there are unsuppressed
+// findings, and 2 when the packages cannot be loaded (parse or type
+// errors). Findings print as file:line:col: [analyzer] message, or as a
+// JSON array with -json. Suppress an individual finding with a trailing or
+// immediately-preceding comment:
+//
+//	//lemonvet:allow <analyzer> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lemonade/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lemonvet [-json] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lemonvet:", err)
+		os.Exit(2)
+	}
+
+	var findings []analysis.Finding
+	suppressed := 0
+	for _, pkg := range pkgs {
+		analyzers := analysis.AnalyzersFor(pkg.ImportPath)
+		if len(analyzers) == 0 {
+			continue
+		}
+		fs, sup := analysis.Check(pkg, analyzers)
+		findings = append(findings, fs...)
+		suppressed += sup
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "lemonvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Fprintf(os.Stderr, "lemonvet: %d packages, %d findings, %d suppressed\n",
+			len(pkgs), len(findings), suppressed)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

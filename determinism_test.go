@@ -1,0 +1,92 @@
+// Determinism regression tests: golden constants locking down the exact
+// bit streams of the RNG and the montecarlo harness. If any of these fail,
+// every recorded figure in EXPERIMENTS.md silently stops being
+// reproducible — treat a failure as a breaking change to the determinism
+// contract, never as a constant to update casually.
+package lemonade_test
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"lemonade/internal/montecarlo"
+	"lemonade/internal/rng"
+)
+
+// TestGoldenRNGStream pins the first outputs of rng.New for a fixed seed.
+func TestGoldenRNGStream(t *testing.T) {
+	want := []uint64{
+		0x66620712d61b1b4d, 0xd756b24e69ea6cee, 0xe35a1ee228e01f7d, 0x28b6713b3b53538b,
+		0xeee74fd0a2c3a8fa, 0x3c8887b82dcf7223, 0xfd70f7fbebb9debd, 0xf9f69314fdfccbbd,
+	}
+	r := rng.New(0x1EA0_2017)
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("rng.New stream draw %d = %#016x, want %#016x", i, got, w)
+		}
+	}
+}
+
+// TestGoldenDeriveStream pins a labelled Derive stream.
+func TestGoldenDeriveStream(t *testing.T) {
+	want := []uint64{0xf839942780968121, 0x4243a1e1ebec7ed7, 0x20308c924439e505, 0x0e8fe939288a9608}
+	d := rng.New(1).Derive("weibull/sample")
+	for i, w := range want {
+		if got := d.Uint64(); got != w {
+			t.Fatalf("Derive stream draw %d = %#016x, want %#016x", i, got, w)
+		}
+	}
+}
+
+// TestGoldenFloats pins the float conversion and the normal variate path
+// (Float64 shift/scale and Marsaglia polar method both affect every
+// simulation in the repo).
+func TestGoldenFloats(t *testing.T) {
+	f := rng.New(7)
+	if got := math.Float64bits(f.Float64()); got != 0x3fe66b1f5ee9df2e {
+		t.Fatalf("Float64 bits = %#016x", got)
+	}
+	if got := math.Float64bits(f.NormFloat64()); got != 0xbfe00123db8e278d {
+		t.Fatalf("NormFloat64 bits = %#016x", got)
+	}
+}
+
+// TestGoldenMonteCarloSummary pins a small montecarlo.Run summary
+// bit-for-bit, covering per-trial stream derivation (DeriveIndex) and the
+// aggregation order.
+func TestGoldenMonteCarloSummary(t *testing.T) {
+	sum := montecarlo.Run(42, 500, func(r *rng.RNG) float64 { return r.LogNormal(0, 1) })
+	check := func(name string, got float64, want uint64) {
+		t.Helper()
+		if math.Float64bits(got) != want {
+			t.Errorf("%s bits = %#016x, want %#016x", name, math.Float64bits(got), want)
+		}
+	}
+	check("Mean", sum.Mean, 0x3ff8364f28177984)
+	check("SD", sum.SD, 0x3ffcfd2af81e72e9)
+	check("Min", sum.Min, 0x3fa69853c97affd9)
+	check("Max", sum.Max, 0x402aadc227ac44a0)
+	check("Median", sum.Median(), 0x3fecef55cffe040a)
+}
+
+// TestRunParallelMatchesRun asserts that parallel execution is
+// bit-identical to sequential execution regardless of worker count:
+// scheduling must never leak into results.
+func TestRunParallelMatchesRun(t *testing.T) {
+	trial := func(r *rng.RNG) float64 { return r.LogNormal(0, 1) + float64(r.Poisson(3)) }
+	const seed, trials = 99, 400
+	want := montecarlo.Run(seed, trials, trial)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		got := montecarlo.RunParallel(seed, trials, trial)
+		if math.Float64bits(got.Mean) != math.Float64bits(want.Mean) ||
+			math.Float64bits(got.SD) != math.Float64bits(want.SD) ||
+			math.Float64bits(got.Min) != math.Float64bits(want.Min) ||
+			math.Float64bits(got.Max) != math.Float64bits(want.Max) ||
+			math.Float64bits(got.Median()) != math.Float64bits(want.Median()) {
+			t.Fatalf("GOMAXPROCS=%d: RunParallel %v differs from Run %v", procs, got, want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package analysis implements lemonvet, the repo-specific static-analysis
+// suite that machine-checks the determinism contract documented in
+// internal/rng and DESIGN.md: simulation code draws randomness only from an
+// explicit *rng.RNG, never from math/rand or the wall clock, never shares a
+// generator across goroutines, never compares computed floats for equality,
+// and surfaces failures as errors rather than panics.
+//
+// The suite is built on the standard library only (go/parser, go/ast,
+// go/types, go/importer); packages are located and their dependency export
+// data produced by shelling out to `go list -export`, so no module download
+// or golang.org/x/tools dependency is required.
+//
+// Findings can be suppressed with a trailing or immediately-preceding
+// comment of the form:
+//
+//	//lemonvet:allow <analyzer> <reason>
+//
+// where <analyzer> is the analyzer name (the alias "panic" is accepted for
+// "panicpolicy"). The reason is mandatory by convention and shows up in
+// code review; lemonvet only checks that the analyzer name matches.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	ImportPath string
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(analyzer string, pos token.Pos, format string, args ...interface{}) {
+	p.findings = append(p.findings, Finding{
+		Analyzer: analyzer,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one lemonvet check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoDeterminism,
+		RNGCapture,
+		FloatEq,
+		PanicPolicy,
+		ErrCheck,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Check runs the given analyzers over a loaded package and returns the
+// unsuppressed findings sorted by position, plus the count of findings that
+// were suppressed by //lemonvet:allow comments.
+func Check(pkg *Package, analyzers []*Analyzer) (findings []Finding, suppressed int) {
+	pass := &Pass{
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		Info:       pkg.Info,
+		ImportPath: pkg.ImportPath,
+	}
+	for _, a := range analyzers {
+		a.Run(pass)
+	}
+	allow := collectAllows(pkg.Fset, pkg.Files)
+	for _, f := range pass.findings {
+		if allow.covers(f) {
+			suppressed++
+			continue
+		}
+		findings = append(findings, f)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, suppressed
+}

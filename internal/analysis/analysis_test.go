@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"fmt"
+	"os/exec"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one fixture package from testdata/src.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkgs, err := Load(".", "./testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// wantMarkers extracts "// want <analyzer>" comments, keyed by line.
+func wantMarkers(pkg *Package) map[int]string {
+	want := make(map[int]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				want[pkg.Fset.Position(c.Pos()).Line] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	return want
+}
+
+// TestAnalyzers runs each analyzer against its fixture package and checks
+// the findings against the fixture's "// want" markers: every marked line
+// must be reported, no unmarked line may be, and each fixture's
+// //lemonvet:allow example must suppress exactly one finding.
+func TestAnalyzers(t *testing.T) {
+	for _, name := range []string{"nodeterminism", "rngcapture", "floateq", "panicpolicy", "errcheck"} {
+		t.Run(name, func(t *testing.T) {
+			a := ByName(name)
+			if a == nil {
+				t.Fatalf("no analyzer named %q", name)
+			}
+			pkg := loadFixture(t, name)
+			findings, suppressed := Check(pkg, []*Analyzer{a})
+			want := wantMarkers(pkg)
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no // want markers", name)
+			}
+			got := make(map[int]bool)
+			for _, f := range findings {
+				if f.Analyzer != name {
+					t.Errorf("unexpected analyzer %q in finding %s", f.Analyzer, f)
+				}
+				if _, expected := want[f.Pos.Line]; !expected {
+					t.Errorf("unexpected finding: %s", f)
+				}
+				got[f.Pos.Line] = true
+			}
+			var missed []int
+			for line, wantAnalyzer := range want {
+				if wantAnalyzer != name {
+					t.Errorf("line %d wants %q, fixture belongs to %q", line, wantAnalyzer, name)
+				}
+				if !got[line] {
+					missed = append(missed, line)
+				}
+			}
+			sort.Ints(missed)
+			for _, line := range missed {
+				t.Errorf("no finding on line %d, want one", line)
+			}
+			if suppressed != 1 {
+				t.Errorf("suppressed = %d, want 1 (each fixture carries one //lemonvet:allow example)", suppressed)
+			}
+		})
+	}
+}
+
+// TestRepoClean is the self-hosting check: lemonvet over the entire module
+// must produce zero unsuppressed findings. This is exactly what makes
+// `go run ./cmd/lemonvet ./...` exit 0 in CI; any new violation fails this
+// test first.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern ./... no longer covers the module?", len(pkgs))
+	}
+	checked := 0
+	for _, pkg := range pkgs {
+		analyzers := AnalyzersFor(pkg.ImportPath)
+		if len(analyzers) == 0 {
+			continue
+		}
+		checked++
+		findings, _ := Check(pkg, analyzers)
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no packages checked")
+	}
+}
+
+// TestAnalyzersForConfig pins the driver's applicability rules.
+func TestAnalyzersForConfig(t *testing.T) {
+	names := func(as []*Analyzer) string {
+		var ns []string
+		for _, a := range as {
+			ns = append(ns, a.Name)
+		}
+		return strings.Join(ns, ",")
+	}
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"lemonade/internal/montecarlo", "nodeterminism,rngcapture,floateq,panicpolicy,errcheck"},
+		{"lemonade/internal/rng", "nodeterminism,rngcapture,floateq,panicpolicy,errcheck"},
+		{"lemonade/cmd/lemonade", "rngcapture,floateq,errcheck"},
+		{"lemonade/internal/analysis/testdata/src/floateq", ""},
+	}
+	for _, c := range cases {
+		if got := names(AnalyzersFor(c.path)); got != c.want {
+			t.Errorf("AnalyzersFor(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}
+
+// TestCommandExitCode smoke-tests the real CLI: exit 0 and valid JSON on a
+// clean package.
+func TestCommandExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec-based smoke test")
+	}
+	cmd := exec.Command("go", "run", "./cmd/lemonvet", "-json", "./internal/rng")
+	cmd.Dir = "../.."
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("lemonvet on clean package: %v\n%s", err, out)
+	}
+	if got := strings.TrimSpace(string(out)); got != "[]" {
+		t.Fatalf("expected empty JSON findings array, got %s", got)
+	}
+}
+
+// TestFindingString pins the text output format CI consumers grep for.
+func TestFindingString(t *testing.T) {
+	pkg := loadFixture(t, "panicpolicy")
+	findings, _ := Check(pkg, []*Analyzer{PanicPolicy})
+	if len(findings) == 0 {
+		t.Fatal("no findings")
+	}
+	s := findings[0].String()
+	if !strings.Contains(s, "p.go:") || !strings.Contains(s, "[panicpolicy]") {
+		t.Errorf("finding format %q lacks file:line or [analyzer] tag", s)
+	}
+	if !strings.Contains(s, fmt.Sprintf(":%d:", findings[0].Pos.Line)) {
+		t.Errorf("finding format %q lacks line number", s)
+	}
+}

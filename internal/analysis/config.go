@@ -1,0 +1,35 @@
+package analysis
+
+import "strings"
+
+// The driver applies analyzers per package according to the rules below.
+// Analyzer applicability is a property of the package's role, not of the
+// analyzer: the analyzers themselves flag every occurrence and stay
+// path-agnostic, which keeps their fixture tests simple.
+
+// commandPrefix marks top-level commands. Commands are exempt from the
+// panic policy (main may crash on fatal errors) and from the determinism
+// rules (a CLI may legitimately time itself or shuffle output order; it
+// must pass explicit seeds *into* the library, which the library-side
+// checks enforce).
+const commandPrefix = "/cmd/"
+
+// AnalyzersFor returns the analyzers lemonvet applies to the package with
+// the given import path.
+func AnalyzersFor(importPath string) []*Analyzer {
+	if strings.Contains(importPath, "/testdata/") {
+		return nil // fixtures are analyzed explicitly by their tests
+	}
+	isCommand := strings.Contains(importPath, commandPrefix)
+	var out []*Analyzer
+	for _, a := range All() {
+		switch a.Name {
+		case NoDeterminism.Name, PanicPolicy.Name:
+			if isCommand {
+				continue
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}

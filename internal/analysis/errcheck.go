@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck flags call statements that silently discard an error result.
+// A dropped error in a fabrication or simulation path means an experiment
+// keeps running on invalid state and produces a figure nobody can trust.
+// This is the "lite" variant: it checks expression statements only —
+// an explicit `_ = f()` assignment is treated as a deliberate, visible
+// discard and left alone, as are the print-family helpers below whose
+// errors are conventionally ignored.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flag call statements that discard an error result",
+	Run:  runErrCheck,
+}
+
+// errcheckExemptFuncs lists fully-qualified functions whose error results
+// are conventionally discarded (terminal output; failure is untreatable).
+var errcheckExemptFuncs = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+}
+
+// errcheckExemptTypes lists receiver types (pointer or value) whose methods
+// are documented to never return a non-nil error: the strings.Builder and
+// bytes.Buffer writers, and hash.Hash ("Write ... never returns an error").
+var errcheckExemptTypes = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"hash.Hash":       true,
+}
+
+func runErrCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || exemptCall(pass, call) {
+				return true
+			}
+			pass.Reportf("errcheck", call.Pos(),
+				"error result of %s discarded; handle it or assign to _ explicitly", callName(call))
+			return true
+		})
+	}
+}
+
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorInterface)
+}
+
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level function: fmt.Printf and friends.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkgName, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+			qualified := pkgName.Imported().Path() + "." + sel.Sel.Name
+			return errcheckExemptFuncs[qualified]
+		}
+	}
+	// Method on an error-free writer: (*strings.Builder).WriteString etc.
+	if selection, ok := pass.Info.Selections[sel]; ok {
+		recv := selection.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		return errcheckExemptTypes[types.TypeString(recv, nil)]
+	}
+	return false
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		s := types.ExprString(call.Fun)
+		if len(s) > 40 {
+			s = s[:40] + "…"
+		}
+		return s
+	}
+}

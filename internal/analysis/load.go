@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked, non-test package of the module.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output lemonvet needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load locates the packages matching patterns (as interpreted by `go list`,
+// run in dir), type-checks the non-dependency ones from source, and returns
+// them sorted by import path. Dependency type information — including the
+// standard library — is read from compiler export data produced by
+// `go list -export`, so loading works without network access and without
+// golang.org/x/tools.
+//
+// Only non-test Go files are loaded: the determinism contract lemonvet
+// enforces applies to library and command code; tests are free to use the
+// clock and to compare exact values.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (does the package build?)", path)
+		}
+		return os.Open(exp)
+	})
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []listedPackage
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// forbiddenImports are sources of nondeterminism that simulation packages
+// must never use; all randomness flows through lemonade/internal/rng.
+var forbiddenImports = map[string]string{
+	"math/rand":    "use lemonade/internal/rng with an explicit seed",
+	"math/rand/v2": "use lemonade/internal/rng with an explicit seed",
+}
+
+// forbiddenTimeFuncs are the wall-clock entry points of package time. The
+// time package itself stays importable: time.Duration arithmetic is
+// deterministic and legitimate in simulation code.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// NoDeterminism forbids math/rand imports and wall-clock reads in
+// simulation packages. Every figure in EXPERIMENTS.md must regenerate
+// bit-identically, so simulated stochastic behaviour may only come from an
+// explicit, seeded *rng.RNG, and nothing in a simulation path may observe
+// real time. (crypto/rand is untouched: key-generation paths legitimately
+// use it, and it never feeds simulation results.)
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc:  "forbid math/rand imports and time.Now/Since/Until in simulation packages",
+	Run:  runNoDeterminism,
+}
+
+func runNoDeterminism(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if hint, bad := forbiddenImports[path]; bad {
+				pass.Reportf("nodeterminism", imp.Pos(),
+					"import of %q breaks reproducibility; %s", path, hint)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if forbiddenTimeFuncs[sel.Sel.Name] {
+				pass.Reportf("nodeterminism", sel.Pos(),
+					"time.%s reads the wall clock; simulation results must not depend on real time", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowSet records, per file and line, which analyzers are suppressed there.
+// A finding is covered when an allow comment for its analyzer sits on the
+// finding's own line (trailing comment) or on the line directly above it.
+type allowSet map[string]map[int][]string
+
+// allowAliases maps shorthand names accepted in //lemonvet:allow comments to
+// canonical analyzer names.
+var allowAliases = map[string]string{
+	"panic": "panicpolicy",
+}
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lemonvet:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				name := fields[0]
+				if canon, ok := allowAliases[name]; ok {
+					name = canon
+				}
+				pos := fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					set[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], name)
+			}
+		}
+	}
+	return set
+}
+
+func (s allowSet) covers(f Finding) bool {
+	byLine := s[f.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == f.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

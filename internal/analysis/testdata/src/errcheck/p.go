@@ -1,0 +1,55 @@
+// Package errcheck is a lemonvet fixture: discarded error results.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func step() error               { return errors.New("boom") }
+func compute() (int, error)     { return 0, errors.New("boom") }
+func report(w *strings.Builder) { w.WriteString("ok") }
+
+// BadDiscard drops a lone error result on the floor.
+func BadDiscard() {
+	step() // want errcheck
+}
+
+// BadDiscardTuple drops an (int, error) pair.
+func BadDiscardTuple() {
+	compute() // want errcheck
+}
+
+// OKHandled propagates the error.
+func OKHandled() error {
+	if err := step(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// OKExplicitDiscard makes the discard visible at the call site.
+func OKExplicitDiscard() {
+	_ = step()
+}
+
+// OKPrint uses the conventional print family.
+func OKPrint() {
+	fmt.Println("hello")
+	fmt.Printf("%d\n", 1)
+}
+
+// OKBuilder writes to an error-free writer.
+func OKBuilder() string {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 2)
+	report(&b)
+	return b.String()
+}
+
+// SuppressedDiscard is annotated: best-effort cleanup.
+func SuppressedDiscard() {
+	step() //lemonvet:allow errcheck fixture demonstrates suppression
+}

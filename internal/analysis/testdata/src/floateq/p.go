@@ -1,0 +1,53 @@
+// Package floateq is a lemonvet fixture: floating-point equality idioms,
+// forbidden and exempt.
+package floateq
+
+import "math"
+
+// BadComputed compares two computed floats exactly.
+func BadComputed(a, b float64) bool {
+	return a*3 == b/7 // want floateq
+}
+
+// BadVars compares two float variables exactly.
+func BadVars(a, b float64) bool {
+	if a != b { // want floateq
+		return false
+	}
+	return true
+}
+
+// BadFloat32 is just as wrong in single precision.
+func BadFloat32(a, b float32) bool {
+	return a == b // want floateq
+}
+
+// OKNaNIdiom is the portable NaN test.
+func OKNaNIdiom(x float64) bool {
+	return x != x
+}
+
+// OKZeroSentinel tests an exactly representable boundary.
+func OKZeroSentinel(x float64) bool {
+	return x == 0
+}
+
+// OKConstSentinel special-cases an exact parameter value, weibull-style.
+func OKConstSentinel(beta float64) bool {
+	return beta == 1
+}
+
+// OKInfSentinel checks saturation against the Inf sentinel.
+func OKInfSentinel(x float64) bool {
+	return x == math.Inf(1)
+}
+
+// OKInts compares integers, which is always exact.
+func OKInts(a, b int) bool {
+	return a == b
+}
+
+// SuppressedExact is annotated: bit-exactness is the point here.
+func SuppressedExact(a, b float64) bool {
+	return a+1 == b+1 //lemonvet:allow floateq fixture demonstrates suppression
+}

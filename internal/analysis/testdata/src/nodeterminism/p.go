@@ -1,0 +1,34 @@
+// Package nodeterminism is a lemonvet fixture: nondeterminism sources that
+// simulation packages must not use.
+package nodeterminism
+
+import (
+	"math/rand" // want nodeterminism
+	"time"
+)
+
+// BadSample draws from the global math/rand stream.
+func BadSample() float64 {
+	return rand.Float64()
+}
+
+// BadStamp reads the wall clock twice.
+func BadStamp() time.Duration {
+	start := time.Now()      // want nodeterminism
+	return time.Since(start) // want nodeterminism
+}
+
+// BadDeadline uses the third wall-clock entry point.
+func BadDeadline(t time.Time) time.Duration {
+	return time.Until(t) // want nodeterminism
+}
+
+// OKDuration uses time only for deterministic duration arithmetic.
+func OKDuration(cycles int64) time.Duration {
+	return time.Duration(cycles) * time.Microsecond
+}
+
+// SuppressedStamp carries an explicit annotation.
+func SuppressedStamp() time.Time {
+	return time.Now() //lemonvet:allow nodeterminism fixture demonstrates suppression
+}

@@ -1,0 +1,38 @@
+// Package panicpolicy is a lemonvet fixture: panics in library code.
+package panicpolicy
+
+import "errors"
+
+// BadValidate panics on a recoverable input error.
+func BadValidate(n int) int {
+	if n <= 0 {
+		panic("n must be positive") // want panicpolicy
+	}
+	return n * 2
+}
+
+// BadWrap re-panics a returned error.
+func BadWrap() int {
+	v, err := mayFail()
+	if err != nil {
+		panic(err) // want panicpolicy
+	}
+	return v
+}
+
+// OKError returns the error instead.
+func OKError(n int) (int, error) {
+	if n <= 0 {
+		return 0, errors.New("n must be positive")
+	}
+	return n * 2, nil
+}
+
+// OKInvariant documents a programmer-error invariant with the alias form.
+func OKInvariant(idx, length int) {
+	if idx < 0 || idx >= length {
+		panic("index out of range: caller broke the contract") //lemonvet:allow panic fixture demonstrates alias suppression
+	}
+}
+
+func mayFail() (int, error) { return 1, nil }

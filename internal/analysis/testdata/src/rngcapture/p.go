@@ -1,0 +1,88 @@
+// Package rngcapture is a lemonvet fixture: *rng.RNG values crossing
+// goroutine boundaries with and without private streams.
+package rngcapture
+
+import (
+	"sync"
+
+	"lemonade/internal/rng"
+)
+
+func worker(r *rng.RNG, out chan<- float64) {
+	out <- r.Float64()
+}
+
+// BadSharedDraw captures the parent generator and mutates it concurrently.
+func BadSharedDraw(r *rng.RNG) float64 {
+	out := make(chan float64, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out <- r.Float64() // want rngcapture
+		}()
+	}
+	wg.Wait()
+	return <-out + <-out
+}
+
+// BadSharedSplit splits inside the goroutine, which also mutates the parent.
+func BadSharedSplit(r *rng.RNG) {
+	done := make(chan struct{})
+	go func() {
+		_ = r.Split() // want rngcapture
+		close(done)
+	}()
+	<-done
+}
+
+// BadArg hands the parent generator itself to the spawned worker.
+func BadArg(r *rng.RNG) float64 {
+	out := make(chan float64, 1)
+	go worker(r, out) // want rngcapture
+	return <-out
+}
+
+// OKDeriveInGoroutine derives by label inside the goroutine; Derive only
+// reads the parent state, exactly the montecarlo.RunParallel pattern.
+func OKDeriveInGoroutine(r *rng.RNG) float64 {
+	out := make(chan float64, 1)
+	go func() {
+		out <- r.Derive("worker").Float64()
+	}()
+	return <-out
+}
+
+// OKDeriveIndexInGoroutine is the allocation-free variant of the same.
+func OKDeriveIndexInGoroutine(r *rng.RNG) float64 {
+	out := make(chan float64, 1)
+	go func() {
+		out <- r.DeriveIndex("trial-", 0).Float64()
+	}()
+	return <-out
+}
+
+// OKSplitBeforeLaunch creates the private stream sequentially.
+func OKSplitBeforeLaunch(r *rng.RNG) float64 {
+	out := make(chan float64, 1)
+	go worker(r.Split(), out)
+	return <-out
+}
+
+// OKPrivate declares its generator inside the goroutine.
+func OKPrivate() float64 {
+	out := make(chan float64, 1)
+	go func() {
+		mine := rng.New(1)
+		out <- mine.Float64()
+	}()
+	return <-out
+}
+
+// SuppressedShared is annotated: single-consumer handoff, parent unused after.
+func SuppressedShared(r *rng.RNG) float64 {
+	out := make(chan float64, 1)
+	go worker(r, out) //lemonvet:allow rngcapture fixture demonstrates suppression
+	return <-out
+}

@@ -48,10 +48,10 @@ func (f Figure) Plot(width, height int) string {
 		return y
 	}
 	pymin, pymax := ty(ymin), ty(ymax)
-	if pymax == pymin {
+	if pymax == pymin { //lemonvet:allow floateq exact equality is the degenerate range being guarded against
 		pymax = pymin + 1
 	}
-	if xmax == xmin {
+	if xmax == xmin { //lemonvet:allow floateq exact equality is the degenerate range being guarded against
 		xmax = xmin + 1
 	}
 

@@ -48,6 +48,7 @@ func Mul(a, b uint16) uint16 {
 // Div returns a/b; it panics on division by zero.
 func Div(a, b uint16) uint16 {
 	if b == 0 {
+		//lemonvet:allow panic division by zero is a caller bug, like integer /0
 		panic("gf16: division by zero")
 	}
 	if a == 0 {
@@ -59,6 +60,7 @@ func Div(a, b uint16) uint16 {
 // Inv returns the multiplicative inverse of a; it panics for a == 0.
 func Inv(a uint16) uint16 {
 	if a == 0 {
+		//lemonvet:allow panic inverse of zero is a caller bug, like integer /0
 		panic("gf16: zero has no inverse")
 	}
 	return expTable[Order-int(logTable[a])]

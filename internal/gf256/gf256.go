@@ -46,6 +46,7 @@ func Mul(a, b byte) byte {
 // Div returns a/b in GF(2^8). It panics on division by zero.
 func Div(a, b byte) byte {
 	if b == 0 {
+		//lemonvet:allow panic division by zero is a caller bug, like integer /0
 		panic("gf256: division by zero")
 	}
 	if a == 0 {
@@ -57,6 +58,7 @@ func Div(a, b byte) byte {
 // Inv returns the multiplicative inverse of a. It panics for a == 0.
 func Inv(a byte) byte {
 	if a == 0 {
+		//lemonvet:allow panic inverse of zero is a caller bug, like integer /0
 		panic("gf256: zero has no inverse")
 	}
 	return expTable[255-int(logTable[a])]
@@ -74,6 +76,7 @@ func Exp(i int) byte {
 // Log returns the discrete log base the generator. It panics for a == 0.
 func Log(a byte) int {
 	if a == 0 {
+		//lemonvet:allow panic log of zero is a caller bug; Log is documented for nonzero elements
 		panic("gf256: log of zero")
 	}
 	return int(logTable[a])

@@ -34,7 +34,7 @@ func LogChoose(n, k float64) float64 {
 	if k < 0 || k > n {
 		return math.Inf(-1)
 	}
-	if k == 0 || k == n {
+	if k == 0 || k == n { //lemonvet:allow floateq exact endpoints have exact coefficient ln C = 0
 		return 0
 	}
 	lg := func(x float64) float64 {
@@ -389,7 +389,7 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
 			s := fb / fa
 			var p, q float64
-			if a == c {
+			if a == c { //lemonvet:allow floateq Brent's method branches on exact bracket collapse
 				p = 2 * xm * s
 				q = 1 - s
 			} else {

@@ -75,7 +75,7 @@ func Run(seed uint64, trials int, f Trial) Summary {
 	vals := make([]float64, trials)
 	base := rng.New(seed)
 	for i := range vals {
-		vals[i] = f(base.Derive(fmt.Sprintf("trial-%d", i)))
+		vals[i] = f(base.DeriveIndex("trial-", i))
 	}
 	return summarize(vals)
 }
@@ -105,7 +105,7 @@ func RunParallel(seed uint64, trials int, f Trial) Summary {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				vals[i] = f(base.Derive(fmt.Sprintf("trial-%d", i)))
+				vals[i] = f(base.DeriveIndex("trial-", i))
 			}
 		}()
 	}
@@ -150,7 +150,7 @@ func Proportion(seed uint64, trials int, f func(r *rng.RNG) bool) (p, lo, hi flo
 	succ := 0
 	base := rng.New(seed)
 	for i := 0; i < trials; i++ {
-		if f(base.Derive(fmt.Sprintf("trial-%d", i))) {
+		if f(base.DeriveIndex("trial-", i)) {
 			succ++
 		}
 	}

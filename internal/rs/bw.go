@@ -194,6 +194,7 @@ func solveGF256(m [][]byte, cols int) (sol []byte, ok bool) {
 func polyDiv(a, b gf256.Polynomial) (q, r gf256.Polynomial) {
 	db := b.Degree()
 	if db < 0 {
+		//lemonvet:allow panic unexported helper; callers guarantee a nonzero divisor
 		panic("rs: division by zero polynomial")
 	}
 	r = append(gf256.Polynomial(nil), a...)

@@ -41,7 +41,7 @@ func New(alpha, beta float64) (Dist, error) {
 func MustNew(alpha, beta float64) Dist {
 	d, err := New(alpha, beta)
 	if err != nil {
-		panic(err)
+		panic(err) //lemonvet:allow panic Must-prefix constructor; documented to panic on invalid literals
 	}
 	return d
 }
