@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: check lint race bench test build fmt
+.PHONY: check lint race bench test build fmt smoke
 
-## check: everything CI runs — format, vet, lemonvet, build, tests, race
-check: lint build test race
+## check: everything CI runs — format, vet, lemonvet, build, tests, race, smoke
+check: lint build test race smoke
 
 ## lint: gofmt (fail on diff), go vet, and the lemonvet static-analysis suite
 lint:
@@ -24,8 +24,12 @@ test:
 ## race: race detector over the concurrency-sensitive packages, then the
 ## whole module in short mode (matches the CI race matrix entry)
 race:
-	$(GO) test -race ./internal/montecarlo/... ./internal/targeting/...
+	$(GO) test -race ./internal/montecarlo/... ./internal/targeting/... ./internal/core/... ./internal/server/... ./internal/registry/... ./internal/cache/...
 	$(GO) test -race -short ./...
+
+## smoke: end-to-end daemon test (build, provision, lockout, metrics, drain)
+smoke:
+	./scripts/smoke.sh
 
 ## bench: the repo benchmarks, including the DeriveIndex hot path
 bench:

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -150,7 +151,7 @@ func runSim(args []string) error {
 		return err
 	}
 	fmt.Println(d)
-	sum := montecarlo.RunParallel(*seed, *trials, func(r *rng.RNG) float64 {
+	sum, err := montecarlo.RunParallel(context.Background(), *seed, *trials, func(r *rng.RNG) float64 {
 		copies := make([]structure.Structure, d.Copies)
 		for i := range copies {
 			p, err := structure.NewParallel(spec.Dist, d.N, d.K, r)
@@ -162,6 +163,9 @@ func runSim(args []string) error {
 		sys := structure.NewSerialCopies(copies)
 		return float64(structure.CountSuccessfulAccesses(sys, nems.RoomTemp, d.MaxAllowedAccesses()*3))
 	})
+	if err != nil {
+		return err
+	}
 	fmt.Printf("  empirical total accesses: %v\n", sum)
 	fmt.Printf("  min observed / LAB      : %g / %d\n", sum.Min, spec.LAB)
 	fmt.Printf("  max observed / allowed  : %g / %d\n", sum.Max, d.MaxAllowedAccesses())
@@ -358,7 +362,7 @@ func runFrontier(args []string) error {
 		return err
 	}
 	spec.ContinuousT = false // the frontier enumerates integer targets
-	frontier, err := dse.ExploreFrontier(spec)
+	frontier, err := dse.ExploreFrontier(context.Background(), spec)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,215 @@
+// Command lemonaded runs the lemonade key-access service: an HTTP daemon
+// that provisions simulated limited-use architectures and serves
+// wearout-consuming accesses against them.
+//
+// Subcommands:
+//
+//	serve    — run the daemon (default when flags are given directly)
+//	loadgen  — drive a running daemon with concurrent access traffic
+//
+// The daemon drains gracefully: SIGINT/SIGTERM stop the listener and wait
+// for in-flight requests (bounded by -drain-timeout) before exiting.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"lemonade/internal/server"
+)
+
+func main() {
+	args := os.Args[1:]
+	cmd := "serve"
+	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		cmd, args = args[0], args[1:]
+	}
+	var err error
+	switch cmd {
+	case "serve":
+		err = runServe(args)
+	case "loadgen":
+		err = runLoadgen(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lemonaded: unknown subcommand %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lemonaded: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: lemonaded [serve|loadgen] [flags]
+
+serve   [-addr host:port] [-addr-file path] [-shards n] [-cache n] [-drain-timeout d]
+loadgen -base URL [-workers n] [-seed n] [-alpha a] [-beta b] [-lab n] [-kfrac f]
+`)
+}
+
+// runServe starts the daemon and blocks until a signal drains it.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file (for scripts using :0)")
+	shards := fs.Int("shards", 0, "registry stripe count (0 = default)")
+	cacheSize := fs.Int("cache", 0, "DSE design cache capacity (0 = default)")
+	drain := fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := server.New(server.Config{
+		Shards:    *shards,
+		CacheSize: *cacheSize,
+		// The daemon is the composition root: the wall clock enters here
+		// (cmd/ is exempt from the library determinism contract).
+		NowNanos: func() int64 { return time.Now().UnixNano() },
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return fmt.Errorf("writing addr-file: %w", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "lemonaded: listening on %s\n", bound)
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills hard
+	fmt.Fprintln(os.Stderr, "lemonaded: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "lemonaded: stopped")
+	return nil
+}
+
+// runLoadgen provisions one architecture on a running daemon and races
+// concurrent workers against it until lockout, reporting what each
+// worker observed — a live demonstration of the concurrent budget
+// invariant (and a handy smoke/load tool).
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	base := fs.String("base", "http://127.0.0.1:8080", "daemon base URL")
+	workers := fs.Int("workers", 8, "concurrent access workers")
+	seed := fs.Uint64("seed", 42, "fabrication seed")
+	alpha := fs.Float64("alpha", 6, "Weibull mean lifetime (cycles)")
+	beta := fs.Float64("beta", 8, "Weibull shape")
+	lab := fs.Int("lab", 30, "lower access bound")
+	kfrac := fs.Float64("kfrac", 0.1, "encoding fraction (0 = unencoded)")
+	secretHex := fs.String("secret", "00112233445566778899aabbccddeeff", "secret to protect (hex)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	provReq := map[string]any{
+		"spec": map[string]any{
+			"alpha": *alpha, "beta": *beta, "lab": *lab,
+			"kfrac": *kfrac, "continuous_t": true,
+		},
+		"secret_hex": *secretHex,
+		"seed":       *seed,
+	}
+	body, err := json.Marshal(provReq)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(*base+"/v1/architectures", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("provision: %w", err)
+	}
+	provBody, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("provision: status %d: %s", resp.StatusCode, provBody)
+	}
+	var prov struct {
+		ID     string `json:"id"`
+		Design struct {
+			GuaranteedMinAccesses int `json:"guaranteed_min_accesses"`
+			MaxAllowedAccesses    int `json:"max_allowed_accesses"`
+			TotalDevices          int `json:"total_devices"`
+		} `json:"design"`
+	}
+	if err := json.Unmarshal(provBody, &prov); err != nil {
+		return fmt.Errorf("provision response: %w", err)
+	}
+	fmt.Printf("provisioned %s: %d devices, designed window [%d, %d] accesses\n",
+		prov.ID, prov.Design.TotalDevices,
+		prov.Design.GuaranteedMinAccesses, prov.Design.MaxAllowedAccesses)
+
+	var successes, transients atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	url := *base + "/v1/architectures/" + prov.ID + "/access"
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				resp, err := http.Post(url, "application/json", nil)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "lemonaded: access: %v\n", err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					successes.Add(1)
+				case http.StatusServiceUnavailable:
+					transients.Add(1)
+				case http.StatusGone:
+					return
+				default:
+					fmt.Fprintf(os.Stderr, "lemonaded: access: unexpected status %d\n", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("lockout after %d successful accesses (%d transients) across %d workers in %v\n",
+		successes.Load(), transients.Load(), *workers, elapsed.Round(time.Millisecond))
+	if n := int(successes.Load()); n < prov.Design.GuaranteedMinAccesses || n > prov.Design.MaxAllowedAccesses {
+		return fmt.Errorf("successes %d outside designed window [%d, %d]",
+			n, prov.Design.GuaranteedMinAccesses, prov.Design.MaxAllowedAccesses)
+	}
+	fmt.Println("within designed window: budget invariant held under concurrency")
+	return nil
+}

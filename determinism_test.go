@@ -6,6 +6,7 @@
 package lemonade_test
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"testing"
@@ -80,7 +81,10 @@ func TestRunParallelMatchesRun(t *testing.T) {
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
 	for _, procs := range []int{1, 2, 8} {
 		runtime.GOMAXPROCS(procs)
-		got := montecarlo.RunParallel(seed, trials, trial)
+		got, err := montecarlo.RunParallel(context.Background(), seed, trials, trial)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: RunParallel: %v", procs, err)
+		}
 		if math.Float64bits(got.Mean) != math.Float64bits(want.Mean) ||
 			math.Float64bits(got.SD) != math.Float64bits(want.SD) ||
 			math.Float64bits(got.Min) != math.Float64bits(want.Min) ||

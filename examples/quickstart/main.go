@@ -61,7 +61,7 @@ func main() {
 			}
 		case errors.Is(err, core.ErrTransient):
 			continue // a worn copy handed over; retry
-		case errors.Is(err, core.ErrWornOut):
+		case errors.Is(err, core.ErrExhausted):
 			fmt.Printf("architecture wore out after %d successful accesses "+
 				"(designed window: %d–%d)\n",
 				accesses, design.GuaranteedMinAccesses(), design.MaxAllowedAccesses())

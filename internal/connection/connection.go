@@ -71,7 +71,7 @@ func NewDevice(design dse.Design, passcode string, storage []byte, r *rng.RNG) (
 func (d *Device) Unlock(passcode string, env nems.Environment) ([]byte, error) {
 	hwKey, err := d.arch.Access(env)
 	switch {
-	case errors.Is(err, core.ErrWornOut):
+	case errors.Is(err, core.ErrExhausted):
 		return nil, ErrLocked
 	case errors.Is(err, core.ErrTransient):
 		return nil, ErrTransient

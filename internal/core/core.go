@@ -18,8 +18,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"lemonade/internal/dse"
 	"lemonade/internal/nems"
@@ -28,14 +30,22 @@ import (
 	"lemonade/internal/shamir16"
 )
 
+// Typed sentinels. Callers classify access failures with errors.Is; the
+// lemonaded server maps them onto HTTP status codes (ErrExhausted → 410,
+// ErrDecodeFailed → 422).
 var (
-	// ErrWornOut is returned once every copy of the architecture has
-	// degraded below its survivor threshold: the secret is gone.
-	ErrWornOut = errors.New("core: architecture has worn out; secret unrecoverable")
+	// ErrExhausted is returned once every copy of the architecture has
+	// degraded below its survivor threshold: the secret is gone forever.
+	ErrExhausted = errors.New("core: architecture exhausted; secret unrecoverable")
 	// ErrTransient is returned when an access failed but a later access
 	// may still succeed (the active copy died mid-access and the next
 	// copy takes over on retry).
 	ErrTransient = errors.New("core: access failed; retry")
+	// ErrDecodeFailed is returned when enough switches conducted but the
+	// collected components did not reconstruct the secret — corrupted
+	// share state rather than wearout. The failing copy is retired and a
+	// retry proceeds on the next copy, like a transient failure.
+	ErrDecodeFailed = errors.New("core: component decode failed")
 )
 
 // AccessOutcome classifies an access attempt for observers.
@@ -43,9 +53,10 @@ type AccessOutcome int
 
 // Access outcomes.
 const (
-	AccessSuccess   AccessOutcome = iota // secret recovered
-	AccessTransient                      // active copy died mid-access; retry
-	AccessWornOut                        // architecture exhausted
+	AccessSuccess      AccessOutcome = iota // secret recovered
+	AccessTransient                         // active copy died mid-access; retry
+	AccessExhausted                         // architecture exhausted
+	AccessDecodeFailed                      // enough switches conducted but decode failed
 )
 
 // AccessEvent describes one completed access attempt, for telemetry.
@@ -57,8 +68,17 @@ type AccessEvent struct {
 }
 
 // Architecture is a fabricated limited-use secret store.
+//
+// An Architecture is safe for concurrent use: accesses from multiple
+// goroutines are serialized on an internal mutex, mirroring the hardware —
+// a physical parallel structure fires once per access, so two concurrent
+// requests are two accesses, each consuming wearout. Total successful
+// accesses can therefore never exceed the hardware's wearout budget no
+// matter how many callers race.
 type Architecture struct {
-	design   dse.Design
+	design dse.Design
+
+	mu       sync.Mutex // guards everything below
 	copies   []*archCopy
 	cur      int
 	total    uint64 // accesses attempted
@@ -68,8 +88,14 @@ type Architecture struct {
 
 // SetObserver installs a callback invoked synchronously after every access
 // attempt — the hook a deployment uses for usage telemetry and
-// tamper/exhaustion alerting. A nil observer disables it.
-func (a *Architecture) SetObserver(fn func(AccessEvent)) { a.observer = fn }
+// tamper/exhaustion alerting. A nil observer disables it. The callback
+// runs with the architecture's lock held and must not call back into the
+// architecture.
+func (a *Architecture) SetObserver(fn func(AccessEvent)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.observer = fn
+}
 
 // decoder reconstructs the secret from the switch indices that conducted
 // during an access. Implementations: plain replication (k=1), Shamir over
@@ -144,8 +170,10 @@ func (c *archCopy) alive() bool {
 
 // access actuates every switch (physically the whole parallel structure
 // fires on each access) and returns the recovered secret (nil on failure)
-// plus how many switches conducted.
-func (c *archCopy) access(env nems.Environment) ([]byte, int) {
+// plus how many switches conducted. A non-nil error distinguishes a decode
+// failure (enough switches conducted, reconstruction failed) from plain
+// wearout below threshold.
+func (c *archCopy) access(env nems.Environment) ([]byte, int, error) {
 	var conducting []int
 	for i, sw := range c.switches {
 		if sw.Actuate(env) == nil {
@@ -153,13 +181,13 @@ func (c *archCopy) access(env nems.Environment) ([]byte, int) {
 		}
 	}
 	if len(conducting) < c.k {
-		return nil, len(conducting)
+		return nil, len(conducting), nil
 	}
 	secret, err := c.dec.combine(conducting)
 	if err != nil {
-		return nil, len(conducting)
+		return nil, len(conducting), fmt.Errorf("%w: %v", ErrDecodeFailed, err)
 	}
-	return secret, len(conducting)
+	return secret, len(conducting), nil
 }
 
 // Build fabricates an architecture for the design, protecting secret.
@@ -214,8 +242,23 @@ func Build(design dse.Design, secret []byte, r *rng.RNG) (*Architecture, error) 
 
 // Access performs one access under env. On success it returns the secret.
 // ErrTransient means this access failed but the architecture may recover on
-// retry (the next copy takes over); ErrWornOut means the secret is gone.
+// retry (the next copy takes over); ErrExhausted means the secret is gone.
+// It is equivalent to AccessContext(context.Background(), env).
 func (a *Architecture) Access(env nems.Environment) ([]byte, error) {
+	return a.AccessContext(context.Background(), env)
+}
+
+// AccessContext is Access with cancellation: if ctx is done before the
+// hardware fires, no wearout is consumed and ctx.Err() is returned. Once
+// the traversal starts it runs to completion — a physical access cannot be
+// un-fired, so cancellation mid-flight would desynchronize the simulated
+// wearout state from the counters. Safe for concurrent use.
+func (a *Architecture) AccessContext(ctx context.Context, env nems.Environment) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.total++
 	for a.cur < len(a.copies) {
 		c := a.copies[a.cur]
@@ -223,20 +266,28 @@ func (a *Architecture) Access(env nems.Environment) ([]byte, error) {
 			a.cur++
 			continue
 		}
-		secret, conducting := c.access(env)
+		secret, conducting, decErr := c.access(env)
 		if secret == nil {
-			// The active copy degraded below threshold during this
-			// access; it cannot recover (wearout is monotone).
-			a.emit(AccessEvent{Attempt: a.total, Copy: a.cur, Conducting: conducting, Outcome: AccessTransient})
+			// The active copy cannot serve: either it degraded below
+			// threshold during this access (wearout is monotone, it
+			// cannot recover) or its share state failed to decode.
+			// Either way the next copy takes over on retry.
+			outcome := AccessTransient
+			err := error(ErrTransient)
+			if decErr != nil {
+				outcome = AccessDecodeFailed
+				err = decErr
+			}
+			a.emit(AccessEvent{Attempt: a.total, Copy: a.cur, Conducting: conducting, Outcome: outcome})
 			a.cur++
-			return nil, ErrTransient
+			return nil, err
 		}
 		a.ok++
 		a.emit(AccessEvent{Attempt: a.total, Copy: a.cur, Conducting: conducting, Outcome: AccessSuccess})
 		return secret, nil
 	}
-	a.emit(AccessEvent{Attempt: a.total, Copy: len(a.copies), Outcome: AccessWornOut})
-	return nil, ErrWornOut
+	a.emit(AccessEvent{Attempt: a.total, Copy: len(a.copies), Outcome: AccessExhausted})
+	return nil, ErrExhausted
 }
 
 func (a *Architecture) emit(ev AccessEvent) {
@@ -247,6 +298,8 @@ func (a *Architecture) emit(ev AccessEvent) {
 
 // Alive reports whether a future access could still succeed.
 func (a *Architecture) Alive() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	for i := a.cur; i < len(a.copies); i++ {
 		if a.copies[i].alive() {
 			return true
@@ -259,13 +312,25 @@ func (a *Architecture) Alive() bool {
 func (a *Architecture) Design() dse.Design { return a.design }
 
 // Accesses returns (attempted, successful) access counts.
-func (a *Architecture) Accesses() (total, successful uint64) { return a.total, a.ok }
+func (a *Architecture) Accesses() (total, successful uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total, a.ok
+}
 
 // CurrentCopy returns the index of the copy serving accesses.
-func (a *Architecture) CurrentCopy() int { return a.cur }
+func (a *Architecture) CurrentCopy() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cur
+}
 
 // TotalDevices returns the switch count of the fabricated hardware.
 func (a *Architecture) TotalDevices() int { return a.design.N * a.design.Copies }
 
 // ExhaustedCopies returns how many copies have fully degraded.
-func (a *Architecture) ExhaustedCopies() int { return a.cur }
+func (a *Architecture) ExhaustedCopies() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cur
+}

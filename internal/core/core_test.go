@@ -69,7 +69,7 @@ func TestWearsOutAndStaysDead(t *testing.T) {
 	var wornOut bool
 	for i := 0; i < deadline+100; i++ {
 		_, err := a.Access(nems.RoomTemp)
-		if errors.Is(err, ErrWornOut) {
+		if errors.Is(err, ErrExhausted) {
 			wornOut = true
 			break
 		}
@@ -82,7 +82,7 @@ func TestWearsOutAndStaysDead(t *testing.T) {
 	}
 	// And it never recovers.
 	for i := 0; i < 10; i++ {
-		if _, err := a.Access(nems.RoomTemp); !errors.Is(err, ErrWornOut) {
+		if _, err := a.Access(nems.RoomTemp); !errors.Is(err, ErrExhausted) {
 			t.Fatal("worn-out architecture served an access")
 		}
 	}

@@ -31,6 +31,8 @@ type Health struct {
 // has already served its count; each fresh copy contributes the full
 // per-copy mean.
 func (a *Architecture) Health() Health {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	h := Health{}
 	if a.cur >= len(a.copies) {
 		return h

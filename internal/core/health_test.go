@@ -67,7 +67,7 @@ func TestHealthAdvisesMigrationNearDeath(t *testing.T) {
 		if h.MigrateAdvised {
 			advised = true
 		}
-		if _, err := a.Access(nems.RoomTemp); err == ErrWornOut {
+		if _, err := a.Access(nems.RoomTemp); err == ErrExhausted {
 			break
 		}
 	}
@@ -108,7 +108,7 @@ func TestObserverSeesEveryAttempt(t *testing.T) {
 	attempts := 0
 	for i := 0; i < design.MaxAllowedAccesses()*3+10; i++ {
 		attempts++
-		if _, err := a.Access(nems.RoomTemp); err == ErrWornOut {
+		if _, err := a.Access(nems.RoomTemp); err == ErrExhausted {
 			break
 		}
 	}
@@ -129,7 +129,7 @@ func TestObserverSeesEveryAttempt(t *testing.T) {
 			}
 		case AccessTransient:
 			transients++
-		case AccessWornOut:
+		case AccessExhausted:
 			wornouts++
 		}
 	}
@@ -137,8 +137,8 @@ func TestObserverSeesEveryAttempt(t *testing.T) {
 		t.Errorf("event mix: %d success, %d transient, %d wornout", successes, transients, wornouts)
 	}
 	// the last event is the wearout
-	if events[len(events)-1].Outcome != AccessWornOut {
-		t.Error("final event should be AccessWornOut")
+	if events[len(events)-1].Outcome != AccessExhausted {
+		t.Error("final event should be AccessExhausted")
 	}
 	// disabling the observer stops events
 	a.SetObserver(nil)

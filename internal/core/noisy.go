@@ -109,7 +109,7 @@ func (a *NoisyArchitecture) Access(env nems.Environment) ([]byte, error) {
 		a.ok++
 		return secret, nil
 	}
-	return nil, ErrWornOut
+	return nil, ErrExhausted
 }
 
 func (a *NoisyArchitecture) accessCopy(c *noisyCopy, env nems.Environment) []byte {

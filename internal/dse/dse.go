@@ -20,6 +20,7 @@
 package dse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -63,24 +64,67 @@ type Spec struct {
 	ContinuousT bool
 }
 
-// Validate checks the spec.
+// FieldError is a validation failure attributed to one Spec field, so API
+// surfaces (the lemonaded request decoder, CLI flag handlers) can report
+// which field to fix without parsing error strings. It unwraps to the
+// underlying cause and, like every validation error, satisfies
+// errors.Is(err, ErrInvalidSpec).
+type FieldError struct {
+	Field string // Spec field, e.g. "Dist", "LAB", "KFrac"
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *FieldError) Error() string { return fmt.Sprintf("dse: invalid %s: %v", e.Field, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *FieldError) Unwrap() error { return e.Err }
+
+// Is reports ErrInvalidSpec so callers can class-match without errors.As.
+func (e *FieldError) Is(target error) bool { return target == ErrInvalidSpec }
+
+// ErrInvalidSpec classifies every Spec validation failure.
+var ErrInvalidSpec = errors.New("dse: invalid spec")
+
+func fieldErrf(field, format string, args ...any) *FieldError {
+	return &FieldError{Field: field, Err: fmt.Errorf(format, args...)}
+}
+
+// Validate checks the spec field by field, returning a *FieldError naming
+// the first offending field. Callers reject bad Specs up front — before
+// paying for a search — with a message they can attribute to an input.
 func (s Spec) Validate() error {
 	if err := s.Dist.Validate(); err != nil {
-		return err
+		return &FieldError{Field: "Dist", Err: err}
 	}
 	if err := s.Criteria.Validate(); err != nil {
-		return err
+		return &FieldError{Field: "Criteria", Err: err}
 	}
 	if s.LAB < 1 {
-		return fmt.Errorf("dse: LAB must be >= 1, got %d", s.LAB)
+		return fieldErrf("LAB", "must be >= 1, got %d", s.LAB)
 	}
 	if s.UpperBound != 0 && s.UpperBound < s.LAB {
-		return fmt.Errorf("dse: UpperBound %d below LAB %d", s.UpperBound, s.LAB)
+		return fieldErrf("UpperBound", "%d below LAB %d", s.UpperBound, s.LAB)
 	}
 	if s.KFrac < 0 || s.KFrac >= 1 {
-		return fmt.Errorf("dse: KFrac must be in [0, 1), got %g", s.KFrac)
+		return fieldErrf("KFrac", "must be in [0, 1), got %g", s.KFrac)
+	}
+	if s.MaxPerStructure < 0 {
+		return fieldErrf("MaxPerStructure", "must be >= 0, got %d", s.MaxPerStructure)
 	}
 	return nil
+}
+
+// CacheKey returns a canonical string identifying the design problem: two
+// Specs that denote the same search — including ones that differ only in
+// defaulted fields (UpperBound 0 vs LAB, MaxPerStructure 0 vs the default
+// cap) — share a key. The lemonaded DSE cache uses it so identical
+// searches never recompute; it is only meaningful for valid Specs.
+func (s Spec) CacheKey() string {
+	return fmt.Sprintf("a=%g|b=%g|mw=%g|mo=%g|lab=%d|ub=%d|kf=%g|max=%d|ct=%t",
+		s.Dist.Alpha, s.Dist.Beta,
+		s.Criteria.MinWork, s.Criteria.MaxOverrun,
+		s.LAB, s.upperBound(), s.KFrac, s.maxPerStructure(), s.ContinuousT)
 }
 
 func (s Spec) upperBound() int {
@@ -386,11 +430,16 @@ func solveEncoded(rLo, rHi float64, c reliability.Criteria, kFrac float64, nCap 
 // Continuous-T specs are evaluated at integer targets here, since the
 // frontier's purpose is to enumerate physically distinct architectures.
 //
+// The context cancels the sweep between per-copy targets (a server drops
+// the search when its client disconnects or it is draining for shutdown);
+// with context.Background() no cancellation checks are made and behavior
+// is identical to the pre-context API.
+//
 // Note that encoded specs (KFrac > 0) usually admit exactly one integer
 // target: device reliability is monotone in access count, so the straddle
 // condition R(T) > KFrac > R(UpperT+1) singles out the crossing point.
 // The interesting multi-point frontiers belong to unencoded designs.
-func ExploreFrontier(spec Spec) ([]Design, error) {
+func ExploreFrontier(ctx context.Context, spec Spec) ([]Design, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -399,8 +448,14 @@ func ExploreFrontier(spec Spec) ([]Design, error) {
 	if tMax > float64(upper) {
 		tMax = float64(upper)
 	}
+	cancellable := ctx.Done() != nil
 	var out []Design
 	for t := 1; float64(t) <= tMax; t++ {
+		if cancellable && t%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if d, ok := designAt(spec, float64(t), upper); ok {
 			out = append(out, d)
 		}

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -382,7 +383,7 @@ func TestExploreFrontier(t *testing.T) {
 	// collapse to the straddle point (checked below).
 	spec := connSpec(14, 12, 0)
 	spec.LAB = 500
-	frontier, err := ExploreFrontier(spec)
+	frontier, err := ExploreFrontier(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +422,7 @@ func TestExploreFrontier(t *testing.T) {
 	// encoded specs collapse to the single straddle target
 	encSpec := connSpec(14, 8, 0.10)
 	encSpec.LAB = 500
-	encFrontier, err := ExploreFrontier(encSpec)
+	encFrontier, err := ExploreFrontier(context.Background(), encSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +431,7 @@ func TestExploreFrontier(t *testing.T) {
 	}
 	// infeasible spec errors
 	bad := Spec{Dist: weibull.MustNew(10, 1), Criteria: reliability.DefaultCriteria, LAB: 1000}
-	if _, err := ExploreFrontier(bad); !errors.Is(err, ErrInfeasible) {
+	if _, err := ExploreFrontier(context.Background(), bad); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("expected ErrInfeasible, got %v", err)
 	}
 }

@@ -5,6 +5,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -82,7 +83,14 @@ func Run(seed uint64, trials int, f Trial) Summary {
 
 // RunParallel is Run across GOMAXPROCS workers. Results are identical to
 // Run for the same seed: stream derivation depends only on the trial index.
-func RunParallel(seed uint64, trials int, f Trial) Summary {
+//
+// The context cancels the run between trials: dispatch stops, in-flight
+// trials finish, and ctx.Err() is returned with a zero Summary — the hook
+// a server uses to abandon simulations when the client disconnects or the
+// process drains for shutdown. A context that can never be cancelled
+// (context.Background, context.TODO) takes a dispatch path with no
+// cancellation checks, bit-identical to the pre-context behavior.
+func RunParallel(ctx context.Context, seed uint64, trials int, f Trial) (Summary, error) {
 	vals := make([]float64, trials)
 	base := rng.New(seed)
 	workers := runtime.GOMAXPROCS(0)
@@ -94,11 +102,22 @@ func RunParallel(seed uint64, trials int, f Trial) Summary {
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
+	done := ctx.Done()
 	go func() {
-		for i := 0; i < trials; i++ {
-			next <- i
+		defer close(next)
+		if done == nil {
+			for i := 0; i < trials; i++ {
+				next <- i
+			}
+			return
 		}
-		close(next)
+		for i := 0; i < trials; i++ {
+			select {
+			case next <- i:
+			case <-done:
+				return
+			}
+		}
 	}()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -110,7 +129,10 @@ func RunParallel(seed uint64, trials int, f Trial) Summary {
 		}()
 	}
 	wg.Wait()
-	return summarize(vals)
+	if err := ctx.Err(); err != nil {
+		return Summary{}, err
+	}
+	return summarize(vals), nil
 }
 
 func summarize(vals []float64) Summary {

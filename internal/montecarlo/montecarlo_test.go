@@ -1,7 +1,10 @@
 package montecarlo
 
 import (
+	"context"
+	"errors"
 	"math"
+	"sync"
 	"testing"
 
 	"lemonade/internal/rng"
@@ -23,9 +26,42 @@ func TestRunDeterministic(t *testing.T) {
 func TestRunParallelMatchesSequential(t *testing.T) {
 	f := func(r *rng.RNG) float64 { return r.NormFloat64() }
 	a := Run(7, 1000, f)
-	b := RunParallel(7, 1000, f)
+	b, err := RunParallel(context.Background(), 7, 1000, f)
+	if err != nil {
+		t.Fatalf("RunParallel: %v", err)
+	}
 	if a.Mean != b.Mean || a.Min != b.Min || a.Max != b.Max {
 		t.Errorf("parallel run diverged: %v vs %v", a, b)
+	}
+}
+
+func TestRunParallelCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := RunParallel(ctx, 7, 1_000_000, func(r *rng.RNG) float64 {
+		once.Do(func() { close(started) })
+		<-ctx.Done() // simulate a slow trial that outlives the client
+		return r.Float64()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunParallel returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunParallelPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sum, err := RunParallel(ctx, 1, 100, func(r *rng.RNG) float64 { return r.Float64() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sum.Trials != 0 {
+		t.Errorf("cancelled run reported %d trials", sum.Trials)
 	}
 }
 

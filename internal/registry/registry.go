@@ -1,0 +1,134 @@
+// Package registry holds the provisioned architectures of a lemonaded
+// process: a sharded, mutex-striped map from architecture ID to the live
+// core.Architecture serving accesses.
+//
+// Striping keeps registry lookups off each other's locks — the paper's
+// serving scenarios (a fleet of phones unlocking, a targeting system
+// answering key requests) are many independent architectures hammered
+// concurrently, so the registry must never serialize traffic across
+// unrelated architectures. Access serialization *within* one architecture
+// is the architecture's own job (its accesses are mutex-ordered, mirroring
+// the single physical structure); the registry only guards the map.
+//
+// IDs are assigned from a process-local counter, so a fixed provisioning
+// sequence yields a fixed ID sequence — the golden HTTP determinism test
+// relies on it.
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lemonade/internal/core"
+)
+
+// DefaultShards is the stripe count used by New when given 0. 32 stripes
+// keep contention negligible for hundreds of concurrent handlers while
+// costing only a few hundred bytes.
+const DefaultShards = 32
+
+// Entry is one provisioned architecture.
+type Entry struct {
+	ID   string
+	Arch *core.Architecture
+	Seed uint64 // provisioning seed, echoed for reproducibility audits
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*Entry
+}
+
+// Registry is a sharded architecture store, safe for concurrent use.
+type Registry struct {
+	shards []shard
+	seq    atomic.Uint64
+}
+
+// New returns a registry with the given stripe count (0 → DefaultShards).
+func New(shards int) *Registry {
+	if shards < 1 {
+		shards = DefaultShards
+	}
+	r := &Registry{shards: make([]shard, shards)}
+	for i := range r.shards {
+		r.shards[i].m = make(map[string]*Entry)
+	}
+	return r
+}
+
+// shardFor picks the stripe for id by FNV-1a.
+func (r *Registry) shardFor(id string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return &r.shards[h%uint64(len(r.shards))]
+}
+
+// Provision stores a freshly built architecture and returns its entry with
+// a newly assigned ID.
+func (r *Registry) Provision(arch *core.Architecture, seed uint64) *Entry {
+	id := fmt.Sprintf("arch-%06d", r.seq.Add(1))
+	e := &Entry{ID: id, Arch: arch, Seed: seed}
+	s := r.shardFor(id)
+	s.mu.Lock()
+	s.m[id] = e
+	s.mu.Unlock()
+	return e
+}
+
+// Get returns the entry for id.
+func (r *Registry) Get(id string) (*Entry, bool) {
+	s := r.shardFor(id)
+	s.mu.RLock()
+	e, ok := s.m[id]
+	s.mu.RUnlock()
+	return e, ok
+}
+
+// Remove deletes the entry for id, reporting whether it existed. The
+// architecture itself is unaffected — wearout state is physical and
+// removal only unlists it.
+func (r *Registry) Remove(id string) bool {
+	s := r.shardFor(id)
+	s.mu.Lock()
+	_, ok := s.m[id]
+	delete(s.m, id)
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of registered architectures.
+func (r *Registry) Len() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls fn for every entry until fn returns false. Iteration order
+// is unspecified; entries added or removed concurrently may or may not be
+// visited.
+func (r *Registry) Range(fn func(*Entry) bool) {
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		entries := make([]*Entry, 0, len(s.m))
+		for _, e := range s.m {
+			entries = append(entries, e)
+		}
+		s.mu.RUnlock()
+		for _, e := range entries {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}

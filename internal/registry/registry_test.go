@@ -1,0 +1,122 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lemonade/internal/core"
+	"lemonade/internal/dse"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+func buildArch(t *testing.T, seed uint64) *core.Architecture {
+	t.Helper()
+	spec := dse.Spec{
+		Dist:     weibull.MustNew(8, 8),
+		Criteria: reliability.DefaultCriteria,
+		LAB:      10,
+		KFrac:    0.1,
+	}
+	d, err := dse.Explore(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Build(d, []byte("secret"), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestProvisionGetRemove(t *testing.T) {
+	r := New(0)
+	a := buildArch(t, 1)
+	e := r.Provision(a, 1)
+	if e.ID != "arch-000001" {
+		t.Errorf("first ID = %q, want arch-000001 (IDs must be deterministic)", e.ID)
+	}
+	got, ok := r.Get(e.ID)
+	if !ok || got.Arch != a || got.Seed != 1 {
+		t.Fatalf("Get(%q) = (%v, %t)", e.ID, got, ok)
+	}
+	if _, ok := r.Get("arch-999999"); ok {
+		t.Error("Get of unknown ID succeeded")
+	}
+	if !r.Remove(e.ID) {
+		t.Error("Remove returned false for existing entry")
+	}
+	if r.Remove(e.ID) {
+		t.Error("second Remove returned true")
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d after removal", r.Len())
+	}
+}
+
+func TestDeterministicIDSequence(t *testing.T) {
+	a := buildArch(t, 1)
+	r1, r2 := New(4), New(4)
+	for i := 0; i < 5; i++ {
+		id1 := r1.Provision(a, 0).ID
+		id2 := r2.Provision(a, 0).ID
+		if id1 != id2 {
+			t.Fatalf("provision %d: IDs diverge (%q vs %q)", i, id1, id2)
+		}
+	}
+}
+
+func TestConcurrentProvisionAndLookup(t *testing.T) {
+	r := New(8)
+	a := buildArch(t, 1)
+	const workers, perWorker = 8, 50
+	ids := make([][]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				e := r.Provision(a, uint64(w))
+				ids[w] = append(ids[w], e.ID)
+				if _, ok := r.Get(e.ID); !ok {
+					t.Errorf("just-provisioned %q not found", e.ID)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", r.Len(), workers*perWorker)
+	}
+	// Every assigned ID is unique.
+	seen := map[string]bool{}
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("duplicate ID %q", id)
+			}
+			seen[id] = true
+		}
+	}
+	// Range visits everything exactly once.
+	visited := 0
+	r.Range(func(e *Entry) bool { visited++; return true })
+	if visited != workers*perWorker {
+		t.Errorf("Range visited %d, want %d", visited, workers*perWorker)
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	r := New(8)
+	counts := make(map[*shard]int)
+	for i := 0; i < 1000; i++ {
+		counts[r.shardFor(fmt.Sprintf("arch-%06d", i))]++
+	}
+	if len(counts) < 6 {
+		t.Errorf("1000 sequential IDs landed on only %d/8 shards", len(counts))
+	}
+}

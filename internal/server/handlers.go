@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"lemonade/internal/core"
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+)
+
+// maxSecretBytes bounds the protected secret; the paper's use cases carry
+// 128–256-bit keys, so 4 KiB is already generous.
+const maxSecretBytes = 4096
+
+// handleProvision fabricates an architecture: solve the design problem
+// (through the cache — fleets provision many identical devices), build
+// the simulated hardware from the explicit seed, register it.
+func (s *Server) handleProvision(w http.ResponseWriter, r *http.Request) {
+	var req ProvisionRequest
+	if err := decodeJSON(r, &req, false); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	secret, err := hex.DecodeString(req.SecretHex)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "secret_hex: " + err.Error(), Field: "secret_hex"})
+		return
+	}
+	if len(secret) == 0 || len(secret) > maxSecretBytes {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("secret_hex must encode 1..%d bytes, got %d", maxSecretBytes, len(secret)),
+			Field: "secret_hex",
+		})
+		return
+	}
+	spec, err := req.Spec.Spec()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	design, cached, err := s.explore(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	arch, err := core.Build(design, secret, rng.New(req.Seed))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	e := s.reg.Provision(arch, req.Seed)
+	s.mProvisioned.Inc()
+	s.gLive.Set(int64(s.reg.Len()))
+	writeJSON(w, http.StatusCreated, ProvisionResponse{
+		ID:     e.ID,
+		Seed:   e.Seed,
+		Cached: cached,
+		Design: designResponse(design),
+	})
+}
+
+// handleStatus reports wearout state without consuming an access.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown architecture"})
+		return
+	}
+	total, okCount := e.Arch.Accesses()
+	writeJSON(w, http.StatusOK, StatusResponse{
+		ID:              e.ID,
+		Alive:           e.Arch.Alive(),
+		Attempts:        total,
+		Successful:      okCount,
+		CurrentCopy:     e.Arch.CurrentCopy(),
+		ExhaustedCopies: e.Arch.ExhaustedCopies(),
+		Design:          designResponse(e.Arch.Design()),
+	})
+}
+
+// handleAccess performs one real, wearout-consuming traversal of the
+// architecture's switches. Concurrent requests against one architecture
+// serialize inside core.Architecture — each one is a distinct physical
+// access, so the sum of successes can never exceed the hardware budget.
+func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown architecture"})
+		return
+	}
+	var req AccessRequest
+	if err := decodeJSON(r, &req, true); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	env := nems.RoomTemp
+	if req.TempCelsius != 0 {
+		env = nems.Environment{TempCelsius: req.TempCelsius}
+	}
+	secret, err := e.Arch.AccessContext(r.Context(), env)
+	total, okCount := e.Arch.Accesses()
+	switch {
+	case err == nil:
+		s.mAccessSuccess.Inc()
+		writeJSON(w, http.StatusOK, AccessResponse{
+			SecretHex:  hex.EncodeToString(secret),
+			Attempts:   total,
+			Successful: okCount,
+			Copy:       e.Arch.CurrentCopy(),
+		})
+	case errors.Is(err, core.ErrExhausted):
+		s.mAccessExh.Inc()
+		s.mLockouts.Inc()
+		writeError(w, err)
+	case errors.Is(err, core.ErrDecodeFailed):
+		s.mAccessDecode.Inc()
+		writeError(w, err)
+	case errors.Is(err, core.ErrTransient):
+		s.mAccessTrans.Inc()
+		writeError(w, err)
+	default: // context cancellation — no wearout was consumed
+		writeError(w, err)
+	}
+}
+
+// handleExplore answers a design search from the LRU cache; identical
+// Specs (after canonicalization) never recompute, and concurrent
+// identical searches collapse into one via singleflight.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req SpecRequest
+	if err := decodeJSON(r, &req, false); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	design, cached, err := s.explore(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExploreResponse{Cached: cached, Design: designResponse(design)})
+}
+
+// handleFrontier enumerates every feasible design. The enumeration is the
+// expensive, cancellable path: it aborts between per-copy targets when
+// the client disconnects or the server drains.
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	var req SpecRequest
+	if err := decodeJSON(r, &req, false); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	spec.ContinuousT = false // the frontier enumerates integer targets
+	designs, err := dse.ExploreFrontier(r.Context(), spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	limit := len(designs)
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "limit must be a positive integer"})
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	out := FrontierResponse{Count: len(designs)}
+	for _, d := range designs[:limit] {
+		out.Designs = append(out.Designs, designResponse(d))
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,183 @@
+// Package server implements lemonaded's HTTP API: a concurrent
+// key-access service over the paper's limited-use architectures.
+//
+// The service provisions simulated architectures into a sharded registry
+// and serves wearout-consuming accesses against them — the paper's two
+// deployment stories (a smartphone unlock path, §4, and a targeting
+// system answering repeated key-retrieval requests, §5) are both
+// "many concurrent readers racing a hardware budget", which is exactly
+// what the API exposes:
+//
+//	POST /v1/architectures             provision from a dse spec (explicit seed)
+//	GET  /v1/architectures/{id}        wearout status
+//	POST /v1/architectures/{id}/access one real access (consumes wearout)
+//	POST /v1/dse/explore               cached design-space exploration
+//	POST /v1/dse/frontier              full frontier (cancellable)
+//	GET  /metrics                      Prometheus text exposition
+//	GET  /healthz                      liveness
+//
+// Determinism through the HTTP layer is a feature, not an accident: every
+// provision takes an explicit seed, registry IDs are sequential, and the
+// design cache is keyed by canonicalized Specs whose searches are pure —
+// so a fixed request sequence produces bit-identical responses, lockout
+// points included (pinned by TestGoldenDeterminismThroughHTTP).
+//
+// The package never reads the wall clock (the lemonvet determinism
+// contract): request latencies are measured against an injected
+// nanosecond clock, supplied by the daemon from time.Now and by tests
+// from a deterministic counter.
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"lemonade/internal/cache"
+	"lemonade/internal/dse"
+	"lemonade/internal/metrics"
+	"lemonade/internal/registry"
+)
+
+// Config parameterizes a Server. The zero value is usable: default
+// striping, default cache size, and a null clock (all latencies observed
+// as zero).
+type Config struct {
+	// Shards is the registry stripe count (0 → registry.DefaultShards).
+	Shards int
+	// CacheSize caps the DSE design cache (0 → 256 designs).
+	CacheSize int
+	// NowNanos is the clock used for latency histograms, in nanoseconds
+	// from an arbitrary origin. The daemon injects a monotonic wall
+	// clock; tests inject a counter. Nil disables latency measurement.
+	NowNanos func() int64
+	// MaxBodyBytes caps request bodies (0 → 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the lemonaded HTTP service. Create with New; it is an
+// http.Handler via Handler().
+type Server struct {
+	reg     *registry.Registry
+	designs *cache.Cache[dse.Design]
+	met     *metrics.Registry // metric registry (reg is the architecture registry)
+	now     func() int64
+	maxBody int64
+	mux     *http.ServeMux
+
+	// Access outcomes, by terminal classification of one hardware access.
+	mAccessSuccess *metrics.Counter
+	mAccessTrans   *metrics.Counter
+	mAccessExh     *metrics.Counter
+	mAccessDecode  *metrics.Counter
+	// Headline counter for the paper's security event: an access refused
+	// because the hardware budget is spent.
+	mLockouts *metrics.Counter
+	// DSE cache effectiveness.
+	mCacheHits, mCacheMisses *metrics.Counter
+	// Fleet size.
+	mProvisioned *metrics.Counter
+	gLive        *metrics.Gauge
+	// HTTP-level traffic.
+	gInflight *metrics.Gauge
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	now := cfg.NowNanos
+	if now == nil {
+		now = func() int64 { return 0 }
+	}
+	m := metrics.NewRegistry()
+	s := &Server{
+		reg:     registry.New(cfg.Shards),
+		designs: cache.New[dse.Design](cfg.CacheSize),
+		met:     m,
+		now:     now,
+		maxBody: cfg.MaxBodyBytes,
+
+		mAccessSuccess: m.Counter("lemonaded_accesses_total", `outcome="success"`, "hardware accesses by outcome"),
+		mAccessTrans:   m.Counter("lemonaded_accesses_total", `outcome="transient"`, "hardware accesses by outcome"),
+		mAccessExh:     m.Counter("lemonaded_accesses_total", `outcome="exhausted"`, "hardware accesses by outcome"),
+		mAccessDecode:  m.Counter("lemonaded_accesses_total", `outcome="decode_failed"`, "hardware accesses by outcome"),
+		mLockouts:      m.Counter("lemonaded_lockouts_total", "", "accesses refused because the wearout budget is exhausted"),
+		mCacheHits:     m.Counter("lemonaded_dse_cache_hits_total", "", "design searches served from cache"),
+		mCacheMisses:   m.Counter("lemonaded_dse_cache_misses_total", "", "design searches computed"),
+		mProvisioned:   m.Counter("lemonaded_architectures_provisioned_total", "", "architectures fabricated over process lifetime"),
+		gLive:          m.Gauge("lemonaded_architectures_live", "", "architectures currently registered"),
+		gInflight:      m.Gauge("lemonaded_inflight_requests", "", "HTTP requests currently being served"),
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/architectures", "provision", s.handleProvision)
+	s.route("GET /v1/architectures/{id}", "status", s.handleStatus)
+	s.route("POST /v1/architectures/{id}/access", "access", s.handleAccess)
+	s.route("POST /v1/dse/explore", "explore", s.handleExplore)
+	s.route("POST /v1/dse/frontier", "frontier", s.handleFrontier)
+	s.mux.Handle("GET /metrics", m)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// Handler returns the root handler; mount it on an http.Server. Request
+// draining on shutdown comes from http.Server.Shutdown, which stops the
+// listener and waits for handlers to return.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the metric registry (the /metrics handler), mainly for
+// the daemon to add process-level gauges.
+func (s *Server) Metrics() *metrics.Registry { return s.met }
+
+// route mounts an instrumented handler: per-route request counter and
+// latency histogram, per-code response counter, global in-flight gauge.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	reqs := s.met.Counter("lemonaded_requests_total", `route="`+name+`"`, "HTTP requests by route")
+	dur := s.met.Histogram("lemonaded_request_duration_seconds", `route="`+name+`"`,
+		"request latency by route", nil)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.gInflight.Inc()
+		defer s.gInflight.Dec()
+		reqs.Inc()
+		start := s.now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		h(rec, r)
+		dur.Observe(float64(s.now()-start) / 1e9)
+		s.met.Counter("lemonaded_responses_total",
+			`route="`+name+`",code="`+strconv.Itoa(rec.code)+`"`,
+			"HTTP responses by route and status code").Inc()
+	})
+}
+
+// statusRecorder captures the response status for the per-code counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// explore runs a validated spec through the design cache: identical Specs
+// never recompute, and a stampede of identical in-flight searches
+// collapses into one (singleflight).
+func (s *Server) explore(spec dse.Spec) (dse.Design, bool, error) {
+	d, hit, err := s.designs.Do(spec.CacheKey(), func() (dse.Design, error) {
+		return dse.Explore(spec)
+	})
+	if hit {
+		s.mCacheHits.Inc()
+	} else {
+		s.mCacheMisses.Inc()
+	}
+	return d, hit, err
+}

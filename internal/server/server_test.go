@@ -1,0 +1,482 @@
+package server
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// testServer returns a Server with a deterministic stepping clock (1ms
+// per reading) mounted on an httptest server.
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	var ticks atomic.Int64
+	s := New(Config{NowNanos: func() int64 { return ticks.Add(1_000_000) }})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// goldenSpec is the small, fast design problem every determinism test
+// provisions: mean lifetime 6 cycles, LAB 30, 10% encoding.
+var goldenSpec = SpecRequest{Alpha: 6, Beta: 8, LAB: 30, KFrac: 0.1, ContinuousT: true}
+
+const goldenSecretHex = "00112233445566778899aabbccddeeff"
+
+func provisionGolden(t *testing.T, baseURL string, seed uint64) ProvisionResponse {
+	t.Helper()
+	resp, body := postJSON(t, baseURL+"/v1/architectures", ProvisionRequest{
+		Spec: goldenSpec, SecretHex: goldenSecretHex, Seed: seed,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("provision: status %d: %s", resp.StatusCode, body)
+	}
+	var pr ProvisionResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// TestGoldenDeterminismThroughHTTP pins that a fixed seed and a fixed
+// access sequence produce bit-identical results through the full HTTP
+// layer: same architecture ID, same secret on every success, and the
+// same lockout point. If this fails, the serving stack has broken the
+// determinism contract — treat like a golden-RNG failure, not a constant
+// to bump casually.
+func TestGoldenDeterminismThroughHTTP(t *testing.T) {
+	// Golden values for seed 42 under goldenSpec. Derived once from the
+	// deterministic simulation; any change is a breaking change.
+	const (
+		wantID         = "arch-000001"
+		wantSuccesses  = 30
+		wantTransients = 5
+		wantAttempts   = 36 // successes + transients + the first exhausted probe
+	)
+	for run := 0; run < 2; run++ { // a fresh server replays identically
+		_, ts := testServer(t)
+		pr := provisionGolden(t, ts.URL, 42)
+		if pr.ID != wantID {
+			t.Fatalf("run %d: ID = %q, want %q", run, pr.ID, wantID)
+		}
+		successes, transients, attempts := 0, 0, 0
+		for {
+			attempts++
+			resp, body := postJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/access", nil)
+			if resp.StatusCode == http.StatusOK {
+				var ar AccessResponse
+				if err := json.Unmarshal(body, &ar); err != nil {
+					t.Fatal(err)
+				}
+				if ar.SecretHex != goldenSecretHex {
+					t.Fatalf("run %d: access %d returned secret %q, want %q",
+						run, attempts, ar.SecretHex, goldenSecretHex)
+				}
+				successes++
+				continue
+			}
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				transients++
+				continue
+			}
+			if resp.StatusCode == http.StatusGone {
+				break
+			}
+			t.Fatalf("run %d: unexpected status %d: %s", run, resp.StatusCode, body)
+		}
+		if successes != wantSuccesses || transients != wantTransients || attempts != wantAttempts {
+			t.Fatalf("run %d: (successes, transients, attempts) = (%d, %d, %d), want (%d, %d, %d)",
+				run, successes, transients, attempts, wantSuccesses, wantTransients, wantAttempts)
+		}
+		// The designed window brackets the observed lockout point.
+		if successes < pr.Design.GuaranteedMinAccesses ||
+			successes > pr.Design.MaxAllowedAccesses {
+			t.Errorf("run %d: %d successes outside designed window [%d, %d]",
+				run, successes, pr.Design.GuaranteedMinAccesses, pr.Design.MaxAllowedAccesses)
+		}
+		// Post-lockout the answer is 410, forever.
+		for i := 0; i < 3; i++ {
+			resp, _ := postJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/access", nil)
+			if resp.StatusCode != http.StatusGone {
+				t.Fatalf("run %d: post-lockout access %d: status %d, want 410", run, i, resp.StatusCode)
+			}
+		}
+	}
+}
+
+// TestConcurrentAccessBudget hammers one architecture from many
+// goroutines and checks the serving invariant: the hardware budget is
+// consumed exactly once per success no matter how the requests race, and
+// the server's counters agree with the architecture's own accounting.
+func TestConcurrentAccessBudget(t *testing.T) {
+	s, ts := testServer(t)
+	pr := provisionGolden(t, ts.URL, 7)
+
+	const workers = 16
+	var successes, transients, lockouts atomic.Int64
+	var wg sync.WaitGroup
+	client := ts.Client()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				resp, err := client.Post(ts.URL+"/v1/architectures/"+pr.ID+"/access", "application/json", nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					successes.Add(1)
+				case http.StatusServiceUnavailable:
+					transients.Add(1)
+				case http.StatusGone:
+					lockouts.Add(1)
+					return
+				default:
+					t.Errorf("unexpected status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	e, ok := s.reg.Get(pr.ID)
+	if !ok {
+		t.Fatal("architecture vanished")
+	}
+	total, okCount := e.Arch.Accesses()
+	if int64(okCount) != successes.Load() {
+		t.Errorf("architecture counted %d successes, clients observed %d", okCount, successes.Load())
+	}
+	if got := int64(total); got != successes.Load()+transients.Load()+lockouts.Load() {
+		t.Errorf("attempts %d != successes %d + transients %d + lockouts %d",
+			got, successes.Load(), transients.Load(), lockouts.Load())
+	}
+	// The designed statistical window still bounds the concurrent total.
+	if int(successes.Load()) > pr.Design.MaxAllowedAccesses+pr.Design.UpperT {
+		t.Errorf("concurrent successes %d far exceed designed max %d",
+			successes.Load(), pr.Design.MaxAllowedAccesses)
+	}
+	if e.Arch.Alive() {
+		t.Error("architecture still alive after every worker saw lockout")
+	}
+	if s.mAccessSuccess.Value() != uint64(successes.Load()) {
+		t.Errorf("metrics counted %d successes, clients observed %d",
+			s.mAccessSuccess.Value(), successes.Load())
+	}
+	if s.mLockouts.Value() != uint64(lockouts.Load()) {
+		t.Errorf("metrics counted %d lockouts, clients observed %d",
+			s.mLockouts.Value(), lockouts.Load())
+	}
+}
+
+// TestErrorStatusMapping exercises the typed-sentinel → HTTP mapping.
+func TestErrorStatusMapping(t *testing.T) {
+	_, ts := testServer(t)
+
+	// Unknown architecture → 404.
+	resp, _ := postJSON(t, ts.URL+"/v1/architectures/arch-999999/access", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+
+	// Invalid spec → 400 with the offending field.
+	bad := goldenSpec
+	bad.KFrac = 1.5
+	resp, body := postJSON(t, ts.URL+"/v1/dse/explore", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec: status %d, want 400", resp.StatusCode)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Field != "KFrac" {
+		t.Errorf("invalid spec: field %q, want KFrac (%s)", er.Field, body)
+	}
+
+	// Infeasible spec (criteria can never straddle) → 409.
+	infeasible := SpecRequest{Alpha: 5, Beta: 0.5, LAB: 100000, KFrac: 0.9}
+	resp, _ = postJSON(t, ts.URL+"/v1/dse/explore", infeasible)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("infeasible spec: status %d, want 409", resp.StatusCode)
+	}
+
+	// Exhausted architecture → 410 (drive a tiny one to lockout).
+	pr := provisionGolden(t, ts.URL, 3)
+	for i := 0; i < 10000; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/access", nil)
+		if resp.StatusCode == http.StatusGone {
+			break
+		}
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/access", nil)
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("exhausted: status %d, want 410", resp.StatusCode)
+	}
+
+	// Bad secret hex → 400.
+	resp, _ = postJSON(t, ts.URL+"/v1/architectures", ProvisionRequest{
+		Spec: goldenSpec, SecretHex: "zz", Seed: 1,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad secret: status %d, want 400", resp.StatusCode)
+	}
+
+	// Empty body on a body-required route → 400.
+	resp, _ = postJSON(t, ts.URL+"/v1/dse/explore", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestExploreCache checks the LRU + singleflight behavior through the
+// HTTP layer: the second identical request is served from cache, and
+// canonically equal specs share an entry.
+func TestExploreCache(t *testing.T) {
+	s, ts := testServer(t)
+
+	resp, body := postJSON(t, ts.URL+"/v1/dse/explore", goldenSpec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore: status %d: %s", resp.StatusCode, body)
+	}
+	var first ExploreResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first explore claims cached")
+	}
+
+	_, body = postJSON(t, ts.URL+"/v1/dse/explore", goldenSpec)
+	var second ExploreResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("second identical explore was not served from cache")
+	}
+	if first.Design != second.Design {
+		t.Errorf("cached design differs: %+v vs %+v", first.Design, second.Design)
+	}
+
+	// A spec differing only in defaulted fields canonicalizes to the
+	// same cache key: explicit UpperBound == LAB is the default.
+	canon := goldenSpec
+	canon.UpperBound = canon.LAB
+	_, body = postJSON(t, ts.URL+"/v1/dse/explore", canon)
+	var third ExploreResponse
+	if err := json.Unmarshal(body, &third); err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached {
+		t.Error("canonically-equal spec missed the cache")
+	}
+
+	if hits := s.mCacheHits.Value(); hits != 2 {
+		t.Errorf("cache hits = %d, want 2", hits)
+	}
+	if misses := s.mCacheMisses.Value(); misses != 1 {
+		t.Errorf("cache misses = %d, want 1", misses)
+	}
+}
+
+// TestMetricsEndpoint provisions, accesses to lockout, and checks the
+// scrape reflects it — the in-process version of the CI smoke test.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	pr := provisionGolden(t, ts.URL, 42)
+	for i := 0; i < 10000; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/access", nil)
+		if resp.StatusCode == http.StatusGone {
+			break
+		}
+	}
+	resp, body := getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"lemonaded_lockouts_total 1",
+		`lemonaded_accesses_total{outcome="success"} 30`,
+		"lemonaded_architectures_provisioned_total 1",
+		"lemonaded_architectures_live 1",
+		`lemonaded_requests_total{route="access"}`,
+		`lemonaded_request_duration_seconds_count{route="access"}`,
+		`lemonaded_responses_total{route="access",code="410"} 1`,
+		"lemonaded_inflight_requests 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestStatusEndpoint checks the read-only wearout view.
+func TestStatusEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	pr := provisionGolden(t, ts.URL, 42)
+	postJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/access", nil)
+	resp, body := getJSON(t, ts.URL+"/v1/architectures/"+pr.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d: %s", resp.StatusCode, body)
+	}
+	var st StatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Alive || st.Attempts != 1 || st.Successful != 1 {
+		t.Errorf("status = %+v, want alive with 1/1 accesses", st)
+	}
+	if st.Design.TotalDevices != pr.Design.TotalDevices {
+		t.Errorf("status design diverges from provision design")
+	}
+	// Status does not consume wearout.
+	resp, body = getJSON(t, ts.URL+"/v1/architectures/"+pr.ID)
+	var st2 StatusResponse
+	if err := json.Unmarshal(body, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Attempts != 1 {
+		t.Errorf("status consumed an access: attempts = %d", st2.Attempts)
+	}
+}
+
+// TestFrontierEndpoint checks enumeration and the limit parameter.
+func TestFrontierEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	req := SpecRequest{Alpha: 8, Beta: 12, LAB: 500} // unencoded: multi-point frontier
+	resp, body := postJSON(t, ts.URL+"/v1/dse/frontier", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frontier: status %d: %s", resp.StatusCode, body)
+	}
+	var fr FrontierResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Count < 2 || len(fr.Designs) != fr.Count {
+		t.Errorf("frontier = %d designs shown of %d, want all shown", len(fr.Designs), fr.Count)
+	}
+	// The limit query trims the response but reports the full count.
+	resp, body = postJSON(t, ts.URL+"/v1/dse/frontier?limit=1", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frontier limit=1: status %d: %s", resp.StatusCode, body)
+	}
+	var trimmed FrontierResponse
+	if err := json.Unmarshal(body, &trimmed); err != nil {
+		t.Fatal(err)
+	}
+	if trimmed.Count != fr.Count || len(trimmed.Designs) != 1 {
+		t.Errorf("frontier limit=1 = %d shown of %d, want 1 of %d",
+			len(trimmed.Designs), trimmed.Count, fr.Count)
+	}
+	for i := 1; i < len(fr.Designs); i++ {
+		if fr.Designs[i].TotalDevices < fr.Designs[i-1].TotalDevices {
+			t.Error("frontier not sorted by total devices")
+		}
+	}
+}
+
+// TestProvisionSecretRoundTrip checks arbitrary secrets survive the hex
+// round trip through provisioning and access.
+func TestProvisionSecretRoundTrip(t *testing.T) {
+	_, ts := testServer(t)
+	secret := []byte("attack at dawn — key #9")
+	resp, body := postJSON(t, ts.URL+"/v1/architectures", ProvisionRequest{
+		Spec: goldenSpec, SecretHex: hex.EncodeToString(secret), Seed: 11,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("provision: %d: %s", resp.StatusCode, body)
+	}
+	var pr ProvisionResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/access", nil)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("access %d: %d: %s", i, resp.StatusCode, body)
+		}
+		var ar AccessResponse
+		if err := json.Unmarshal(body, &ar); err != nil {
+			t.Fatal(err)
+		}
+		got, err := hex.DecodeString(ar.SecretHex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, secret) {
+			t.Fatalf("access %d returned %q, want %q", i, got, secret)
+		}
+	}
+}
+
+// TestHealthz is the liveness probe.
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	resp, body := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func ExampleServer() {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, _ := http.Post(ts.URL+"/v1/dse/explore", "application/json",
+		strings.NewReader(`{"alpha": 6, "beta": 8, "lab": 30, "kfrac": 0.1}`))
+	fmt.Println(resp.StatusCode)
+	// Output: 200
+}

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"lemonade/internal/core"
+	"lemonade/internal/dse"
+	"lemonade/internal/reliability"
+	"lemonade/internal/weibull"
+)
+
+// SpecRequest is the wire form of a design problem: flat JSON, with the
+// same defaulting as the CLI (99%/1% criteria when omitted).
+type SpecRequest struct {
+	Alpha           float64 `json:"alpha"`
+	Beta            float64 `json:"beta"`
+	MinWork         float64 `json:"min_work,omitempty"`
+	MaxOverrun      float64 `json:"max_overrun,omitempty"`
+	LAB             int     `json:"lab"`
+	UpperBound      int     `json:"upper_bound,omitempty"`
+	KFrac           float64 `json:"kfrac,omitempty"`
+	ContinuousT     bool    `json:"continuous_t,omitempty"`
+	MaxPerStructure int     `json:"max_per_structure,omitempty"`
+}
+
+// Spec converts the wire form to a validated dse.Spec. Validation happens
+// here — before any search is paid for — and failures carry the offending
+// field name.
+func (q SpecRequest) Spec() (dse.Spec, error) {
+	crit := reliability.Criteria{MinWork: q.MinWork, MaxOverrun: q.MaxOverrun}
+	if crit.MinWork == 0 {
+		crit.MinWork = reliability.DefaultCriteria.MinWork
+	}
+	if crit.MaxOverrun == 0 {
+		crit.MaxOverrun = reliability.DefaultCriteria.MaxOverrun
+	}
+	spec := dse.Spec{
+		Dist:            weibull.Dist{Alpha: q.Alpha, Beta: q.Beta},
+		Criteria:        crit,
+		LAB:             q.LAB,
+		UpperBound:      q.UpperBound,
+		KFrac:           q.KFrac,
+		ContinuousT:     q.ContinuousT,
+		MaxPerStructure: q.MaxPerStructure,
+	}
+	if err := spec.Validate(); err != nil {
+		return dse.Spec{}, err
+	}
+	return spec, nil
+}
+
+// DesignResponse is the wire form of a solved design.
+type DesignResponse struct {
+	T                     int     `json:"t"`
+	UpperT                int     `json:"upper_t"`
+	N                     int     `json:"n"`
+	K                     int     `json:"k"`
+	Copies                int     `json:"copies"`
+	TotalDevices          int     `json:"total_devices"`
+	GuaranteedMinAccesses int     `json:"guaranteed_min_accesses"`
+	MaxAllowedAccesses    int     `json:"max_allowed_accesses"`
+	WorkProb              float64 `json:"work_prob"`
+	OverrunProb           float64 `json:"overrun_prob"`
+}
+
+func designResponse(d dse.Design) DesignResponse {
+	return DesignResponse{
+		T:                     d.T,
+		UpperT:                d.UpperT,
+		N:                     d.N,
+		K:                     d.K,
+		Copies:                d.Copies,
+		TotalDevices:          d.TotalDevices,
+		GuaranteedMinAccesses: d.GuaranteedMinAccesses(),
+		MaxAllowedAccesses:    d.MaxAllowedAccesses(),
+		WorkProb:              d.WorkProb,
+		OverrunProb:           d.OverrunProb,
+	}
+}
+
+// ProvisionRequest fabricates an architecture. The seed is mandatory in
+// spirit — omitting it means seed 0, which is still fully deterministic.
+type ProvisionRequest struct {
+	Spec      SpecRequest `json:"spec"`
+	SecretHex string      `json:"secret_hex"`
+	Seed      uint64      `json:"seed"`
+}
+
+// ProvisionResponse identifies the provisioned architecture.
+type ProvisionResponse struct {
+	ID     string         `json:"id"`
+	Seed   uint64         `json:"seed"`
+	Cached bool           `json:"design_cached"`
+	Design DesignResponse `json:"design"`
+}
+
+// AccessRequest parameterizes one access; the zero value means room
+// temperature (the paper's nominal environment).
+type AccessRequest struct {
+	TempCelsius float64 `json:"temp_celsius,omitempty"`
+}
+
+// AccessResponse reports one successful access.
+type AccessResponse struct {
+	SecretHex  string `json:"secret_hex"`
+	Attempts   uint64 `json:"attempts"`   // total accesses attempted so far
+	Successful uint64 `json:"successful"` // accesses that yielded the secret
+	Copy       int    `json:"copy"`       // copy index that served this access
+}
+
+// StatusResponse reports an architecture's wearout state.
+type StatusResponse struct {
+	ID              string         `json:"id"`
+	Alive           bool           `json:"alive"`
+	Attempts        uint64         `json:"attempts"`
+	Successful      uint64         `json:"successful"`
+	CurrentCopy     int            `json:"current_copy"`
+	ExhaustedCopies int            `json:"exhausted_copies"`
+	Design          DesignResponse `json:"design"`
+}
+
+// ExploreResponse answers a cached design search.
+type ExploreResponse struct {
+	Cached bool           `json:"cached"`
+	Design DesignResponse `json:"design"`
+}
+
+// FrontierResponse answers a frontier enumeration.
+type FrontierResponse struct {
+	Count   int              `json:"count"`
+	Designs []DesignResponse `json:"designs"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"` // set for spec validation failures
+	Retry bool   `json:"retry,omitempty"` // set when retrying may succeed
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // client gone is the only failure; nothing to do
+}
+
+// writeError maps library sentinels onto HTTP status codes:
+//
+//	dse.ErrInvalidSpec  → 400 (with the offending field)
+//	core.ErrExhausted   → 410 Gone — the budget is spent, forever
+//	core.ErrDecodeFailed→ 422 — conducted but unreconstructable
+//	dse.ErrInfeasible   → 409 — spec conflicts with device physics
+//	core.ErrTransient   → 503 + retry — next copy takes over
+//	context cancelled   → 499-style client-closed-request (as 503)
+func writeError(w http.ResponseWriter, err error) {
+	var fe *dse.FieldError
+	switch {
+	case errors.As(err, &fe):
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fe.Err.Error(), Field: fe.Field})
+	case errors.Is(err, dse.ErrInvalidSpec):
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, core.ErrExhausted):
+		writeJSON(w, http.StatusGone, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, core.ErrDecodeFailed):
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, dse.ErrInfeasible):
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, core.ErrTransient):
+		w.Header().Set("Retry-After", "0")
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Retry: true})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Retry: true})
+	default:
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+	}
+}
+
+// decodeJSON decodes a request body into v. An empty body decodes the
+// zero value when allowEmpty is set (used by /access, where the body is
+// optional).
+func decodeJSON(r *http.Request, v any, allowEmpty bool) error {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return fmt.Errorf("reading body: %w", err)
+	}
+	if len(body) == 0 {
+		if allowEmpty {
+			return nil
+		}
+		return errors.New("empty request body")
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("decoding JSON: %w", err)
+	}
+	return nil
+}

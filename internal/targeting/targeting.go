@@ -111,7 +111,7 @@ func (s *Station) Execute(encrypted []byte, env nems.Environment) (Command, erro
 	defer s.mu.Unlock()
 	key, err := s.arch.Access(env)
 	switch {
-	case errors.Is(err, core.ErrWornOut):
+	case errors.Is(err, core.ErrExhausted):
 		return Command{}, ErrExpired
 	case errors.Is(err, core.ErrTransient):
 		return Command{}, ErrTransient

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# smoke.sh — end-to-end smoke test of the lemonaded daemon.
+#
+# Builds lemonaded, starts it on an ephemeral port, provisions an
+# architecture, accesses it to lockout, scrapes /metrics, asserts the
+# lockout counter, and checks graceful shutdown. Run from the repo root;
+# CI runs this exact script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/lemonaded" ./cmd/lemonaded
+
+"$workdir/lemonaded" serve -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+    >"$workdir/log" 2>&1 &
+pid=$!
+
+for _ in $(seq 1 50); do
+    [ -s "$workdir/addr" ] && break
+    sleep 0.1
+done
+addr=$(cat "$workdir/addr")
+base="http://$addr"
+echo "smoke: daemon on $base"
+
+# Provision a small architecture with a fixed seed.
+prov=$(curl -sf -X POST "$base/v1/architectures" -d '{
+    "spec": {"alpha": 6, "beta": 8, "lab": 30, "kfrac": 0.1, "continuous_t": true},
+    "secret_hex": "00112233445566778899aabbccddeeff",
+    "seed": 42
+}')
+id=$(echo "$prov" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "smoke: provision failed: $prov"; exit 1; }
+echo "smoke: provisioned $id"
+
+# Access to lockout (HTTP 410). 200=success and 503=transient both continue.
+locked=0
+for _ in $(seq 1 200); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        "$base/v1/architectures/$id/access")
+    case "$code" in
+        200|503) ;;
+        410) locked=1; break ;;
+        *) echo "smoke: unexpected status $code"; exit 1 ;;
+    esac
+done
+[ "$locked" = 1 ] || { echo "smoke: never reached lockout"; exit 1; }
+echo "smoke: reached lockout"
+
+# The scrape must report exactly one lockout.
+metrics=$(curl -sf "$base/metrics")
+echo "$metrics" | grep -q '^lemonaded_lockouts_total 1$' || {
+    echo "smoke: lockout counter wrong:"
+    echo "$metrics" | grep lockouts
+    exit 1
+}
+echo "$metrics" | grep -q 'lemonaded_accesses_total{outcome="success"} 30' || {
+    echo "smoke: success counter wrong (determinism broken?):"
+    echo "$metrics" | grep accesses_total
+    exit 1
+}
+echo "smoke: metrics assert lockout"
+
+# Graceful shutdown: SIGTERM drains and exits 0.
+kill -TERM "$pid"
+wait "$pid" || { echo "smoke: daemon exited nonzero"; cat "$workdir/log"; exit 1; }
+grep -q 'stopped' "$workdir/log" || { echo "smoke: no clean-stop log line"; exit 1; }
+echo "smoke: graceful shutdown OK"
+echo "smoke: PASS"
