@@ -1,0 +1,300 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Error is the typed failure returned by every Client method when the
+// server answered with a non-2xx status. It preserves the HTTP status,
+// the decoded error body, and the server's Retry-After hint, so callers
+// can branch on semantics (IsExhausted, IsTransient, IsNotFound) instead
+// of string-matching.
+type Error struct {
+	StatusCode int
+	Message    string
+	Field      string        // offending field, for validation failures
+	Retry      bool          // server says retrying may succeed
+	RetryAfter time.Duration // parsed Retry-After header, 0 if absent
+}
+
+func (e *Error) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("api: %d: %s (field %s)", e.StatusCode, e.Message, e.Field)
+	}
+	return fmt.Sprintf("api: %d: %s", e.StatusCode, e.Message)
+}
+
+// IsExhausted reports whether err is the server refusing an access
+// because the wearout budget is spent (HTTP 410) — the paper's lockout.
+func IsExhausted(err error) bool {
+	var ae *Error
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusGone
+}
+
+// IsTransient reports whether err is a retryable failure (HTTP 503): the
+// active copy died mid-access and the next copy takes over.
+func IsTransient(err error) bool {
+	var ae *Error
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable
+}
+
+// IsNotFound reports whether err is an unknown-architecture failure.
+func IsNotFound(err error) bool {
+	var ae *Error
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound
+}
+
+// Client is a typed client for the lemonaded HTTP API. Create with
+// NewClient; the zero value is not usable. Methods are safe for
+// concurrent use.
+type Client struct {
+	base  string
+	httpc *http.Client
+	// retry503 is how many times a 503 response is retried (0 = no
+	// retries). Waits honor the server's Retry-After header.
+	retry503 int
+	// sleep is time.Sleep, injectable so retry tests run instantly.
+	sleep func(time.Duration)
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (e.g. to add a
+// transport-level timeout or a test transport).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithTimeout sets a per-request timeout on the client's *http.Client.
+// Apply it after WithHTTPClient if both are used.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.httpc.Timeout = d } }
+
+// WithRetryOn503 makes every request retry up to n times when the server
+// answers 503 (transient access failure or shutdown drain), sleeping for
+// the server's Retry-After between attempts.
+func WithRetryOn503(n int) Option { return func(c *Client) { c.retry503 = n } }
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(base string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("api: invalid base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("api: base URL must be http or https, got %q", base)
+	}
+	c := &Client{
+		base:  strings.TrimRight(base, "/"),
+		httpc: &http.Client{},
+		sleep: time.Sleep,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Provision fabricates a new architecture.
+func (c *Client) Provision(ctx context.Context, req ProvisionRequest) (*ProvisionResponse, error) {
+	var out ProvisionResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/architectures", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Status reports an architecture's wearout state without consuming an
+// access.
+func (c *Client) Status(ctx context.Context, id string) (*StatusResponse, error) {
+	var out StatusResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/architectures/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Access performs one real, wearout-consuming access.
+func (c *Client) Access(ctx context.Context, id string, req AccessRequest) (*AccessResponse, error) {
+	var out AccessResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/architectures/"+url.PathEscape(id)+"/access", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// List pages through the fleet in deterministic ID order. An empty
+// afterID starts from the beginning; limit <= 0 lets the server choose.
+func (c *Client) List(ctx context.Context, afterID string, limit int) (*ListResponse, error) {
+	q := url.Values{}
+	if afterID != "" {
+		q.Set("after_id", afterID)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/v1/architectures"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out ListResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Events returns an architecture's recent access events, oldest first.
+// max <= 0 means all buffered events.
+func (c *Client) Events(ctx context.Context, id string, max int) (*EventsResponse, error) {
+	path := "/v1/architectures/" + url.PathEscape(id) + "/events"
+	if max > 0 {
+		path += "?max=" + strconv.Itoa(max)
+	}
+	var out EventsResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Explore runs (or recalls) a design-space search.
+func (c *Client) Explore(ctx context.Context, req SpecRequest) (*ExploreResponse, error) {
+	var out ExploreResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/dse/explore", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Frontier enumerates feasible designs; limit <= 0 returns all.
+func (c *Client) Frontier(ctx context.Context, req SpecRequest, limit int) (*FrontierResponse, error) {
+	path := "/v1/dse/frontier"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var out FrontierResponse
+	if err := c.do(ctx, http.MethodPost, path, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthy checks the liveness endpoint.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// MetricsText fetches the raw Prometheus exposition, for scripted
+// assertions on counters.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &Error{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return string(body), nil
+}
+
+// do executes one API call: marshal, send, retry 503s if configured,
+// decode into out (skipped when out is nil). The request body is
+// marshaled once and replayed on each attempt.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("api: encoding request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		retryable, err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || attempt >= c.retry503 {
+			return lastErr
+		}
+		var ae *Error
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+			c.sleep(ae.RetryAfter)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+}
+
+// once performs a single HTTP exchange; retryable reports whether the
+// failure was a 503 the caller may retry.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (retryable bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return false, fmt.Errorf("api: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("api: %s %s: %w", method, path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, fmt.Errorf("api: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		ae := &Error{StatusCode: resp.StatusCode}
+		var eb ErrorResponse
+		if jsonErr := json.Unmarshal(payload, &eb); jsonErr == nil && eb.Error != "" {
+			ae.Message, ae.Field, ae.Retry = eb.Error, eb.Field, eb.Retry
+		} else {
+			ae.Message = strings.TrimSpace(string(payload))
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return resp.StatusCode == http.StatusServiceUnavailable, ae
+	}
+	if out == nil {
+		return false, nil
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		return false, fmt.Errorf("api: decoding %s %s response: %w", method, path, err)
+	}
+	return false, nil
+}

@@ -1,0 +1,220 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestClient(t *testing.T, h http.Handler, opts ...Option) (*Client, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	c, err := NewClient(srv.URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient("ftp://example.com"); err == nil {
+		t.Error("NewClient accepted a non-http scheme")
+	}
+	if _, err := NewClient("://bad"); err == nil {
+		t.Error("NewClient accepted an unparseable URL")
+	}
+	c, err := NewClient("http://example.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.base != "http://example.com" {
+		t.Errorf("base = %q, want trailing slash trimmed", c.base)
+	}
+}
+
+func TestTypedRoundTrip(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/architectures", func(w http.ResponseWriter, r *http.Request) {
+		var req ProvisionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decoding provision request: %v", err)
+		}
+		if req.Seed != 42 || req.Spec.LAB != 30 {
+			t.Errorf("provision request = %+v", req)
+		}
+		w.WriteHeader(http.StatusCreated)
+		_ = json.NewEncoder(w).Encode(ProvisionResponse{ID: "arch-000001", Seed: req.Seed})
+	})
+	mux.HandleFunc("GET /v1/architectures", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("after_id") != "arch-000001" || r.URL.Query().Get("limit") != "2" {
+			t.Errorf("list query = %v", r.URL.Query())
+		}
+		_ = json.NewEncoder(w).Encode(ListResponse{
+			Architectures: []ArchitectureSummary{{ID: "arch-000002", Alive: true}},
+			NextAfterID:   "arch-000002",
+		})
+	})
+	mux.HandleFunc("GET /v1/architectures/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") != "arch-000001" || r.URL.Query().Get("max") != "5" {
+			t.Errorf("events request: id=%q query=%v", r.PathValue("id"), r.URL.Query())
+		}
+		_ = json.NewEncoder(w).Encode(EventsResponse{
+			ID:     "arch-000001",
+			Events: []AccessEvent{{Attempt: 1, Outcome: "success"}},
+		})
+	})
+	c, _ := newTestClient(t, mux)
+
+	prov, err := c.Provision(context.Background(), ProvisionRequest{
+		Spec: SpecRequest{Alpha: 6, Beta: 8, LAB: 30}, SecretHex: "ff", Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.ID != "arch-000001" {
+		t.Errorf("provision ID = %q", prov.ID)
+	}
+
+	list, err := c.List(context.Background(), "arch-000001", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Architectures) != 1 || list.NextAfterID != "arch-000002" {
+		t.Errorf("list = %+v", list)
+	}
+
+	evs, err := c.Events(context.Background(), "arch-000001", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs.Events) != 1 || evs.Events[0].Outcome != "success" {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/gone", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusGone)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "exhausted"})
+	})
+	mux.HandleFunc("/missing", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "unknown architecture"})
+	})
+	mux.HandleFunc("/bad", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "alpha must be positive", Field: "alpha"})
+	})
+	c, _ := newTestClient(t, mux)
+
+	err := c.do(context.Background(), http.MethodGet, "/gone", nil, nil)
+	if !IsExhausted(err) || IsTransient(err) || IsNotFound(err) {
+		t.Errorf("410: IsExhausted=%t IsTransient=%t IsNotFound=%t", IsExhausted(err), IsTransient(err), IsNotFound(err))
+	}
+	if !IsNotFound(c.do(context.Background(), http.MethodGet, "/missing", nil, nil)) {
+		t.Error("404 not classified as not-found")
+	}
+	var ae *Error
+	err = c.do(context.Background(), http.MethodGet, "/bad", nil, nil)
+	if !asAPIError(err, &ae) || ae.Field != "alpha" || ae.StatusCode != http.StatusBadRequest {
+		t.Errorf("400 error = %v", err)
+	}
+}
+
+func asAPIError(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// TestRetryOn503 pins the retry loop: n failures then success, sleeping
+// for the server's Retry-After between attempts.
+func TestRetryOn503(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "transient", Retry: true})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(AccessResponse{SecretHex: "ff", Attempts: 3})
+	})
+	c, _ := newTestClient(t, h, WithRetryOn503(3))
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	out, err := c.Access(context.Background(), "arch-000001", AccessRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SecretHex != "ff" || calls.Load() != 3 {
+		t.Errorf("after retries: resp=%+v calls=%d", out, calls.Load())
+	}
+	want := []time.Duration{3 * time.Second, 3 * time.Second}
+	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
+		t.Errorf("slept %v, want %v (honoring Retry-After)", slept, want)
+	}
+}
+
+// TestRetryBudgetExhausted: once retries run out the 503 surfaces as a
+// transient typed error.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "transient", Retry: true})
+	})
+	c, _ := newTestClient(t, h, WithRetryOn503(2))
+	c.sleep = func(time.Duration) {}
+
+	_, err := c.Access(context.Background(), "arch-000001", AccessRequest{})
+	if !IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3 (1 + 2 retries)", calls.Load())
+	}
+}
+
+// TestNoRetryByDefault: without WithRetryOn503 a 503 is returned
+// immediately.
+func TestNoRetryByDefault(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "transient", Retry: true})
+	})
+	c, _ := newTestClient(t, h)
+	if _, err := c.Access(context.Background(), "arch-000001", AccessRequest{}); !IsTransient(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d calls, want 1", calls.Load())
+	}
+}
+
+// TestRetryRespectsContext: a cancelled context stops the retry loop.
+func TestRetryRespectsContext(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	c, _ := newTestClient(t, h, WithRetryOn503(100))
+	ctx, cancel := context.WithCancel(context.Background())
+	c.sleep = func(time.Duration) { cancel() }
+	if _, err := c.Access(ctx, "arch-000001", AccessRequest{}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -7,17 +7,19 @@
 //	serve    — run the daemon (default when flags are given directly)
 //	loadgen  — drive a running daemon with concurrent access traffic
 //
+// With -data-dir the daemon is durable: every provision and access is
+// appended to a write-ahead log before the hardware fires (the log-ahead
+// rule), snapshots compact the log periodically, and startup recovers
+// the exact wearout state — a process restart never refreshes a budget.
+//
 // The daemon drains gracefully: SIGINT/SIGTERM stop the listener and wait
 // for in-flight requests (bounded by -drain-timeout) before exiting.
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"os"
@@ -27,7 +29,11 @@ import (
 	"syscall"
 	"time"
 
+	"lemonade/api"
+	"lemonade/internal/metrics"
+	"lemonade/internal/registry"
 	"lemonade/internal/server"
+	"lemonade/internal/wal"
 )
 
 func main() {
@@ -59,6 +65,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: lemonaded [serve|loadgen] [flags]
 
 serve   [-addr host:port] [-addr-file path] [-shards n] [-cache n] [-drain-timeout d]
+        [-data-dir path] [-snapshot-interval d] [-snapshot-records n]
 loadgen -base URL [-workers n] [-seed n] [-alpha a] [-beta b] [-lab n] [-kfrac f]
 `)
 }
@@ -71,16 +78,55 @@ func runServe(args []string) error {
 	shards := fs.Int("shards", 0, "registry stripe count (0 = default)")
 	cacheSize := fs.Int("cache", 0, "DSE design cache capacity (0 = default)")
 	drain := fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+	dataDir := fs.String("data-dir", "", "durable state directory (empty = in-memory, no persistence)")
+	snapInterval := fs.Duration("snapshot-interval", time.Minute, "max time between snapshots (with -data-dir)")
+	snapRecords := fs.Int("snapshot-records", 4096, "WAL records that trigger a snapshot (with -data-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// The daemon is the composition root: the wall clock enters here
+	// (cmd/ is exempt from the library determinism contract).
+	wallNanos := func() int64 { return time.Now().UnixNano() }
+
+	// One metric registry shared by the WAL store and the server, so
+	// recovery and fsync instrumentation shows up on /metrics.
+	met := metrics.NewRegistry()
+
+	var reg *registry.Registry
+	var store *wal.DiskStore
+	if *dataDir != "" {
+		var err error
+		store, err = wal.Open(wal.Config{
+			Dir:               *dataDir,
+			NowNanos:          wallNanos,
+			Metrics:           met,
+			SnapshotThreshold: *snapRecords,
+		})
+		if err != nil {
+			return fmt.Errorf("opening data dir: %w", err)
+		}
+		reg = registry.NewWithStore(*shards, store)
+		stats, err := store.Recover(reg)
+		if err != nil {
+			return fmt.Errorf("recovering %s: %w", *dataDir, err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"lemonaded: recovered %s: snapshot epoch %d (%d architectures), replayed %d provisions + %d accesses from %d segments",
+			*dataDir, stats.SnapshotEpoch, stats.SnapshotArchitectures,
+			stats.ReplayedProvisions, stats.ReplayedAccesses, stats.Segments)
+		if stats.TornBytesTruncated > 0 {
+			fmt.Fprintf(os.Stderr, ", truncated %d torn bytes", stats.TornBytesTruncated)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
 	s := server.New(server.Config{
+		Registry:  reg,
 		Shards:    *shards,
+		Metrics:   met,
 		CacheSize: *cacheSize,
-		// The daemon is the composition root: the wall clock enters here
-		// (cmd/ is exempt from the library determinism contract).
-		NowNanos: func() int64 { return time.Now().UnixNano() },
+		NowNanos:  wallNanos,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -94,6 +140,33 @@ func runServe(args []string) error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "lemonaded: listening on %s\n", bound)
+
+	// Snapshot loop: compact when the WAL grows past the record
+	// threshold or the interval elapses, whichever comes first.
+	snapDone := make(chan struct{})
+	var snapWG sync.WaitGroup
+	if store != nil {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			ticker := time.NewTicker(*snapInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-snapDone:
+					return
+				case <-ticker.C:
+					if store.RecordsSinceSnapshot() == 0 {
+						continue // nothing new to compact
+					}
+				case <-store.SnapshotNeeded():
+				}
+				if err := store.Snapshot(s.Registry()); err != nil {
+					fmt.Fprintf(os.Stderr, "lemonaded: snapshot: %v\n", err)
+				}
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Handler: s.Handler()}
 
@@ -113,6 +186,20 @@ func runServe(args []string) error {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
+	}
+	if store != nil {
+		close(snapDone)
+		snapWG.Wait()
+		// A parting snapshot keeps the next startup's replay short; the
+		// WAL already holds everything, so failure here loses nothing.
+		if store.RecordsSinceSnapshot() > 0 {
+			if err := store.Snapshot(s.Registry()); err != nil {
+				fmt.Fprintf(os.Stderr, "lemonaded: final snapshot: %v\n", err)
+			}
+		}
+		if err := store.Close(); err != nil {
+			return fmt.Errorf("closing store: %w", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "lemonaded: stopped")
 	return nil
@@ -136,37 +223,22 @@ func runLoadgen(args []string) error {
 		return err
 	}
 
-	provReq := map[string]any{
-		"spec": map[string]any{
-			"alpha": *alpha, "beta": *beta, "lab": *lab,
-			"kfrac": *kfrac, "continuous_t": true,
-		},
-		"secret_hex": *secretHex,
-		"seed":       *seed,
-	}
-	body, err := json.Marshal(provReq)
+	client, err := api.NewClient(*base, api.WithTimeout(30*time.Second))
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(*base+"/v1/architectures", "application/json", bytes.NewReader(body))
+	ctx := context.Background()
+
+	prov, err := client.Provision(ctx, api.ProvisionRequest{
+		Spec: api.SpecRequest{
+			Alpha: *alpha, Beta: *beta, LAB: *lab,
+			KFrac: *kfrac, ContinuousT: true,
+		},
+		SecretHex: *secretHex,
+		Seed:      *seed,
+	})
 	if err != nil {
 		return fmt.Errorf("provision: %w", err)
-	}
-	provBody, _ := io.ReadAll(resp.Body)
-	_ = resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return fmt.Errorf("provision: status %d: %s", resp.StatusCode, provBody)
-	}
-	var prov struct {
-		ID     string `json:"id"`
-		Design struct {
-			GuaranteedMinAccesses int `json:"guaranteed_min_accesses"`
-			MaxAllowedAccesses    int `json:"max_allowed_accesses"`
-			TotalDevices          int `json:"total_devices"`
-		} `json:"design"`
-	}
-	if err := json.Unmarshal(provBody, &prov); err != nil {
-		return fmt.Errorf("provision response: %w", err)
 	}
 	fmt.Printf("provisioned %s: %d devices, designed window [%d, %d] accesses\n",
 		prov.ID, prov.Design.TotalDevices,
@@ -175,28 +247,21 @@ func runLoadgen(args []string) error {
 	var successes, transients atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
-	url := *base + "/v1/architectures/" + prov.ID + "/access"
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				resp, err := http.Post(url, "application/json", nil)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "lemonaded: access: %v\n", err)
-					return
-				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				_ = resp.Body.Close()
-				switch resp.StatusCode {
-				case http.StatusOK:
+				_, err := client.Access(ctx, prov.ID, api.AccessRequest{})
+				switch {
+				case err == nil:
 					successes.Add(1)
-				case http.StatusServiceUnavailable:
+				case api.IsTransient(err):
 					transients.Add(1)
-				case http.StatusGone:
+				case api.IsExhausted(err):
 					return
 				default:
-					fmt.Fprintf(os.Stderr, "lemonaded: access: unexpected status %d\n", resp.StatusCode)
+					fmt.Fprintf(os.Stderr, "lemonaded: access: %v\n", err)
 					return
 				}
 			}

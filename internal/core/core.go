@@ -59,6 +59,23 @@ const (
 	AccessDecodeFailed                      // enough switches conducted but decode failed
 )
 
+// String renders the outcome as the stable wire label used by the events
+// API and the metrics exposition.
+func (o AccessOutcome) String() string {
+	switch o {
+	case AccessSuccess:
+		return "success"
+	case AccessTransient:
+		return "transient"
+	case AccessExhausted:
+		return "exhausted"
+	case AccessDecodeFailed:
+		return "decode_failed"
+	default:
+		return "unknown"
+	}
+}
+
 // AccessEvent describes one completed access attempt, for telemetry.
 type AccessEvent struct {
 	Attempt    uint64 // 1-based attempt number
@@ -84,6 +101,10 @@ type Architecture struct {
 	total    uint64 // accesses attempted
 	ok       uint64 // accesses that yielded the secret
 	observer func(AccessEvent)
+	// r is the fabrication RNG, retained after Build so State/Restore can
+	// checkpoint the exact stream position: any future draw (noise models,
+	// re-keying) then replays bit-identically after recovery.
+	r *rng.RNG
 }
 
 // SetObserver installs a callback invoked synchronously after every access
@@ -229,7 +250,7 @@ func Build(design dse.Design, secret []byte, r *rng.RNG) (*Architecture, error) 
 		}
 		dec = wideDecoder{shares: shares, k: design.K}
 	}
-	a := &Architecture{design: design, copies: make([]*archCopy, design.Copies)}
+	a := &Architecture{design: design, copies: make([]*archCopy, design.Copies), r: r}
 	for ci := range a.copies {
 		c := &archCopy{switches: make([]*nems.Switch, design.N), dec: dec, k: design.K}
 		for i := range c.switches {

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"lemonade/internal/nems"
+)
+
+// State is the complete mutable state of an Architecture, exported for
+// durable persistence (snapshots in internal/wal). It is exact: the
+// per-copy, per-switch wear states pin which devices are broken and how
+// worn the survivors are, and the RNG field pins the fabrication stream
+// position — so Build(same design, secret, seed) followed by Restore
+// reproduces an architecture bit-identical to one that was never torn
+// down. What it deliberately does NOT contain: the secret, the Shamir
+// shares, and the hidden per-switch lifetimes, all of which are derived
+// from the (design, secret, seed) triple at rebuild time.
+type State struct {
+	CurrentCopy   int            `json:"current_copy"`
+	TotalAttempts uint64         `json:"total_attempts"`
+	Successful    uint64         `json:"successful"`
+	RNG           [4]uint64      `json:"rng"`
+	Copies        [][]nems.State `json:"copies"`
+}
+
+// State captures the architecture's mutable state under its lock. The
+// snapshot is consistent: it can never observe a half-applied access,
+// because accesses hold the same lock for their full traversal.
+func (a *Architecture) State() State {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := State{
+		CurrentCopy:   a.cur,
+		TotalAttempts: a.total,
+		Successful:    a.ok,
+		RNG:           a.r.State(),
+		Copies:        make([][]nems.State, len(a.copies)),
+	}
+	for ci, c := range a.copies {
+		sw := make([]nems.State, len(c.switches))
+		for i, s := range c.switches {
+			sw[i] = s.State()
+		}
+		st.Copies[ci] = sw
+	}
+	return st
+}
+
+// Restore overlays a previously captured State onto a freshly built
+// architecture. The architecture must have been built from the same
+// (design, secret, seed) triple that produced the state — Build is
+// deterministic, so the hidden lifetimes and share encoding line up and
+// replay after Restore is bit-identical to uninterrupted execution. The
+// shape of the state (copy and switch counts) is validated; its origin
+// cannot be, so callers (the WAL recovery path) are responsible for
+// pairing states with their provisioning records.
+func (a *Architecture) Restore(st State) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(st.Copies) != len(a.copies) {
+		return fmt.Errorf("core: restore: state has %d copies, architecture has %d",
+			len(st.Copies), len(a.copies))
+	}
+	for ci, sw := range st.Copies {
+		if len(sw) != len(a.copies[ci].switches) {
+			return fmt.Errorf("core: restore: copy %d has %d switch states, architecture has %d",
+				ci, len(sw), len(a.copies[ci].switches))
+		}
+	}
+	if st.CurrentCopy < 0 || st.CurrentCopy > len(a.copies) {
+		return fmt.Errorf("core: restore: current copy %d out of range [0, %d]",
+			st.CurrentCopy, len(a.copies))
+	}
+	if st.Successful > st.TotalAttempts {
+		return fmt.Errorf("core: restore: %d successes exceed %d attempts",
+			st.Successful, st.TotalAttempts)
+	}
+	a.cur = st.CurrentCopy
+	a.total = st.TotalAttempts
+	a.ok = st.Successful
+	a.r.SetState(st.RNG)
+	for ci, sw := range st.Copies {
+		for i, s := range sw {
+			a.copies[ci].switches[i].RestoreState(s)
+		}
+	}
+	return nil
+}

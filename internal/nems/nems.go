@@ -124,6 +124,33 @@ func (s *Switch) Actuate(env Environment) error {
 	return nil
 }
 
+// State is the mutable wear state of one switch, exported for durable
+// checkpointing. The hidden lifetime is deliberately absent: a restore
+// re-fabricates the switch from the original seed (which reproduces the
+// identical lifetime) and then overlays this state, so the lifetime never
+// leaves the simulated hardware — snapshots on disk reveal no more about
+// remaining life than the adversary could learn by watching accesses.
+type State struct {
+	Wear      float64 `json:"wear"`
+	Actuated  uint64  `json:"actuated"`
+	FailCycle uint64  `json:"fail_cycle,omitempty"` // 0 = still working
+}
+
+// State captures the switch's mutable wear state.
+func (s *Switch) State() State {
+	return State{Wear: s.wear, Actuated: s.actuated, FailCycle: s.failCycle}
+}
+
+// RestoreState overlays a previously captured wear state onto the switch.
+// The hidden lifetime is untouched — callers must restore onto a switch
+// fabricated from the same RNG stream, or wearout semantics are undefined.
+func (s *Switch) RestoreState(st State) {
+	s.wear = st.Wear
+	s.actuated = st.Actuated
+	s.failCycle = st.FailCycle
+	s.failed = st.FailCycle > 0
+}
+
 // Working reports whether the switch can still conduct.
 func (s *Switch) Working() bool { return !s.failed }
 

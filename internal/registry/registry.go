@@ -1,6 +1,7 @@
 // Package registry holds the provisioned architectures of a lemonaded
 // process: a sharded, mutex-striped map from architecture ID to the live
-// core.Architecture serving accesses.
+// core.Architecture serving accesses, backed by a pluggable durability
+// Store.
 //
 // Striping keeps registry lookups off each other's locks — the paper's
 // serving scenarios (a fleet of phones unlocking, a targeting system
@@ -12,15 +13,45 @@
 //
 // IDs are assigned from a process-local counter, so a fixed provisioning
 // sequence yields a fixed ID sequence — the golden HTTP determinism test
-// relies on it.
+// relies on it. Recovery re-inserts entries under their original IDs and
+// advances the counter past them, so IDs never collide across restarts.
+//
+// # Durability and the log-ahead rule
+//
+// The paper's security argument is that hardware wearout enforces a
+// maximum number of uses. A simulator that forgets consumed accesses on
+// restart hands an adversary a fresh budget — exactly the "reset the
+// counter" attack wearout exists to prevent. The registry therefore
+// routes every state-changing operation through its Store *before* the
+// operation takes effect:
+//
+//   - Provision: the provisioning record (design, seed, secret) is
+//     durably appended before the architecture becomes visible.
+//   - Access: Entry.Access appends the access-intent record and only then
+//     fires the hardware. If the append fails, the access fails closed:
+//     no wearout is consumed and no key bytes are revealed. Once the
+//     record is durable the access runs to completion even if the client
+//     has gone — the log is the commitment point, so a crash replays the
+//     access and the budget can only ever be consumed, never refunded.
+//
+// The default NullStore keeps the pre-durability behaviour (everything in
+// memory, nothing survives a restart); internal/wal provides the
+// disk-backed implementation.
 package registry
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"lemonade/internal/core"
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
 )
 
 // DefaultShards is the stripe count used by New when given 0. 32 stripes
@@ -28,11 +59,135 @@ import (
 // costing only a few hundred bytes.
 const DefaultShards = 32
 
+// EventRingSize is the per-architecture capacity of the recent-access
+// event buffer served by GET /v1/architectures/{id}/events.
+const EventRingSize = 128
+
+// ErrStore wraps every durability failure surfaced by a Store, so the
+// HTTP layer can classify fail-closed refusals without knowing the store
+// implementation.
+var ErrStore = errors.New("registry: durable store append failed")
+
+// ProvisionRecord is the durable description of one provisioned
+// architecture: everything needed to rebuild the identical simulated
+// hardware (core.Build is deterministic in these three inputs).
+type ProvisionRecord struct {
+	ID     string     `json:"id"`
+	Seed   uint64     `json:"seed"`
+	Secret []byte     `json:"secret"`
+	Design dse.Design `json:"design"`
+}
+
+// AccessRecord is the durable intent to fire one access. The environment
+// is part of the record because wear acceleration depends on it; with the
+// per-architecture record order this pins the full wear trajectory.
+type AccessRecord struct {
+	ID          string  `json:"id"`
+	TempCelsius float64 `json:"temp_celsius"`
+}
+
+// Store is the registry's durability backend. Append methods must make
+// the record durable (fsync) before returning; the returned done func
+// MUST be called exactly once, after the in-memory effect of the record
+// has been applied — the WAL store uses it to hold a snapshot barrier
+// open so a snapshot can never capture a state the log is ahead of, or
+// behind.
+type Store interface {
+	// AppendProvision durably records a provision before the architecture
+	// becomes visible.
+	AppendProvision(rec ProvisionRecord) (done func(), err error)
+	// AppendAccess durably records the intent to fire one access
+	// (log-ahead: called before any switch actuates).
+	AppendAccess(rec AccessRecord) (done func(), err error)
+}
+
+// NullStore is the in-memory Store: appends succeed instantly and nothing
+// survives a restart. It is the default for tests and for deployments
+// that explicitly opt out of persistence.
+type NullStore struct{}
+
+func nullDone() {}
+
+// AppendProvision implements Store as a no-op.
+func (NullStore) AppendProvision(ProvisionRecord) (func(), error) { return nullDone, nil }
+
+// AppendAccess implements Store as a no-op.
+func (NullStore) AppendAccess(AccessRecord) (func(), error) { return nullDone, nil }
+
 // Entry is one provisioned architecture.
 type Entry struct {
 	ID   string
 	Arch *core.Architecture
 	Seed uint64 // provisioning seed, echoed for reproducibility audits
+	// Secret is retained for snapshotting: a snapshot must be able to
+	// rebuild the architecture from (design, secret, seed). The WAL
+	// already carries it — the simulated hardware "physically stores" the
+	// secret, and the data directory is that hardware's flash.
+	Secret []byte
+
+	store Store
+	// accessMu serializes the append-then-fire pair so the WAL's
+	// per-architecture record order equals the execution order — the
+	// property that makes replay bit-identical.
+	accessMu sync.Mutex
+
+	evMu    sync.Mutex
+	events  []core.AccessEvent // ring of the EventRingSize most recent events
+	evCount uint64             // events ever observed; write cursor is evCount % size
+}
+
+// Access durably records then performs one wearout-consuming access.
+//
+// The sequence is the log-ahead rule in miniature: check the context,
+// append the access record (fail closed on error), fire the hardware.
+// After the append succeeds the access is committed — it runs to
+// completion even if ctx is cancelled mid-flight, because a durable
+// record with no matching wear would replay into *extra* consumed budget
+// on recovery, never less, and the architecture must agree with its log.
+func (e *Entry) Access(ctx context.Context, env nems.Environment) ([]byte, error) {
+	e.accessMu.Lock()
+	defer e.accessMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	done, err := e.store.AppendAccess(AccessRecord{ID: e.ID, TempCelsius: env.TempCelsius})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	defer done()
+	return e.Arch.Access(env)
+}
+
+// observe appends ev to the entry's ring buffer; installed as the
+// architecture's observer, so it runs under the architecture lock.
+func (e *Entry) observe(ev core.AccessEvent) {
+	e.evMu.Lock()
+	defer e.evMu.Unlock()
+	if e.events == nil {
+		e.events = make([]core.AccessEvent, EventRingSize)
+	}
+	e.events[e.evCount%EventRingSize] = ev
+	e.evCount++
+}
+
+// Events returns up to max recent access events, oldest first. max <= 0
+// means all buffered events. The buffer is in-memory telemetry: after a
+// restart it holds only the events replayed since the last snapshot.
+func (e *Entry) Events(max int) []core.AccessEvent {
+	e.evMu.Lock()
+	defer e.evMu.Unlock()
+	n := e.evCount
+	if n > EventRingSize {
+		n = EventRingSize
+	}
+	if max > 0 && uint64(max) < n {
+		n = uint64(max)
+	}
+	out := make([]core.AccessEvent, 0, n)
+	for i := e.evCount - n; i < e.evCount; i++ {
+		out = append(out, e.events[i%EventRingSize])
+	}
+	return out
 }
 
 type shard struct {
@@ -44,14 +199,23 @@ type shard struct {
 type Registry struct {
 	shards []shard
 	seq    atomic.Uint64
+	store  Store
 }
 
-// New returns a registry with the given stripe count (0 → DefaultShards).
-func New(shards int) *Registry {
+// New returns a registry with the given stripe count (0 → DefaultShards)
+// and no durability (NullStore).
+func New(shards int) *Registry { return NewWithStore(shards, nil) }
+
+// NewWithStore returns a registry whose mutations are made durable
+// through st (nil → NullStore).
+func NewWithStore(shards int, st Store) *Registry {
 	if shards < 1 {
 		shards = DefaultShards
 	}
-	r := &Registry{shards: make([]shard, shards)}
+	if st == nil {
+		st = NullStore{}
+	}
+	r := &Registry{shards: make([]shard, shards), store: st}
 	for i := range r.shards {
 		r.shards[i].m = make(map[string]*Entry)
 	}
@@ -68,11 +232,62 @@ func (r *Registry) shardFor(id string) *shard {
 	return &r.shards[h%uint64(len(r.shards))]
 }
 
-// Provision stores a freshly built architecture and returns its entry with
-// a newly assigned ID.
-func (r *Registry) Provision(arch *core.Architecture, seed uint64) *Entry {
+// idNum extracts the numeric suffix of a registry ID ("arch-000042" → 42);
+// ok is false for foreign IDs.
+func idNum(id string) (uint64, bool) {
+	rest, found := strings.CutPrefix(id, "arch-")
+	if !found {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Provision durably records then stores a freshly built architecture,
+// returning its entry with a newly assigned ID. If the store append
+// fails, the architecture is not registered (fail closed) and the
+// assigned ID is burned — gaps in the sequence are acceptable, replayed
+// IDs are not.
+func (r *Registry) Provision(arch *core.Architecture, seed uint64, secret []byte) (*Entry, error) {
 	id := fmt.Sprintf("arch-%06d", r.seq.Add(1))
-	e := &Entry{ID: id, Arch: arch, Seed: seed}
+	dup := make([]byte, len(secret))
+	copy(dup, secret)
+	done, err := r.store.AppendProvision(ProvisionRecord{
+		ID: id, Seed: seed, Secret: dup, Design: arch.Design(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	defer done()
+	return r.insert(id, arch, seed, dup), nil
+}
+
+// Restore inserts a recovered architecture under its original ID without
+// touching the store (the record that justifies it is already on disk),
+// and advances the ID counter past it.
+func (r *Registry) Restore(id string, arch *core.Architecture, seed uint64, secret []byte) (*Entry, error) {
+	if _, ok := r.Get(id); ok {
+		return nil, fmt.Errorf("registry: restore: duplicate id %q", id)
+	}
+	if n, ok := idNum(id); ok {
+		for {
+			cur := r.seq.Load()
+			if cur >= n || r.seq.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	dup := make([]byte, len(secret))
+	copy(dup, secret)
+	return r.insert(id, arch, seed, dup), nil
+}
+
+func (r *Registry) insert(id string, arch *core.Architecture, seed uint64, secret []byte) *Entry {
+	e := &Entry{ID: id, Arch: arch, Seed: seed, Secret: secret, store: r.store}
+	arch.SetObserver(e.observe)
 	s := r.shardFor(id)
 	s.mu.Lock()
 	s.m[id] = e
@@ -111,6 +326,41 @@ func (r *Registry) Len() int {
 		s.mu.RUnlock()
 	}
 	return n
+}
+
+// List returns up to limit entries whose IDs sort strictly after afterID,
+// in deterministic ascending ID order (numeric on the assigned suffix, so
+// ordering stays correct past arch-999999). limit <= 0 means no limit.
+// The pagination contract: pass the last returned ID as the next afterID.
+func (r *Registry) List(afterID string, limit int) []*Entry {
+	var all []*Entry
+	r.Range(func(e *Entry) bool {
+		all = append(all, e)
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool {
+		ni, iok := idNum(all[i].ID)
+		nj, jok := idNum(all[j].ID)
+		if iok && jok {
+			return ni < nj
+		}
+		return all[i].ID < all[j].ID
+	})
+	if afterID != "" {
+		na, aok := idNum(afterID)
+		cut := sort.Search(len(all), func(i int) bool {
+			ni, iok := idNum(all[i].ID)
+			if aok && iok {
+				return ni > na
+			}
+			return all[i].ID > afterID
+		})
+		all = all[cut:]
+	}
+	if limit > 0 && limit < len(all) {
+		all = all[:limit]
+	}
+	return all
 }
 
 // Range calls fn for every entry until fn returns false. Iteration order

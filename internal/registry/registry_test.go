@@ -1,12 +1,16 @@
 package registry
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 
 	"lemonade/internal/core"
 	"lemonade/internal/dse"
+	"lemonade/internal/nems"
 	"lemonade/internal/reliability"
 	"lemonade/internal/rng"
 	"lemonade/internal/weibull"
@@ -31,10 +35,19 @@ func buildArch(t *testing.T, seed uint64) *core.Architecture {
 	return a
 }
 
+func mustProvision(t *testing.T, r *Registry, a *core.Architecture, seed uint64) *Entry {
+	t.Helper()
+	e, err := r.Provision(a, seed, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 func TestProvisionGetRemove(t *testing.T) {
 	r := New(0)
 	a := buildArch(t, 1)
-	e := r.Provision(a, 1)
+	e := mustProvision(t, r, a, 1)
 	if e.ID != "arch-000001" {
 		t.Errorf("first ID = %q, want arch-000001 (IDs must be deterministic)", e.ID)
 	}
@@ -60,8 +73,8 @@ func TestDeterministicIDSequence(t *testing.T) {
 	a := buildArch(t, 1)
 	r1, r2 := New(4), New(4)
 	for i := 0; i < 5; i++ {
-		id1 := r1.Provision(a, 0).ID
-		id2 := r2.Provision(a, 0).ID
+		id1 := mustProvision(t, r1, a, 0).ID
+		id2 := mustProvision(t, r2, a, 0).ID
 		if id1 != id2 {
 			t.Fatalf("provision %d: IDs diverge (%q vs %q)", i, id1, id2)
 		}
@@ -79,7 +92,11 @@ func TestConcurrentProvisionAndLookup(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				e := r.Provision(a, uint64(w))
+				e, err := r.Provision(a, uint64(w), []byte("secret"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
 				ids[w] = append(ids[w], e.ID)
 				if _, ok := r.Get(e.ID); !ok {
 					t.Errorf("just-provisioned %q not found", e.ID)
@@ -118,5 +135,193 @@ func TestShardDistribution(t *testing.T) {
 	}
 	if len(counts) < 6 {
 		t.Errorf("1000 sequential IDs landed on only %d/8 shards", len(counts))
+	}
+}
+
+// recordingStore captures appended records and can be told to fail.
+type recordingStore struct {
+	mu         sync.Mutex
+	provisions []ProvisionRecord
+	accesses   []AccessRecord
+	failNext   error
+	doneCalls  int
+}
+
+func (s *recordingStore) AppendProvision(rec ProvisionRecord) (func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failNext != nil {
+		err := s.failNext
+		s.failNext = nil
+		return nil, err
+	}
+	s.provisions = append(s.provisions, rec)
+	return s.done, nil
+}
+
+func (s *recordingStore) AppendAccess(rec AccessRecord) (func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failNext != nil {
+		err := s.failNext
+		s.failNext = nil
+		return nil, err
+	}
+	s.accesses = append(s.accesses, rec)
+	return s.done, nil
+}
+
+func (s *recordingStore) done() {
+	s.mu.Lock()
+	s.doneCalls++
+	s.mu.Unlock()
+}
+
+// TestLogAheadOrdering checks the Store contract: the provision record
+// lands before the entry is visible, every access appends its record
+// before the hardware fires, and a failed append fails the operation
+// closed (no wearout consumed, no secret returned).
+func TestLogAheadOrdering(t *testing.T) {
+	st := &recordingStore{}
+	r := NewWithStore(4, st)
+	e := mustProvision(t, r, buildArch(t, 7), 7)
+	if len(st.provisions) != 1 || st.provisions[0].ID != e.ID || st.provisions[0].Seed != 7 {
+		t.Fatalf("provision record = %+v", st.provisions)
+	}
+	if string(st.provisions[0].Secret) != "secret" {
+		t.Errorf("provision record secret = %q", st.provisions[0].Secret)
+	}
+
+	secret, err := e.Access(context.Background(), nems.RoomTemp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(secret) != "secret" {
+		t.Fatalf("access returned %q", secret)
+	}
+	if len(st.accesses) != 1 || st.accesses[0].ID != e.ID || st.accesses[0].TempCelsius != 25 {
+		t.Fatalf("access record = %+v", st.accesses)
+	}
+
+	// Failed append: fail closed, consume nothing.
+	totalBefore, okBefore := e.Arch.Accesses()
+	st.failNext = errors.New("disk full")
+	if _, err := e.Access(context.Background(), nems.RoomTemp); !errors.Is(err, ErrStore) {
+		t.Fatalf("access with failing store: err = %v, want ErrStore", err)
+	}
+	totalAfter, okAfter := e.Arch.Accesses()
+	if totalAfter != totalBefore || okAfter != okBefore {
+		t.Errorf("failed append consumed wearout: (%d,%d) -> (%d,%d)",
+			totalBefore, okBefore, totalAfter, okAfter)
+	}
+
+	// Failed provision append registers nothing.
+	st.failNext = errors.New("disk full")
+	if _, err := r.Provision(buildArch(t, 8), 8, []byte("x")); !errors.Is(err, ErrStore) {
+		t.Fatalf("provision with failing store: err = %v, want ErrStore", err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("failed provision left %d entries, want 1", r.Len())
+	}
+
+	if st.doneCalls != len(st.provisions)+len(st.accesses) {
+		t.Errorf("done called %d times for %d appends", st.doneCalls, len(st.provisions)+len(st.accesses))
+	}
+}
+
+// TestAccessCancelledBeforeAppend: a context already done must not reach
+// the store or the hardware.
+func TestAccessCancelledBeforeAppend(t *testing.T) {
+	st := &recordingStore{}
+	r := NewWithStore(1, st)
+	e := mustProvision(t, r, buildArch(t, 1), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Access(ctx, nems.RoomTemp); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(st.accesses) != 0 {
+		t.Error("cancelled access reached the store")
+	}
+	if total, _ := e.Arch.Accesses(); total != 0 {
+		t.Error("cancelled access consumed wearout")
+	}
+}
+
+// TestRestoreAdvancesSequence: recovered IDs must never be reassigned.
+func TestRestoreAdvancesSequence(t *testing.T) {
+	r := New(2)
+	a := buildArch(t, 3)
+	if _, err := r.Restore("arch-000005", a, 3, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	e := mustProvision(t, r, buildArch(t, 4), 4)
+	if e.ID != "arch-000006" {
+		t.Errorf("post-restore provision ID = %q, want arch-000006", e.ID)
+	}
+	if _, err := r.Restore("arch-000005", a, 3, nil); err == nil {
+		t.Error("duplicate restore succeeded")
+	}
+}
+
+// TestListPagination checks deterministic order and the after_id cursor.
+func TestListPagination(t *testing.T) {
+	r := New(4)
+	a := buildArch(t, 1)
+	var want []string
+	for i := 0; i < 7; i++ {
+		want = append(want, mustProvision(t, r, a, uint64(i)).ID)
+	}
+	var got []string
+	after := ""
+	for {
+		page := r.List(after, 3)
+		if len(page) == 0 {
+			break
+		}
+		for _, e := range page {
+			got = append(got, e.ID)
+		}
+		after = page[len(page)-1].ID
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("paginated List = %v, want %v", got, want)
+	}
+	if n := len(r.List("", 0)); n != 7 {
+		t.Errorf("List with no limit returned %d", n)
+	}
+	if n := len(r.List(want[6], 0)); n != 0 {
+		t.Errorf("List after last ID returned %d", n)
+	}
+}
+
+// TestEventsRing checks the per-entry ring buffer: ordering, capacity,
+// and the max parameter.
+func TestEventsRing(t *testing.T) {
+	r := New(1)
+	e := mustProvision(t, r, buildArch(t, 5), 5)
+	var want []core.AccessEvent
+	for i := 0; i < EventRingSize+40; i++ {
+		_, err := e.Access(context.Background(), nems.RoomTemp)
+		if err != nil && !errors.Is(err, core.ErrTransient) && !errors.Is(err, core.ErrExhausted) {
+			t.Fatal(err)
+		}
+		want = append(want, core.AccessEvent{}) // placeholder; length checked below
+	}
+	evs := e.Events(0)
+	if len(evs) != EventRingSize {
+		t.Fatalf("Events(0) returned %d, want %d (ring capacity)", len(evs), EventRingSize)
+	}
+	// Oldest-first and contiguous: attempts strictly increase by one.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Attempt != evs[i-1].Attempt+1 {
+			t.Fatalf("events not contiguous at %d: %d then %d", i, evs[i-1].Attempt, evs[i].Attempt)
+		}
+	}
+	if evs[len(evs)-1].Attempt != uint64(len(want)) {
+		t.Errorf("newest event attempt = %d, want %d", evs[len(evs)-1].Attempt, len(want))
+	}
+	if got := e.Events(5); len(got) != 5 || got[4].Attempt != evs[len(evs)-1].Attempt {
+		t.Errorf("Events(5) = %d events ending at %d", len(got), got[len(got)-1].Attempt)
 	}
 }

@@ -91,6 +91,25 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64())
 }
 
+// State returns the generator's full internal state — the exact stream
+// position — for checkpointing. Restoring it with SetState resumes the
+// stream bit-identically, which is what lets a recovered architecture
+// replay as if the process had never died.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with a value
+// previously captured by State. The all-zero state is the xoshiro256**
+// fixed point (every output would be zero) and is rejected by falling
+// back to the New(0) seeding, so a corrupted checkpoint cannot wedge the
+// generator.
+func (r *RNG) SetState(s [4]uint64) {
+	if s == [4]uint64{} {
+		*r = *New(0)
+		return
+	}
+	r.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

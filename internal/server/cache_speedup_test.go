@@ -49,7 +49,7 @@ func TestExploreCacheSpeedup(t *testing.T) {
 func BenchmarkExploreCold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := New(Config{})
-		spec, err := heavySpec.Spec()
+		spec, err := specFromWire(heavySpec)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,7 +63,7 @@ func BenchmarkExploreCold(b *testing.B) {
 // cache serves. Compare against BenchmarkExploreCold for the speedup.
 func BenchmarkExploreCached(b *testing.B) {
 	s := New(Config{})
-	spec, err := heavySpec.Spec()
+	spec, err := specFromWire(heavySpec)
 	if err != nil {
 		b.Fatal(err)
 	}

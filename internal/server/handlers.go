@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"lemonade/api"
 	"lemonade/internal/core"
 	"lemonade/internal/dse"
 	"lemonade/internal/nems"
@@ -17,46 +18,60 @@ import (
 // 128–256-bit keys, so 4 KiB is already generous.
 const maxSecretBytes = 4096
 
+// defaultListLimit pages the fleet listing when the client does not ask
+// for a size; maxListLimit bounds what it may ask for.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
 // handleProvision fabricates an architecture: solve the design problem
 // (through the cache — fleets provision many identical devices), build
-// the simulated hardware from the explicit seed, register it.
+// the simulated hardware from the explicit seed, durably record it,
+// register it. A provision whose record cannot be persisted fails closed
+// with 500 — an architecture the log does not know about would resurrect
+// with a fresh budget after a restart.
 func (s *Server) handleProvision(w http.ResponseWriter, r *http.Request) {
 	var req ProvisionRequest
 	if err := decodeJSON(r, &req, false); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
 	secret, err := hex.DecodeString(req.SecretHex)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "secret_hex: " + err.Error(), Field: "secret_hex"})
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "secret_hex: " + err.Error(), Field: "secret_hex"})
 		return
 	}
 	if len(secret) == 0 || len(secret) > maxSecretBytes {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{
 			Error: fmt.Sprintf("secret_hex must encode 1..%d bytes, got %d", maxSecretBytes, len(secret)),
 			Field: "secret_hex",
 		})
 		return
 	}
-	spec, err := req.Spec.Spec()
+	spec, err := specFromWire(req.Spec)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	design, cached, err := s.explore(spec)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	arch, err := core.Build(design, secret, rng.New(req.Seed))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	e := s.reg.Provision(arch, req.Seed)
+	e, err := s.reg.Provision(arch, req.Seed, secret)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	s.mProvisioned.Inc()
 	s.gLive.Set(int64(s.reg.Len()))
-	writeJSON(w, http.StatusCreated, ProvisionResponse{
+	s.writeJSON(w, http.StatusCreated, ProvisionResponse{
 		ID:     e.ID,
 		Seed:   e.Seed,
 		Cached: cached,
@@ -68,11 +83,11 @@ func (s *Server) handleProvision(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown architecture"})
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown architecture"})
 		return
 	}
 	total, okCount := e.Arch.Accesses()
-	writeJSON(w, http.StatusOK, StatusResponse{
+	s.writeJSON(w, http.StatusOK, StatusResponse{
 		ID:              e.ID,
 		Alive:           e.Arch.Alive(),
 		Attempts:        total,
@@ -84,30 +99,33 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleAccess performs one real, wearout-consuming traversal of the
-// architecture's switches. Concurrent requests against one architecture
-// serialize inside core.Architecture — each one is a distinct physical
-// access, so the sum of successes can never exceed the hardware budget.
+// architecture's switches, through the registry's log-ahead path: the
+// access record is durably appended before any switch fires, and an
+// access that cannot be recorded fails closed (500, nothing consumed,
+// no key bytes revealed). Concurrent requests against one architecture
+// serialize inside the entry — each one is a distinct physical access,
+// so the sum of successes can never exceed the hardware budget.
 func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown architecture"})
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown architecture"})
 		return
 	}
 	var req AccessRequest
 	if err := decodeJSON(r, &req, true); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
 	env := nems.RoomTemp
 	if req.TempCelsius != 0 {
 		env = nems.Environment{TempCelsius: req.TempCelsius}
 	}
-	secret, err := e.Arch.AccessContext(r.Context(), env)
+	secret, err := e.Access(r.Context(), env)
 	total, okCount := e.Arch.Accesses()
 	switch {
 	case err == nil:
 		s.mAccessSuccess.Inc()
-		writeJSON(w, http.StatusOK, AccessResponse{
+		s.writeJSON(w, http.StatusOK, AccessResponse{
 			SecretHex:  hex.EncodeToString(secret),
 			Attempts:   total,
 			Successful: okCount,
@@ -116,16 +134,78 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, core.ErrExhausted):
 		s.mAccessExh.Inc()
 		s.mLockouts.Inc()
-		writeError(w, err)
+		s.writeError(w, err)
 	case errors.Is(err, core.ErrDecodeFailed):
 		s.mAccessDecode.Inc()
-		writeError(w, err)
+		s.writeError(w, err)
 	case errors.Is(err, core.ErrTransient):
 		s.mAccessTrans.Inc()
-		writeError(w, err)
-	default: // context cancellation — no wearout was consumed
-		writeError(w, err)
+		s.writeError(w, err)
+	default: // store failure or context cancellation — no wearout consumed
+		s.writeError(w, err)
 	}
+}
+
+// handleList pages through the fleet in deterministic ascending ID
+// order. ?after_id= is the cursor (exclusive), ?limit= the page size.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	limit := defaultListLimit
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "limit must be a positive integer"})
+			return
+		}
+		if n > maxListLimit {
+			n = maxListLimit
+		}
+		limit = n
+	}
+	afterID := r.URL.Query().Get("after_id")
+	page := s.reg.List(afterID, limit)
+	out := ListResponse{Architectures: make([]ArchitectureSummary, 0, len(page))}
+	for _, e := range page {
+		total, okCount := e.Arch.Accesses()
+		out.Architectures = append(out.Architectures, ArchitectureSummary{
+			ID:         e.ID,
+			Alive:      e.Arch.Alive(),
+			Attempts:   total,
+			Successful: okCount,
+		})
+	}
+	if len(page) == limit {
+		last := page[len(page)-1].ID
+		if more := s.reg.List(last, 1); len(more) > 0 {
+			out.NextAfterID = last
+		}
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleEvents serves an architecture's recent access events, oldest
+// first, from the entry's in-memory ring buffer. ?max= trims to the
+// newest max events.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown architecture"})
+		return
+	}
+	max := 0
+	if q := r.URL.Query().Get("max"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "max must be a positive integer"})
+			return
+		}
+		max = n
+	}
+	evs := e.Events(max)
+	out := EventsResponse{ID: e.ID, Events: make([]api.AccessEvent, 0, len(evs))}
+	for _, ev := range evs {
+		out.Events = append(out.Events, eventResponse(ev))
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // handleExplore answers a design search from the LRU cache; identical
@@ -134,20 +214,20 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	var req SpecRequest
 	if err := decodeJSON(r, &req, false); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
-	spec, err := req.Spec()
+	spec, err := specFromWire(req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	design, cached, err := s.explore(spec)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ExploreResponse{Cached: cached, Design: designResponse(design)})
+	s.writeJSON(w, http.StatusOK, ExploreResponse{Cached: cached, Design: designResponse(design)})
 }
 
 // handleFrontier enumerates every feasible design. The enumeration is the
@@ -156,25 +236,25 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	var req SpecRequest
 	if err := decodeJSON(r, &req, false); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
-	spec, err := req.Spec()
+	spec, err := specFromWire(req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	spec.ContinuousT = false // the frontier enumerates integer targets
 	designs, err := dse.ExploreFrontier(r.Context(), spec)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	limit := len(designs)
 	if q := r.URL.Query().Get("limit"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 1 {
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "limit must be a positive integer"})
+			s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "limit must be a positive integer"})
 			return
 		}
 		if n < limit {
@@ -185,5 +265,5 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	for _, d := range designs[:limit] {
 		out.Designs = append(out.Designs, designResponse(d))
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }

@@ -42,8 +42,19 @@ import (
 // striping, default cache size, and a null clock (all latencies observed
 // as zero).
 type Config struct {
-	// Shards is the registry stripe count (0 → registry.DefaultShards).
+	// Registry, when non-nil, is the architecture registry to serve from —
+	// the daemon builds one over a WAL-backed store and recovers it before
+	// the listener opens. Nil builds an in-memory registry (no
+	// durability), which is what tests and ephemeral deployments want.
+	Registry *registry.Registry
+	// Shards is the registry stripe count when Registry is nil
+	// (0 → registry.DefaultShards).
 	Shards int
+	// Metrics, when non-nil, is the metric registry to register into and
+	// serve at /metrics — the daemon shares one registry between the WAL
+	// store (opened before the server exists) and the server. Nil builds
+	// a fresh registry.
+	Metrics *metrics.Registry
 	// CacheSize caps the DSE design cache (0 → 256 designs).
 	CacheSize int
 	// NowNanos is the clock used for latency histograms, in nanoseconds
@@ -79,6 +90,11 @@ type Server struct {
 	gLive        *metrics.Gauge
 	// HTTP-level traffic.
 	gInflight *metrics.Gauge
+	// Server faults: responses that failed to marshal (a server bug, never
+	// the client's) and operations refused because the durable store
+	// could not record them (the log-ahead rule failing closed).
+	mEncodeFailures *metrics.Counter
+	mStoreFailures  *metrics.Counter
 }
 
 // New builds a Server from cfg.
@@ -93,29 +109,40 @@ func New(cfg Config) *Server {
 	if now == nil {
 		now = func() int64 { return 0 }
 	}
-	m := metrics.NewRegistry()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = registry.New(cfg.Shards)
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = metrics.NewRegistry()
+	}
 	s := &Server{
-		reg:     registry.New(cfg.Shards),
+		reg:     reg,
 		designs: cache.New[dse.Design](cfg.CacheSize),
 		met:     m,
 		now:     now,
 		maxBody: cfg.MaxBodyBytes,
 
-		mAccessSuccess: m.Counter("lemonaded_accesses_total", `outcome="success"`, "hardware accesses by outcome"),
-		mAccessTrans:   m.Counter("lemonaded_accesses_total", `outcome="transient"`, "hardware accesses by outcome"),
-		mAccessExh:     m.Counter("lemonaded_accesses_total", `outcome="exhausted"`, "hardware accesses by outcome"),
-		mAccessDecode:  m.Counter("lemonaded_accesses_total", `outcome="decode_failed"`, "hardware accesses by outcome"),
-		mLockouts:      m.Counter("lemonaded_lockouts_total", "", "accesses refused because the wearout budget is exhausted"),
-		mCacheHits:     m.Counter("lemonaded_dse_cache_hits_total", "", "design searches served from cache"),
-		mCacheMisses:   m.Counter("lemonaded_dse_cache_misses_total", "", "design searches computed"),
-		mProvisioned:   m.Counter("lemonaded_architectures_provisioned_total", "", "architectures fabricated over process lifetime"),
-		gLive:          m.Gauge("lemonaded_architectures_live", "", "architectures currently registered"),
-		gInflight:      m.Gauge("lemonaded_inflight_requests", "", "HTTP requests currently being served"),
+		mAccessSuccess:  m.Counter("lemonaded_accesses_total", `outcome="success"`, "hardware accesses by outcome"),
+		mAccessTrans:    m.Counter("lemonaded_accesses_total", `outcome="transient"`, "hardware accesses by outcome"),
+		mAccessExh:      m.Counter("lemonaded_accesses_total", `outcome="exhausted"`, "hardware accesses by outcome"),
+		mAccessDecode:   m.Counter("lemonaded_accesses_total", `outcome="decode_failed"`, "hardware accesses by outcome"),
+		mLockouts:       m.Counter("lemonaded_lockouts_total", "", "accesses refused because the wearout budget is exhausted"),
+		mCacheHits:      m.Counter("lemonaded_dse_cache_hits_total", "", "design searches served from cache"),
+		mCacheMisses:    m.Counter("lemonaded_dse_cache_misses_total", "", "design searches computed"),
+		mProvisioned:    m.Counter("lemonaded_architectures_provisioned_total", "", "architectures fabricated over process lifetime"),
+		gLive:           m.Gauge("lemonaded_architectures_live", "", "architectures currently registered"),
+		gInflight:       m.Gauge("lemonaded_inflight_requests", "", "HTTP requests currently being served"),
+		mEncodeFailures: m.Counter("lemonaded_encode_failures_total", "", "responses that failed to marshal (server bug)"),
+		mStoreFailures:  m.Counter("lemonaded_store_failures_total", "", "operations refused because the durable store failed (failed closed)"),
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/architectures", "provision", s.handleProvision)
+	s.route("GET /v1/architectures", "list", s.handleList)
 	s.route("GET /v1/architectures/{id}", "status", s.handleStatus)
 	s.route("POST /v1/architectures/{id}/access", "access", s.handleAccess)
+	s.route("GET /v1/architectures/{id}/events", "events", s.handleEvents)
 	s.route("POST /v1/dse/explore", "explore", s.handleExplore)
 	s.route("POST /v1/dse/frontier", "frontier", s.handleFrontier)
 	s.mux.Handle("GET /metrics", m)
@@ -132,8 +159,12 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics exposes the metric registry (the /metrics handler), mainly for
-// the daemon to add process-level gauges.
+// the daemon to add process-level gauges and the WAL's instrumentation.
 func (s *Server) Metrics() *metrics.Registry { return s.met }
+
+// Registry exposes the architecture registry, for the daemon's snapshot
+// loop (a snapshot captures the registry through the store's barrier).
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // route mounts an instrumented handler: per-route request counter and
 // latency histogram, per-code response counter, global in-flight gauge.

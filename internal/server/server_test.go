@@ -4,14 +4,18 @@ import (
 	"bytes"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"lemonade/internal/registry"
 )
 
 // testServer returns a Server with a deterministic stepping clock (1ms
@@ -479,4 +483,215 @@ func ExampleServer() {
 		strings.NewReader(`{"alpha": 6, "beta": 8, "lab": 30, "kfrac": 0.1}`))
 	fmt.Println(resp.StatusCode)
 	// Output: 200
+}
+
+// flakyStore is a registry.Store whose appends can be made to fail, for
+// exercising the fail-closed path through HTTP.
+type flakyStore struct{ fail atomic.Bool }
+
+func (f *flakyStore) AppendProvision(registry.ProvisionRecord) (func(), error) {
+	if f.fail.Load() {
+		return nil, errors.New("disk full")
+	}
+	return func() {}, nil
+}
+
+func (f *flakyStore) AppendAccess(registry.AccessRecord) (func(), error) {
+	if f.fail.Load() {
+		return nil, errors.New("disk full")
+	}
+	return func() {}, nil
+}
+
+// TestStoreFailureFailsClosed: when the durable store cannot record an
+// operation, the server answers 500, consumes nothing, and counts the
+// refusal — the log-ahead rule seen from the outside.
+func TestStoreFailureFailsClosed(t *testing.T) {
+	st := &flakyStore{}
+	s := New(Config{Registry: registry.NewWithStore(0, st)})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	pr := provisionGolden(t, ts.URL, 42)
+	resp, _ := postJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/access", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy access: status %d", resp.StatusCode)
+	}
+
+	st.fail.Store(true)
+	resp, body := postJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/access", nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("access with failing store: status %d: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "store") {
+		t.Errorf("error body %q does not mention the store", er.Error)
+	}
+	if s.mStoreFailures.Value() != 1 {
+		t.Errorf("store failures counter = %d, want 1", s.mStoreFailures.Value())
+	}
+	// Nothing was consumed: the architecture still reports 1 attempt.
+	e, _ := s.reg.Get(pr.ID)
+	if total, _ := e.Arch.Accesses(); total != 1 {
+		t.Errorf("failed-closed access consumed wearout: total = %d, want 1", total)
+	}
+
+	// Provisioning fails closed the same way.
+	resp, _ = postJSON(t, ts.URL+"/v1/architectures", ProvisionRequest{
+		Spec: goldenSpec, SecretHex: goldenSecretHex, Seed: 9,
+	})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("provision with failing store: status %d", resp.StatusCode)
+	}
+	st.fail.Store(false)
+	resp, _ = postJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/access", nil)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("access after store recovers: status %d", resp.StatusCode)
+	}
+}
+
+// TestWriteJSONEncodeFailure pins the marshal-failure path: a value JSON
+// cannot represent yields the static 500 body and bumps the counter —
+// distinguished from a client that merely went away.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	s := New(Config{})
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, http.StatusOK, math.NaN()) // JSON has no NaN
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	if got := rec.Body.String(); got != encodeFailedBody {
+		t.Errorf("body = %q, want the static encode-failure payload", got)
+	}
+	if s.mEncodeFailures.Value() != 1 {
+		t.Errorf("encode failures counter = %d, want 1", s.mEncodeFailures.Value())
+	}
+
+	// A client disconnect is not an encode failure.
+	s.writeJSON(&brokenWriter{}, http.StatusOK, map[string]string{"ok": "yes"})
+	if s.mEncodeFailures.Value() != 1 {
+		t.Errorf("client-gone write counted as encode failure")
+	}
+}
+
+// brokenWriter fails every write, like a hung-up client connection.
+type brokenWriter struct{ h http.Header }
+
+func (b *brokenWriter) Header() http.Header {
+	if b.h == nil {
+		b.h = make(http.Header)
+	}
+	return b.h
+}
+func (b *brokenWriter) WriteHeader(int) {}
+func (b *brokenWriter) Write([]byte) (int, error) {
+	return 0, errors.New("broken pipe")
+}
+
+// TestListEndpoint checks pagination, ordering, and the cursor contract.
+func TestListEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var want []string
+	for i := 0; i < 5; i++ {
+		want = append(want, provisionGolden(t, ts.URL, uint64(i)).ID)
+	}
+
+	// Full listing, deterministic order.
+	resp, body := getJSON(t, ts.URL+"/v1/architectures")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d: %s", resp.StatusCode, body)
+	}
+	var all ListResponse
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Architectures) != 5 || all.NextAfterID != "" {
+		t.Fatalf("list = %d rows, next %q; want 5 rows, no cursor", len(all.Architectures), all.NextAfterID)
+	}
+	for i, a := range all.Architectures {
+		if a.ID != want[i] {
+			t.Errorf("row %d = %q, want %q (deterministic ID order)", i, a.ID, want[i])
+		}
+		if !a.Alive {
+			t.Errorf("row %d not alive", i)
+		}
+	}
+
+	// Paged walk: limit 2 pages through everything, cursor per page.
+	var got []string
+	after := ""
+	for pages := 0; pages < 10; pages++ {
+		url := ts.URL + "/v1/architectures?limit=2"
+		if after != "" {
+			url += "&after_id=" + after
+		}
+		_, body := getJSON(t, url)
+		var page ListResponse
+		if err := json.Unmarshal(body, &page); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range page.Architectures {
+			got = append(got, a.ID)
+		}
+		if page.NextAfterID == "" {
+			break
+		}
+		after = page.NextAfterID
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("paged walk = %v, want %v", got, want)
+	}
+
+	// Bad limit → 400.
+	resp, _ = getJSON(t, ts.URL+"/v1/architectures?limit=banana")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestEventsEndpoint checks the recent-events ring through HTTP.
+func TestEventsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	pr := provisionGolden(t, ts.URL, 42)
+	for i := 0; i < 7; i++ {
+		postJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/access", nil)
+	}
+	resp, body := getJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/events")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d: %s", resp.StatusCode, body)
+	}
+	var evs EventsResponse
+	if err := json.Unmarshal(body, &evs); err != nil {
+		t.Fatal(err)
+	}
+	if evs.ID != pr.ID || len(evs.Events) != 7 {
+		t.Fatalf("events = %d for %q, want 7 for %q", len(evs.Events), evs.ID, pr.ID)
+	}
+	for i, ev := range evs.Events {
+		if ev.Attempt != uint64(i+1) {
+			t.Errorf("event %d attempt = %d, want %d (oldest first)", i, ev.Attempt, i+1)
+		}
+		if ev.Outcome == "" || ev.Outcome == "unknown" {
+			t.Errorf("event %d outcome = %q", i, ev.Outcome)
+		}
+	}
+
+	// max trims to the newest events.
+	_, body = getJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/events?max=3")
+	var trimmed EventsResponse
+	if err := json.Unmarshal(body, &trimmed); err != nil {
+		t.Fatal(err)
+	}
+	if len(trimmed.Events) != 3 || trimmed.Events[2].Attempt != 7 {
+		t.Errorf("events max=3 = %+v, want the 3 newest ending at attempt 7", trimmed.Events)
+	}
+
+	// Unknown architecture → 404.
+	resp, _ = getJSON(t, ts.URL+"/v1/architectures/arch-999999/events")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id events: status %d, want 404", resp.StatusCode)
+	}
 }

@@ -8,30 +8,39 @@ import (
 	"io"
 	"net/http"
 
+	"lemonade/api"
 	"lemonade/internal/core"
 	"lemonade/internal/dse"
+	"lemonade/internal/registry"
 	"lemonade/internal/reliability"
 	"lemonade/internal/weibull"
 )
 
-// SpecRequest is the wire form of a design problem: flat JSON, with the
-// same defaulting as the CLI (99%/1% criteria when omitted).
-type SpecRequest struct {
-	Alpha           float64 `json:"alpha"`
-	Beta            float64 `json:"beta"`
-	MinWork         float64 `json:"min_work,omitempty"`
-	MaxOverrun      float64 `json:"max_overrun,omitempty"`
-	LAB             int     `json:"lab"`
-	UpperBound      int     `json:"upper_bound,omitempty"`
-	KFrac           float64 `json:"kfrac,omitempty"`
-	ContinuousT     bool    `json:"continuous_t,omitempty"`
-	MaxPerStructure int     `json:"max_per_structure,omitempty"`
-}
+// The wire types live in the public api package — the server aliases
+// them so handlers and the conversion helpers below read naturally.
+// Aliases (not definitions) guarantee the server can never drift from
+// the published contract.
+type (
+	SpecRequest         = api.SpecRequest
+	DesignResponse      = api.DesignResponse
+	ProvisionRequest    = api.ProvisionRequest
+	ProvisionResponse   = api.ProvisionResponse
+	AccessRequest       = api.AccessRequest
+	AccessResponse      = api.AccessResponse
+	StatusResponse      = api.StatusResponse
+	ArchitectureSummary = api.ArchitectureSummary
+	ListResponse        = api.ListResponse
+	EventsResponse      = api.EventsResponse
+	ExploreResponse     = api.ExploreResponse
+	FrontierResponse    = api.FrontierResponse
+	ErrorResponse       = api.ErrorResponse
+)
 
-// Spec converts the wire form to a validated dse.Spec. Validation happens
-// here — before any search is paid for — and failures carry the offending
-// field name.
-func (q SpecRequest) Spec() (dse.Spec, error) {
+// specFromWire converts the wire form to a validated dse.Spec, applying
+// the same defaulting as the CLI (99%/1% criteria when omitted).
+// Validation happens here — before any search is paid for — and failures
+// carry the offending field name.
+func specFromWire(q SpecRequest) (dse.Spec, error) {
 	crit := reliability.Criteria{MinWork: q.MinWork, MaxOverrun: q.MaxOverrun}
 	if crit.MinWork == 0 {
 		crit.MinWork = reliability.DefaultCriteria.MinWork
@@ -54,20 +63,6 @@ func (q SpecRequest) Spec() (dse.Spec, error) {
 	return spec, nil
 }
 
-// DesignResponse is the wire form of a solved design.
-type DesignResponse struct {
-	T                     int     `json:"t"`
-	UpperT                int     `json:"upper_t"`
-	N                     int     `json:"n"`
-	K                     int     `json:"k"`
-	Copies                int     `json:"copies"`
-	TotalDevices          int     `json:"total_devices"`
-	GuaranteedMinAccesses int     `json:"guaranteed_min_accesses"`
-	MaxAllowedAccesses    int     `json:"max_allowed_accesses"`
-	WorkProb              float64 `json:"work_prob"`
-	OverrunProb           float64 `json:"overrun_prob"`
-}
-
 func designResponse(d dse.Design) DesignResponse {
 	return DesignResponse{
 		T:                     d.T,
@@ -83,72 +78,38 @@ func designResponse(d dse.Design) DesignResponse {
 	}
 }
 
-// ProvisionRequest fabricates an architecture. The seed is mandatory in
-// spirit — omitting it means seed 0, which is still fully deterministic.
-type ProvisionRequest struct {
-	Spec      SpecRequest `json:"spec"`
-	SecretHex string      `json:"secret_hex"`
-	Seed      uint64      `json:"seed"`
+func eventResponse(ev core.AccessEvent) api.AccessEvent {
+	return api.AccessEvent{
+		Attempt:    ev.Attempt,
+		Copy:       ev.Copy,
+		Conducting: ev.Conducting,
+		Outcome:    ev.Outcome.String(),
+	}
 }
 
-// ProvisionResponse identifies the provisioned architecture.
-type ProvisionResponse struct {
-	ID     string         `json:"id"`
-	Seed   uint64         `json:"seed"`
-	Cached bool           `json:"design_cached"`
-	Design DesignResponse `json:"design"`
-}
+// encodeFailedBody is the static 500 payload served when response
+// marshaling itself fails — it must never need marshaling.
+const encodeFailedBody = `{"error":"internal: response encoding failed"}` + "\n"
 
-// AccessRequest parameterizes one access; the zero value means room
-// temperature (the paper's nominal environment).
-type AccessRequest struct {
-	TempCelsius float64 `json:"temp_celsius,omitempty"`
-}
-
-// AccessResponse reports one successful access.
-type AccessResponse struct {
-	SecretHex  string `json:"secret_hex"`
-	Attempts   uint64 `json:"attempts"`   // total accesses attempted so far
-	Successful uint64 `json:"successful"` // accesses that yielded the secret
-	Copy       int    `json:"copy"`       // copy index that served this access
-}
-
-// StatusResponse reports an architecture's wearout state.
-type StatusResponse struct {
-	ID              string         `json:"id"`
-	Alive           bool           `json:"alive"`
-	Attempts        uint64         `json:"attempts"`
-	Successful      uint64         `json:"successful"`
-	CurrentCopy     int            `json:"current_copy"`
-	ExhaustedCopies int            `json:"exhausted_copies"`
-	Design          DesignResponse `json:"design"`
-}
-
-// ExploreResponse answers a cached design search.
-type ExploreResponse struct {
-	Cached bool           `json:"cached"`
-	Design DesignResponse `json:"design"`
-}
-
-// FrontierResponse answers a frontier enumeration.
-type FrontierResponse struct {
-	Count   int              `json:"count"`
-	Designs []DesignResponse `json:"designs"`
-}
-
-// ErrorResponse is the uniform error body.
-type ErrorResponse struct {
-	Error string `json:"error"`
-	Field string `json:"field,omitempty"` // set for spec validation failures
-	Retry bool   `json:"retry,omitempty"` // set when retrying may succeed
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON marshals v and writes it with the given status. The failure
+// modes are deliberately distinguished: a marshal error is a server bug
+// (counted in lemonaded_encode_failures_total, answered with a static
+// 500), while a write error just means the client went away — the
+// response is already committed, so there is nothing to serve and
+// nothing to count as a server fault.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		s.mEncodeFailures.Inc()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = io.WriteString(w, encodeFailedBody)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // client gone is the only failure; nothing to do
+	body = append(body, '\n')
+	_, _ = w.Write(body) // client gone; nothing to do
 }
 
 // writeError maps library sentinels onto HTTP status codes:
@@ -157,28 +118,32 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 //	core.ErrExhausted   → 410 Gone — the budget is spent, forever
 //	core.ErrDecodeFailed→ 422 — conducted but unreconstructable
 //	dse.ErrInfeasible   → 409 — spec conflicts with device physics
+//	registry.ErrStore   → 500 — durability failed, access refused closed
 //	core.ErrTransient   → 503 + retry — next copy takes over
 //	context cancelled   → 499-style client-closed-request (as 503)
-func writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var fe *dse.FieldError
 	switch {
 	case errors.As(err, &fe):
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fe.Err.Error(), Field: fe.Field})
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fe.Err.Error(), Field: fe.Field})
 	case errors.Is(err, dse.ErrInvalidSpec):
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 	case errors.Is(err, core.ErrExhausted):
-		writeJSON(w, http.StatusGone, ErrorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusGone, ErrorResponse{Error: err.Error()})
 	case errors.Is(err, core.ErrDecodeFailed):
-		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
 	case errors.Is(err, dse.ErrInfeasible):
-		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, registry.ErrStore):
+		s.mStoreFailures.Inc()
+		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 	case errors.Is(err, core.ErrTransient):
 		w.Header().Set("Retry-After", "0")
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Retry: true})
+		s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Retry: true})
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Retry: true})
+		s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Retry: true})
 	default:
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 	}
 }
 

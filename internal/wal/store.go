@@ -1,0 +1,727 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"lemonade/internal/core"
+	"lemonade/internal/dse"
+	"lemonade/internal/metrics"
+	"lemonade/internal/nems"
+	"lemonade/internal/registry"
+	"lemonade/internal/rng"
+)
+
+// Config parameterizes a DiskStore.
+type Config struct {
+	// Dir is the data directory; created if missing.
+	Dir string
+	// NowNanos supplies timestamps for snapshot metadata and fsync
+	// latency measurement (the package obeys the determinism contract and
+	// never reads the wall clock itself). Nil observes everything as zero.
+	NowNanos func() int64
+	// Metrics receives the WAL's instrumentation; nil uses a private
+	// registry (metrics still work, nobody scrapes them).
+	Metrics *metrics.Registry
+	// SnapshotThreshold, when > 0, signals SnapshotNeeded once that many
+	// records accumulate since the last snapshot.
+	SnapshotThreshold int
+}
+
+// record is the JSON payload of one WAL frame.
+type record struct {
+	Type      string                    `json:"t"` // "provision" | "access"
+	Provision *registry.ProvisionRecord `json:"p,omitempty"`
+	Access    *registry.AccessRecord    `json:"a,omitempty"`
+}
+
+// snapshotArch is one architecture inside a snapshot: the provisioning
+// triple that deterministically rebuilds the hardware, plus the exact
+// mutable wear state to overlay on it.
+type snapshotArch struct {
+	ID     string     `json:"id"`
+	Seed   uint64     `json:"seed"`
+	Secret []byte     `json:"secret"`
+	Design dse.Design `json:"design"`
+	State  core.State `json:"state"`
+}
+
+// snapshotFile is the single framed payload of a snap-*.snap file.
+type snapshotFile struct {
+	Format           int            `json:"format"`
+	Epoch            uint64         `json:"epoch"` // first segment NOT covered
+	CreatedUnixNanos int64          `json:"created_unix_nanos"`
+	Archs            []snapshotArch `json:"archs"`
+}
+
+// RecoveryStats summarizes what Recover did, for startup logging and the
+// recovery metrics.
+type RecoveryStats struct {
+	SnapshotEpoch            uint64 // 0 = recovered without a snapshot
+	SnapshotCreatedUnixNanos int64
+	SnapshotArchitectures    int
+	ReplayedProvisions       int
+	ReplayedAccesses         int
+	TornBytesTruncated       int64
+	Segments                 int // segments replayed
+}
+
+// DiskStore is the disk-backed registry.Store: an append-only segmented
+// WAL plus snapshot compaction. Create with Open, then call Recover
+// exactly once before any append. All methods are safe for concurrent
+// use.
+type DiskStore struct {
+	dir       string
+	now       func() int64
+	threshold int
+
+	// barrier orders appends against snapshots: every append holds it
+	// shared from the durable write until the record's in-memory effect
+	// has been applied (the Store done-callback releases it); Snapshot
+	// holds it exclusively while capturing state and rotating segments,
+	// so a snapshot can never observe a state its log position is ahead
+	// of or behind.
+	barrier sync.RWMutex
+
+	mu        sync.Mutex // guards the fields below
+	cur       *os.File
+	curSeq    uint64
+	curOff    int64
+	recsSince int
+	recovered bool
+	failed    error // sticky: set when the log tail is in an unknown state
+
+	snapCh chan struct{}
+
+	mAppendProv *metrics.Counter
+	mAppendAcc  *metrics.Counter
+	mAppendErrs *metrics.Counter
+	hFsync      *metrics.Histogram
+	mReplayProv *metrics.Counter
+	mReplayAcc  *metrics.Counter
+	mSnapshots  *metrics.Counter
+	mTornTrunc  *metrics.Counter
+	gSnapUnix   *metrics.Gauge
+	gRecovered  *metrics.Gauge
+}
+
+// Open prepares a DiskStore on dir. It creates the directory if needed
+// and registers metrics, but performs no reads: call Recover to load the
+// snapshot, replay the log, and arm the store for appends.
+func Open(cfg Config) (*DiskStore, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("wal: empty data directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating data dir: %w", err)
+	}
+	now := cfg.NowNanos
+	if now == nil {
+		now = func() int64 { return 0 }
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = metrics.NewRegistry()
+	}
+	s := &DiskStore{
+		dir:       cfg.Dir,
+		now:       now,
+		threshold: cfg.SnapshotThreshold,
+		snapCh:    make(chan struct{}, 1),
+
+		mAppendProv: m.Counter("lemonaded_wal_appends_total", `type="provision"`, "durable WAL appends by record type"),
+		mAppendAcc:  m.Counter("lemonaded_wal_appends_total", `type="access"`, "durable WAL appends by record type"),
+		mAppendErrs: m.Counter("lemonaded_wal_append_failures_total", "", "WAL appends that failed (each is a failed-closed operation)"),
+		hFsync:      m.Histogram("lemonaded_wal_fsync_seconds", "", "fsync latency of WAL commits", nil),
+		mReplayProv: m.Counter("lemonaded_wal_replayed_records_total", `type="provision"`, "records replayed during recovery"),
+		mReplayAcc:  m.Counter("lemonaded_wal_replayed_records_total", `type="access"`, "records replayed during recovery"),
+		mSnapshots:  m.Counter("lemonaded_wal_snapshots_total", "", "snapshots written"),
+		mTornTrunc:  m.Counter("lemonaded_wal_torn_tail_truncations_total", "", "torn WAL tails truncated during recovery"),
+		gSnapUnix:   m.Gauge("lemonaded_wal_last_snapshot_unix_seconds", "", "creation time of the newest snapshot (snapshot age = now minus this)"),
+		gRecovered:  m.Gauge("lemonaded_wal_recovered_architectures", "", "architectures reconstructed by the last recovery"),
+	}
+	return s, nil
+}
+
+// SnapshotNeeded signals (on a 1-buffered channel) when the records
+// appended since the last snapshot cross Config.SnapshotThreshold. The
+// daemon selects on it next to its interval ticker.
+func (s *DiskStore) SnapshotNeeded() <-chan struct{} { return s.snapCh }
+
+// RecordsSinceSnapshot reports how many records have accumulated in the
+// current segment since the last snapshot (or since recovery).
+func (s *DiskStore) RecordsSinceSnapshot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recsSince
+}
+
+// AppendProvision implements registry.Store.
+func (s *DiskStore) AppendProvision(rec registry.ProvisionRecord) (func(), error) {
+	done, err := s.append(record{Type: "provision", Provision: &rec})
+	if err == nil {
+		s.mAppendProv.Inc()
+	}
+	return done, err
+}
+
+// AppendAccess implements registry.Store.
+func (s *DiskStore) AppendAccess(rec registry.AccessRecord) (func(), error) {
+	done, err := s.append(record{Type: "access", Access: &rec})
+	if err == nil {
+		s.mAppendAcc.Inc()
+	}
+	return done, err
+}
+
+func (s *DiskStore) append(r record) (func(), error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		s.mAppendErrs.Inc()
+		return nil, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	frame := appendFrame(nil, payload)
+
+	s.barrier.RLock()
+	s.mu.Lock()
+	switch {
+	case s.failed != nil:
+		err = fmt.Errorf("wal: log unusable after earlier failure: %w", s.failed)
+	case !s.recovered:
+		err = errors.New("wal: append before Recover")
+	}
+	if err != nil {
+		s.mu.Unlock()
+		s.barrier.RUnlock()
+		s.mAppendErrs.Inc()
+		return nil, err
+	}
+	f := s.cur
+	if _, werr := f.Write(frame); werr != nil {
+		// The segment tail is now unknown (possibly a partial frame). Try
+		// to restore the known-good boundary; if even that fails, poison
+		// the store — appending after garbage would turn the next recovery
+		// into a corruption refusal.
+		if terr := f.Truncate(s.curOff); terr != nil {
+			s.failed = fmt.Errorf("write failed (%v), then truncate failed (%v)", werr, terr)
+		}
+		s.mu.Unlock()
+		s.barrier.RUnlock()
+		s.mAppendErrs.Inc()
+		return nil, fmt.Errorf("wal: append: %w", werr)
+	}
+	s.curOff += int64(len(frame))
+	s.recsSince++
+	over := s.threshold > 0 && s.recsSince >= s.threshold
+	s.mu.Unlock()
+
+	// fsync outside mu: commits pipeline behind each other, not behind
+	// every registry touch.
+	start := s.now()
+	serr := f.Sync()
+	s.hFsync.Observe(float64(s.now()-start) / 1e9)
+	if serr != nil {
+		s.barrier.RUnlock()
+		s.mAppendErrs.Inc()
+		return nil, fmt.Errorf("wal: fsync: %w", serr)
+	}
+	if over {
+		select {
+		case s.snapCh <- struct{}{}:
+		default:
+		}
+	}
+	return s.endOp, nil
+}
+
+func (s *DiskStore) endOp() { s.barrier.RUnlock() }
+
+// Close syncs and closes the current segment. It does not snapshot —
+// that is the daemon's shutdown step, because only the daemon holds the
+// registry.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil {
+		return nil
+	}
+	err := s.cur.Sync()
+	if cerr := s.cur.Close(); err == nil {
+		err = cerr
+	}
+	s.cur = nil
+	return err
+}
+
+// --- directory layout -----------------------------------------------------
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func segName(seq uint64) string { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
+
+func snapName(epoch uint64) string { return fmt.Sprintf("%s%08d%s", snapPrefix, epoch, snapSuffix) }
+
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, prefix)
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, suffix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// scanDir returns the segment sequence numbers and snapshot epochs
+// present in dir, each ascending, removing leftover temp files from an
+// interrupted snapshot write as it goes.
+func (s *DiskStore) scanDir() (segs, snaps []uint64, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if n, ok := parseSeq(name, segPrefix, segSuffix); ok {
+			segs = append(segs, n)
+		} else if n, ok := parseSeq(name, snapPrefix, snapSuffix); ok {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	return segs, snaps, nil
+}
+
+// syncDir fsyncs the data directory so creates and renames are durable.
+func (s *DiskStore) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// --- recovery -------------------------------------------------------------
+
+// Recover loads the newest snapshot, replays every later segment into
+// reg, truncates a torn tail on the final segment, and arms the store
+// for appends. It must be called exactly once, before serving traffic.
+//
+// Failure modes are deliberately asymmetric: a torn tail (crash mid
+// append) is repaired silently, because the lost suffix provably never
+// took effect — its done-callback never ran, so no response carrying key
+// bytes ever left the process. A CRC mismatch anywhere makes Recover
+// return a *CorruptionError and leave the store unusable: wear state
+// that might under-count consumed accesses must never serve.
+func (s *DiskStore) Recover(reg *registry.Registry) (RecoveryStats, error) {
+	var stats RecoveryStats
+	s.mu.Lock()
+	if s.recovered {
+		s.mu.Unlock()
+		return stats, errors.New("wal: Recover called twice")
+	}
+	s.mu.Unlock()
+
+	segs, snaps, err := s.scanDir()
+	if err != nil {
+		return stats, fmt.Errorf("wal: scanning data dir: %w", err)
+	}
+
+	// Baseline: the newest snapshot, or empty state when none exists (then
+	// the full segment history must be present). A corrupt newest snapshot
+	// fails recovery outright — falling back to an older snapshot would
+	// serve wear state known to be behind the truth.
+	replayFrom := uint64(1)
+	if len(snaps) > 0 {
+		epoch := snaps[len(snaps)-1]
+		snap, err := s.loadSnapshot(epoch)
+		if err != nil {
+			return stats, err
+		}
+		if err := restoreSnapshot(reg, snap); err != nil {
+			return stats, err
+		}
+		stats.SnapshotEpoch = epoch
+		stats.SnapshotCreatedUnixNanos = snap.CreatedUnixNanos
+		stats.SnapshotArchitectures = len(snap.Archs)
+		s.gSnapUnix.Set(snap.CreatedUnixNanos / int64(1e9))
+		replayFrom = epoch
+	}
+
+	// The history from the baseline forward must be contiguous; a missing
+	// segment means missing wear, which is the one thing that must never
+	// be shrugged off.
+	var replay []uint64
+	for _, seq := range segs {
+		if seq >= replayFrom {
+			replay = append(replay, seq)
+		}
+	}
+	if len(replay) > 0 && replay[0] != replayFrom {
+		return stats, fmt.Errorf("wal: history gap: baseline needs %s but the oldest following segment is %s",
+			segName(replayFrom), segName(replay[0]))
+	}
+	for i := 1; i < len(replay); i++ {
+		if replay[i] != replay[i-1]+1 {
+			return stats, fmt.Errorf("wal: segment gap between %s and %s",
+				segName(replay[i-1]), segName(replay[i]))
+		}
+	}
+
+	for i, seq := range replay {
+		torn, err := s.replaySegment(reg, seq, i == len(replay)-1, &stats)
+		if err != nil {
+			return stats, err
+		}
+		stats.Segments++
+		stats.TornBytesTruncated += torn
+	}
+
+	// Sweep files the baseline made obsolete (a crash between writing a
+	// snapshot and deleting what it covers leaves them behind).
+	for _, seq := range segs {
+		if seq < replayFrom {
+			_ = os.Remove(filepath.Join(s.dir, segName(seq)))
+		}
+	}
+	for _, epoch := range snaps {
+		if epoch < replayFrom {
+			_ = os.Remove(filepath.Join(s.dir, snapName(epoch)))
+		}
+	}
+
+	// Open the current segment (the highest replayed, or a fresh one) for
+	// appends.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(replay) == 0 {
+		f, err := os.OpenFile(filepath.Join(s.dir, segName(replayFrom)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return stats, fmt.Errorf("wal: creating segment: %w", err)
+		}
+		if err := s.syncDir(); err != nil {
+			_ = f.Close()
+			return stats, fmt.Errorf("wal: fsyncing data dir: %w", err)
+		}
+		s.cur, s.curSeq, s.curOff = f, replayFrom, 0
+	} else {
+		last := replay[len(replay)-1]
+		f, err := os.OpenFile(filepath.Join(s.dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return stats, fmt.Errorf("wal: opening current segment: %w", err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			_ = f.Close()
+			return stats, err
+		}
+		s.cur, s.curSeq, s.curOff = f, last, fi.Size()
+	}
+	s.recsSince = stats.ReplayedProvisions + stats.ReplayedAccesses
+	s.recovered = true
+	s.gRecovered.Set(int64(reg.Len()))
+	return stats, nil
+}
+
+func (s *DiskStore) loadSnapshot(epoch uint64) (*snapshotFile, error) {
+	name := snapName(epoch)
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading snapshot: %w", err)
+	}
+	var snap *snapshotFile
+	good, torn, err := scanFrames(name, data, func(payload []byte) error {
+		if snap != nil {
+			return &CorruptionError{File: name, Record: 1, Offset: -1,
+				Reason: "snapshot holds more than one frame"}
+		}
+		snap = new(snapshotFile)
+		if err := json.Unmarshal(payload, snap); err != nil {
+			return &CorruptionError{File: name, Record: 0, Offset: 0,
+				Reason: "snapshot payload is not valid JSON: " + err.Error()}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Snapshots are written to a temp file and atomically renamed, so a
+	// torn or empty snapshot cannot come from a crash — only from damage.
+	if torn > 0 || snap == nil {
+		return nil, &CorruptionError{File: name, Record: 0, Offset: good,
+			Reason: "snapshot file is incomplete"}
+	}
+	if snap.Format != 1 {
+		return nil, fmt.Errorf("wal: snapshot %s has unknown format %d", name, snap.Format)
+	}
+	if snap.Epoch != epoch {
+		return nil, &CorruptionError{File: name, Record: 0, Offset: 0,
+			Reason: fmt.Sprintf("snapshot declares epoch %d but is named for epoch %d", snap.Epoch, epoch)}
+	}
+	return snap, nil
+}
+
+// restoreSnapshot rebuilds every architecture in snap and registers it
+// under its original ID.
+func restoreSnapshot(reg *registry.Registry, snap *snapshotFile) error {
+	for i := range snap.Archs {
+		a := &snap.Archs[i]
+		arch, err := core.Build(a.Design, a.Secret, rng.New(a.Seed))
+		if err != nil {
+			return fmt.Errorf("wal: snapshot arch %s: rebuild: %w", a.ID, err)
+		}
+		if err := arch.Restore(a.State); err != nil {
+			return fmt.Errorf("wal: snapshot arch %s: %w", a.ID, err)
+		}
+		if _, err := reg.Restore(a.ID, arch, a.Seed, a.Secret); err != nil {
+			return fmt.Errorf("wal: snapshot arch %s: %w", a.ID, err)
+		}
+	}
+	return nil
+}
+
+// replaySegment applies every record of one segment. Only the final
+// segment may carry a torn tail; it is truncated in place (and the
+// truncation fsynced) so appends resume on a clean frame boundary.
+func (s *DiskStore) replaySegment(reg *registry.Registry, seq uint64, isLast bool, stats *RecoveryStats) (int64, error) {
+	name := segName(seq)
+	path := filepath.Join(s.dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: reading segment: %w", err)
+	}
+	rec := 0
+	good, torn, err := scanFrames(name, data, func(payload []byte) error {
+		err := s.applyRecord(reg, name, rec, payload, stats)
+		rec++
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	if torn == 0 {
+		return 0, nil
+	}
+	if !isLast {
+		return 0, &CorruptionError{File: name, Record: rec, Offset: good,
+			Reason: fmt.Sprintf("sealed segment has a %d-byte torn tail", torn)}
+	}
+	if err := os.Truncate(path, good); err != nil {
+		return 0, fmt.Errorf("wal: truncating torn tail of %s: %w", name, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err == nil {
+		err = f.Sync()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: fsyncing truncated %s: %w", name, err)
+	}
+	s.mTornTrunc.Inc()
+	return torn, nil
+}
+
+// applyRecord applies one WAL record to the registry.
+func (s *DiskStore) applyRecord(reg *registry.Registry, file string, idx int, payload []byte, stats *RecoveryStats) error {
+	var r record
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return &CorruptionError{File: file, Record: idx, Offset: -1,
+			Reason: "record is not valid JSON: " + err.Error()}
+	}
+	switch r.Type {
+	case "provision":
+		if r.Provision == nil {
+			return &CorruptionError{File: file, Record: idx, Offset: -1,
+				Reason: "provision record without payload"}
+		}
+		p := r.Provision
+		arch, err := core.Build(p.Design, p.Secret, rng.New(p.Seed))
+		if err != nil {
+			return fmt.Errorf("wal: %s record %d: rebuilding %s: %w", file, idx, p.ID, err)
+		}
+		if _, err := reg.Restore(p.ID, arch, p.Seed, p.Secret); err != nil {
+			return fmt.Errorf("wal: %s record %d: %w", file, idx, err)
+		}
+		s.mReplayProv.Inc()
+		stats.ReplayedProvisions++
+		return nil
+	case "access":
+		if r.Access == nil {
+			return &CorruptionError{File: file, Record: idx, Offset: -1,
+				Reason: "access record without payload"}
+		}
+		e, ok := reg.Get(r.Access.ID)
+		if !ok {
+			return &CorruptionError{File: file, Record: idx, Offset: -1,
+				Reason: fmt.Sprintf("access record for unknown architecture %s", r.Access.ID)}
+		}
+		// Replay fires the hardware directly — not Entry.Access, which
+		// would re-append. The outcome is discarded: it is fully determined
+		// by the state, exactly as it was the first time.
+		_, _ = e.Arch.Access(nems.Environment{TempCelsius: r.Access.TempCelsius})
+		s.mReplayAcc.Inc()
+		stats.ReplayedAccesses++
+		return nil
+	default:
+		return &CorruptionError{File: file, Record: idx, Offset: -1,
+			Reason: fmt.Sprintf("unknown record type %q", r.Type)}
+	}
+}
+
+// --- snapshots ------------------------------------------------------------
+
+// Snapshot captures the full registry state, rotates to a fresh segment,
+// and durably writes a compacted snapshot covering everything before the
+// rotation, then deletes the segments and snapshots it obsoleted.
+//
+// The crash ordering is what makes this safe: the new segment is created
+// and the capture taken under the exclusive barrier (no append can be
+// between its durable write and its in-memory effect); the snapshot file
+// appears atomically via temp-file + rename; obsolete files are deleted
+// only after the new snapshot and its rename are fsynced. A crash
+// between any two steps recovers from either the old snapshot (plus all
+// segments) or the new one.
+func (s *DiskStore) Snapshot(reg *registry.Registry) error {
+	s.barrier.Lock()
+	s.mu.Lock()
+	if !s.recovered || s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
+		s.barrier.Unlock()
+		if err != nil {
+			return fmt.Errorf("wal: snapshot on failed store: %w", err)
+		}
+		return errors.New("wal: snapshot before Recover")
+	}
+
+	newSeq := s.curSeq + 1
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(newSeq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.mu.Unlock()
+		s.barrier.Unlock()
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+
+	// Capture under the exclusive barrier: every done-callback has run, so
+	// each architecture's state agrees exactly with its log prefix.
+	snap := snapshotFile{Format: 1, Epoch: newSeq, CreatedUnixNanos: s.now()}
+	reg.Range(func(e *registry.Entry) bool {
+		snap.Archs = append(snap.Archs, snapshotArch{
+			ID: e.ID, Seed: e.Seed, Secret: e.Secret,
+			Design: e.Arch.Design(), State: e.Arch.State(),
+		})
+		return true
+	})
+	sort.Slice(snap.Archs, func(i, j int) bool { return snapLess(snap.Archs[i].ID, snap.Archs[j].ID) })
+
+	old := s.cur
+	oldSeq := s.curSeq
+	s.cur, s.curSeq, s.curOff, s.recsSince = f, newSeq, 0, 0
+	s.mu.Unlock()
+	s.barrier.Unlock()
+
+	// Durable writes happen outside the barrier — appends may proceed into
+	// the new segment while the snapshot is written, because the
+	// snapshot's contents are already fixed.
+	err = old.Sync()
+	if cerr := old.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sealing %s: %w", segName(oldSeq), err)
+	}
+	if err := s.writeSnapshotFile(&snap); err != nil {
+		return err
+	}
+	s.mSnapshots.Inc()
+	s.gSnapUnix.Set(snap.CreatedUnixNanos / int64(1e9))
+
+	// Compact: everything before newSeq is covered by the new snapshot.
+	segs, snaps, err := s.scanDir()
+	if err != nil {
+		return fmt.Errorf("wal: compacting: %w", err)
+	}
+	for _, seq := range segs {
+		if seq < newSeq {
+			_ = os.Remove(filepath.Join(s.dir, segName(seq)))
+		}
+	}
+	for _, epoch := range snaps {
+		if epoch < newSeq {
+			_ = os.Remove(filepath.Join(s.dir, snapName(epoch)))
+		}
+	}
+	return nil
+}
+
+// snapLess orders snapshot entries by numeric ID suffix so snapshot
+// bytes are deterministic for a deterministic provisioning history.
+func snapLess(a, b string) bool {
+	na, aok := parseSeq(a, "arch-", "")
+	nb, bok := parseSeq(b, "arch-", "")
+	if aok && bok {
+		return na < nb
+	}
+	return a < b
+}
+
+// writeSnapshotFile durably writes snap via temp file + atomic rename.
+func (s *DiskStore) writeSnapshotFile(snap *snapshotFile) error {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("wal: encoding snapshot: %w", err)
+	}
+	final := filepath.Join(s.dir, snapName(snap.Epoch))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating snapshot temp file: %w", err)
+	}
+	_, err = f.Write(appendFrame(nil, payload))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: publishing snapshot: %w", err)
+	}
+	if err := s.syncDir(); err != nil {
+		return fmt.Errorf("wal: fsyncing data dir: %w", err)
+	}
+	return nil
+}

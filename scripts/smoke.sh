@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # smoke.sh — end-to-end smoke test of the lemonaded daemon.
 #
-# Builds lemonaded, starts it on an ephemeral port, provisions an
-# architecture, accesses it to lockout, scrapes /metrics, asserts the
-# lockout counter, and checks graceful shutdown. Run from the repo root;
-# CI runs this exact script.
+# Builds lemonaded, starts it on an ephemeral port, then drives it with
+# the loadgen subcommand (which exercises the public api client package):
+# provision with seed 42, access to lockout with a single worker, scrape
+# /metrics, assert the golden counters, and check graceful shutdown.
+# Run from the repo root; CI runs this exact script.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,31 +26,22 @@ addr=$(cat "$workdir/addr")
 base="http://$addr"
 echo "smoke: daemon on $base"
 
-# Provision a small architecture with a fixed seed.
-prov=$(curl -sf -X POST "$base/v1/architectures" -d '{
-    "spec": {"alpha": 6, "beta": 8, "lab": 30, "kfrac": 0.1, "continuous_t": true},
-    "secret_hex": "00112233445566778899aabbccddeeff",
-    "seed": 42
-}')
-id=$(echo "$prov" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
-[ -n "$id" ] || { echo "smoke: provision failed: $prov"; exit 1; }
-echo "smoke: provisioned $id"
+# One worker, seed 42: the sequential golden transcript — exactly 30
+# successes and 5 transients before lockout. loadgen itself asserts the
+# success count lands in the designed window.
+out=$("$workdir/lemonaded" loadgen -base "$base" -workers 1)
+echo "$out" | sed 's/^/smoke: /'
+echo "$out" | grep -q 'provisioned arch-000001:' || {
+    echo "smoke: unexpected provision ID (determinism broken?)"; exit 1
+}
+echo "$out" | grep -q 'lockout after 30 successful accesses (5 transients)' || {
+    echo "smoke: golden transcript changed"; exit 1
+}
+echo "$out" | grep -q 'budget invariant held' || {
+    echo "smoke: loadgen did not confirm the budget invariant"; exit 1
+}
 
-# Access to lockout (HTTP 410). 200=success and 503=transient both continue.
-locked=0
-for _ in $(seq 1 200); do
-    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
-        "$base/v1/architectures/$id/access")
-    case "$code" in
-        200|503) ;;
-        410) locked=1; break ;;
-        *) echo "smoke: unexpected status $code"; exit 1 ;;
-    esac
-done
-[ "$locked" = 1 ] || { echo "smoke: never reached lockout"; exit 1; }
-echo "smoke: reached lockout"
-
-# The scrape must report exactly one lockout.
+# The scrape must agree with what the client observed.
 metrics=$(curl -sf "$base/metrics")
 echo "$metrics" | grep -q '^lemonaded_lockouts_total 1$' || {
     echo "smoke: lockout counter wrong:"
@@ -62,6 +54,19 @@ echo "$metrics" | grep -q 'lemonaded_accesses_total{outcome="success"} 30' || {
     exit 1
 }
 echo "smoke: metrics assert lockout"
+
+# The fleet listing and event log survived the trip through the wire
+# types. (Capture before grepping: grep -q quitting early would SIGPIPE
+# curl and fail the pipeline under pipefail even on a match.)
+listing=$(curl -sf "$base/v1/architectures")
+echo "$listing" | grep -q '"id": "arch-000001"' || {
+    echo "smoke: listing missing arch-000001"; exit 1
+}
+events=$(curl -sf "$base/v1/architectures/arch-000001/events?max=3")
+echo "$events" | grep -q '"outcome"' || {
+    echo "smoke: events endpoint empty"; exit 1
+}
+echo "smoke: list + events endpoints OK"
 
 # Graceful shutdown: SIGTERM drains and exits 0.
 kill -TERM "$pid"
