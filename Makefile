@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: check lint race bench test build fmt smoke crash
+.PHONY: check lint race bench test build fmt smoke crash chaos
 
 ## check: everything CI runs — format, vet, lemonvet, build, tests, race, smoke
-check: lint build test race smoke crash
+check: lint build test race smoke crash chaos
 
 ## lint: gofmt (fail on diff), go vet, and the lemonvet static-analysis suite
 lint:
@@ -24,7 +24,7 @@ test:
 ## race: race detector over the concurrency-sensitive packages, then the
 ## whole module in short mode (matches the CI race matrix entry)
 race:
-	$(GO) test -race ./internal/montecarlo/... ./internal/targeting/... ./internal/core/... ./internal/server/... ./internal/registry/... ./internal/cache/... ./internal/wal/... ./api/...
+	$(GO) test -race ./internal/montecarlo/... ./internal/targeting/... ./internal/core/... ./internal/server/... ./internal/registry/... ./internal/cache/... ./internal/wal/... ./internal/fault/... ./internal/resilience/... ./api/...
 	$(GO) test -race -short ./...
 
 ## smoke: end-to-end daemon test (build, provision, lockout, metrics, drain)
@@ -38,3 +38,8 @@ bench:
 ## crash: crash-recovery test (SIGKILL mid-budget, restart, exact wear)
 crash:
 	./scripts/crash.sh
+
+## chaos: live-daemon fault injection over 3 fixed seeds (fail closed,
+## bit-identical recovery)
+chaos:
+	./scripts/chaos.sh

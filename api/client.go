@@ -63,8 +63,24 @@ type Client struct {
 	// retry503 is how many times a 503 response is retried (0 = no
 	// retries). Waits honor the server's Retry-After header.
 	retry503 int
-	// sleep is time.Sleep, injectable so retry tests run instantly.
-	sleep func(time.Duration)
+	// sleep waits for d or until ctx is done, whichever is first,
+	// returning ctx.Err() in the latter case. Injectable so retry tests
+	// run instantly.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// sleepCtx is the production sleep: a timer race against the context, so
+// a server-suggested Retry-After can never outlive the caller's
+// deadline.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Option customizes a Client.
@@ -96,7 +112,7 @@ func NewClient(base string, opts ...Option) (*Client, error) {
 	c := &Client{
 		base:  strings.TrimRight(base, "/"),
 		httpc: &http.Client{},
-		sleep: time.Sleep,
+		sleep: sleepCtx,
 	}
 	for _, o := range opts {
 		o(c)
@@ -239,12 +255,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		var ae *Error
 		if errors.As(err, &ae) && ae.RetryAfter > 0 {
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			default:
+			// The wait is capped by the request context: a server
+			// suggesting Retry-After: 3600 against a 50ms deadline gives
+			// up in 50ms, not an hour.
+			if serr := c.sleep(ctx, ae.RetryAfter); serr != nil {
+				return serr
 			}
-			c.sleep(ae.RetryAfter)
 		}
 		if err := ctx.Err(); err != nil {
 			return err

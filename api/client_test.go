@@ -3,6 +3,7 @@ package api
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -150,7 +151,10 @@ func TestRetryOn503(t *testing.T) {
 	})
 	c, _ := newTestClient(t, h, WithRetryOn503(3))
 	var slept []time.Duration
-	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
 
 	out, err := c.Access(context.Background(), "arch-000001", AccessRequest{})
 	if err != nil {
@@ -176,7 +180,7 @@ func TestRetryBudgetExhausted(t *testing.T) {
 		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "transient", Retry: true})
 	})
 	c, _ := newTestClient(t, h, WithRetryOn503(2))
-	c.sleep = func(time.Duration) {}
+	c.sleep = func(context.Context, time.Duration) error { return nil }
 
 	_, err := c.Access(context.Background(), "arch-000001", AccessRequest{})
 	if !IsTransient(err) {
@@ -213,8 +217,40 @@ func TestRetryRespectsContext(t *testing.T) {
 	})
 	c, _ := newTestClient(t, h, WithRetryOn503(100))
 	ctx, cancel := context.WithCancel(context.Background())
-	c.sleep = func(time.Duration) { cancel() }
+	c.sleep = func(ctx context.Context, _ time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
 	if _, err := c.Access(ctx, "arch-000001", AccessRequest{}); err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRetryWaitCappedByDeadline is the regression test for the
+// Retry-After bug: a server suggesting a one-hour wait must not outlive
+// a 50ms request deadline. The real sleepCtx runs here — the test
+// passing quickly IS the assertion.
+func TestRetryWaitCappedByDeadline(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "transient", Retry: true})
+	})
+	c, _ := newTestClient(t, h, WithRetryOn503(100))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	_, err := c.Access(ctx, "arch-000001", AccessRequest{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry wait ran %v past a 50ms deadline — Retry-After not capped", elapsed)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d calls, want 1 (deadline expired during the wait)", calls.Load())
 	}
 }

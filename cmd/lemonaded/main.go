@@ -30,8 +30,10 @@ import (
 	"time"
 
 	"lemonade/api"
+	"lemonade/internal/fault"
 	"lemonade/internal/metrics"
 	"lemonade/internal/registry"
+	"lemonade/internal/resilience"
 	"lemonade/internal/server"
 	"lemonade/internal/wal"
 )
@@ -66,6 +68,8 @@ func usage() {
 
 serve   [-addr host:port] [-addr-file path] [-shards n] [-cache n] [-drain-timeout d]
         [-data-dir path] [-snapshot-interval d] [-snapshot-records n]
+        [-breaker-threshold n] [-breaker-cooldown d] [-access-timeout d]
+        [-max-concurrent-access n] [-access-queue n]
 loadgen -base URL [-workers n] [-seed n] [-alpha a] [-beta b] [-lab n] [-kfrac f]
 `)
 }
@@ -81,6 +85,14 @@ func runServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable state directory (empty = in-memory, no persistence)")
 	snapInterval := fs.Duration("snapshot-interval", time.Minute, "max time between snapshots (with -data-dir)")
 	snapRecords := fs.Int("snapshot-records", 4096, "WAL records that trigger a snapshot (with -data-dir)")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive store failures that open the circuit breaker (with -data-dir)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "how long the breaker stays open before probing the store")
+	accessTimeout := fs.Duration("access-timeout", 10*time.Second, "per-request deadline on the access path (0 = none)")
+	maxAccess := fs.Int("max-concurrent-access", 256, "concurrent accesses before requests queue")
+	accessQueue := fs.Int("access-queue", 1024, "queued accesses before requests are shed with 503")
+	// Deliberately absent from usage(): chaos mode exists for
+	// scripts/chaos.sh and fault-injection experiments, not operators.
+	chaos := fs.String("chaos", "", "inject deterministic storage faults: seed=N[,ops=N][,density=F] (requires -data-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,8 +105,24 @@ func runServe(args []string) error {
 	// recovery and fsync instrumentation shows up on /metrics.
 	met := metrics.NewRegistry()
 
+	// Chaos mode: route the WAL through a deterministic fault injector.
+	var storeFS fault.FS = fault.OS{}
+	if *chaos != "" {
+		if *dataDir == "" {
+			return fmt.Errorf("-chaos requires -data-dir (faults target the durable store)")
+		}
+		plan, err := fault.ParsePlan(*chaos)
+		if err != nil {
+			return err
+		}
+		storeFS = fault.NewInjector(fault.OS{}, plan, fault.WithSleep(time.Sleep))
+		fmt.Fprintf(os.Stderr, "lemonaded: CHAOS MODE: seed %d, %d faults scheduled against the durable store\n",
+			plan.Seed, len(plan.Rules))
+	}
+
 	var reg *registry.Registry
 	var store *wal.DiskStore
+	var breaker *resilience.Breaker
 	if *dataDir != "" {
 		var err error
 		store, err = wal.Open(wal.Config{
@@ -102,11 +130,22 @@ func runServe(args []string) error {
 			NowNanos:          wallNanos,
 			Metrics:           met,
 			SnapshotThreshold: *snapRecords,
+			FS:                storeFS,
 		})
 		if err != nil {
 			return fmt.Errorf("opening data dir: %w", err)
 		}
-		reg = registry.NewWithStore(*shards, store)
+		// The registry writes through the breaker: sustained store failure
+		// flips the daemon into degraded read-only mode instead of burning
+		// a doomed fsync per request.
+		breaker = resilience.NewBreaker(resilience.BreakerConfig{
+			Store:            store,
+			FailureThreshold: *breakerThreshold,
+			Cooldown:         *breakerCooldown,
+			NowNanos:         wallNanos,
+			Metrics:          met,
+		})
+		reg = registry.NewWithStore(*shards, breaker)
 		stats, err := store.Recover(reg)
 		if err != nil {
 			return fmt.Errorf("recovering %s: %w", *dataDir, err)
@@ -127,6 +166,13 @@ func runServe(args []string) error {
 		Metrics:   met,
 		CacheSize: *cacheSize,
 		NowNanos:  wallNanos,
+		Breaker:   breaker,
+		Shedder: resilience.NewShedder(resilience.ShedderConfig{
+			MaxConcurrent: *maxAccess,
+			MaxQueue:      *accessQueue,
+			Metrics:       met,
+		}),
+		AccessTimeout: *accessTimeout,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

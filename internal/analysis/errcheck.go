@@ -38,25 +38,82 @@ var errcheckExemptTypes = map[string]bool{
 	"hash.Hash":       true,
 }
 
+// errcheckStrictMethods lists durability-critical interface methods whose
+// error results must be handled — even an explicit `_ =` discard is a
+// finding. These are the fault-injection seams the WAL writes through: a
+// silently dropped write or fsync error turns the fail-closed wearout
+// guarantee into fail-open (the access proceeds with no durable record).
+var errcheckStrictMethods = map[string]map[string]bool{
+	"lemonade/internal/fault.File": {"Write": true, "Sync": true, "Truncate": true},
+	"lemonade/internal/fault.FS":   {"Rename": true, "Truncate": true},
+}
+
 func runErrCheck(pass *Pass) {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !returnsError(pass, call) || exemptCall(pass, call) {
+					return true
+				}
+				pass.Reportf("errcheck", call.Pos(),
+					"error result of %s discarded; handle it or assign to _ explicitly", callName(call))
+			case *ast.AssignStmt:
+				// `_ = f.Sync()` is a visible discard, which the lite rule
+				// allows — except on durability-critical methods.
+				if len(stmt.Rhs) != 1 || !allBlank(stmt.Lhs) {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, strict := strictCall(pass, call); strict {
+					pass.Reportf("errcheck", call.Pos(),
+						"error result of durability-critical %s discarded; a dropped write/fsync error breaks the fail-closed guarantee", name)
+				}
 			}
-			call, ok := stmt.X.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if !returnsError(pass, call) || exemptCall(pass, call) {
-				return true
-			}
-			pass.Reportf("errcheck", call.Pos(),
-				"error result of %s discarded; handle it or assign to _ explicitly", callName(call))
 			return true
 		})
 	}
+}
+
+// allBlank reports whether every assignment target is the blank
+// identifier — i.e. the statement exists only to discard results.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// strictCall reports whether call is a method in errcheckStrictMethods,
+// resolved through the receiver's type.
+func strictCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	methods := errcheckStrictMethods[types.TypeString(recv, nil)]
+	if !methods[sel.Sel.Name] {
+		return "", false
+	}
+	return callName(call), true
 }
 
 func returnsError(pass *Pass, call *ast.CallExpr) bool {

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"lemonade/internal/fault"
 )
 
 func step() error               { return errors.New("boom") }
@@ -52,4 +54,29 @@ func OKBuilder() string {
 // SuppressedDiscard is annotated: best-effort cleanup.
 func SuppressedDiscard() {
 	step() //lemonvet:allow errcheck fixture demonstrates suppression
+}
+
+// BadStrictDiscard drops durability-critical errors. On fault.File and
+// fault.FS even the explicit `_ =` form is a finding: a silently lost
+// write or fsync error breaks the fail-closed wearout guarantee.
+func BadStrictDiscard(f fault.File, fs fault.FS, p []byte) {
+	_ = f.Sync()            // want errcheck
+	_, _ = f.Write(p)       // want errcheck
+	_ = f.Truncate(0)       // want errcheck
+	_ = fs.Rename("a", "b") // want errcheck
+	_ = fs.Truncate("a", 0) // want errcheck
+}
+
+// OKStrictHandled propagates the durability-critical error.
+func OKStrictHandled(f fault.File) error {
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// OKNonStrictExplicitDiscard: Remove is best-effort cleanup, not a
+// durability seam, so the visible discard stays allowed.
+func OKNonStrictExplicitDiscard(fs fault.FS) {
+	_ = fs.Remove("tmp")
 }

@@ -1,0 +1,247 @@
+package fault_test
+
+// The chaos harness: seeded randomized fault schedules against the full
+// durable stack (wal → registry → core), across repeated crash/recover
+// lifetimes of one data directory. Two invariants are the whole point:
+//
+//  1. Fail closed — no matter which fault fires at which op, the durable
+//     history never records more successful accesses than the design's
+//     wearout budget allows, and no secret is ever revealed without a
+//     durable record backing it.
+//  2. Bit-identical recovery — once the faults stop, recovering the
+//     directory twice yields byte-for-byte identical architecture state.
+//
+// Everything is deterministic: the fault plan comes from a seed, the
+// architecture's device lifetimes come from its fabrication seed, the
+// environment schedule is a pure function of the access index, and the
+// store clock is the zero clock. Same seed ⇒ same run, always.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lemonade/internal/core"
+	"lemonade/internal/dse"
+	"lemonade/internal/fault"
+	"lemonade/internal/nems"
+	"lemonade/internal/registry"
+	"lemonade/internal/rng"
+	"lemonade/internal/wal"
+)
+
+const chaosArchSeed = 42
+
+func chaosSecret() []byte { return []byte("0123456789abcdef") }
+
+func chaosDesign(t *testing.T) dse.Design {
+	t.Helper()
+	s := dse.Spec{LAB: 30, KFrac: 0.1, ContinuousT: true}
+	s.Dist.Alpha = 6
+	s.Dist.Beta = 8
+	s.Criteria.MinWork = 0.99
+	s.Criteria.MaxOverrun = 0.01
+	d, err := dse.Explore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// chaosEnv is the deterministic environment schedule; every 7th access
+// runs hot so accelerated wear is part of every replayed trajectory.
+func chaosEnv(i int) nems.Environment {
+	if i%7 == 6 {
+		return nems.Environment{TempCelsius: 200}
+	}
+	return nems.RoomTemp
+}
+
+// runLives plays lifetimes of the daemon against dir through the faulty
+// filesystem: each life opens the store, recovers, (re-)provisions if
+// needed, bursts accesses with a mid-burst snapshot, then crashes by
+// abandoning the store without Close. It returns how many times the
+// secret was actually revealed to the "client".
+//
+// Error discipline: injected failures are the weather — tolerated
+// everywhere. Anything else is a bug, and a *wal.CorruptionError is the
+// cardinal one: it means a torn write escaped the append-time repair and
+// the store refused the directory.
+func runLives(t *testing.T, dir string, inj *fault.Injector) (revealed int) {
+	t.Helper()
+	design := chaosDesign(t)
+	secret := chaosSecret()
+	provisioned := false
+
+	for life := 0; life < 8; life++ {
+		st, err := wal.Open(wal.Config{Dir: dir, SnapshotThreshold: 16, FS: inj})
+		if err != nil {
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("life %d: non-injected open failure: %v", life, err)
+			}
+			continue // this life died before the store came up
+		}
+		reg := registry.NewWithStore(4, st)
+		if _, err := st.Recover(reg); err != nil {
+			var ce *wal.CorruptionError
+			if errors.As(err, &ce) {
+				t.Fatalf("life %d: log corruption — a torn write escaped repair: %v", life, err)
+			}
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("life %d: non-injected recovery failure: %v", life, err)
+			}
+			continue // crashed during recovery; next life retries
+		}
+
+		e, ok := reg.Get("arch-000001")
+		if provisioned && !ok {
+			t.Fatalf("life %d: durably provisioned architecture lost", life)
+		}
+		if !ok {
+			arch, err := core.Build(design, secret, rng.New(chaosArchSeed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ne, perr := reg.Provision(arch, chaosArchSeed, secret)
+			if perr != nil {
+				if !errors.Is(perr, fault.ErrInjected) {
+					t.Fatalf("life %d: non-injected provision failure: %v", life, perr)
+				}
+				continue // provision not durable; a phantom may replay next life
+			}
+			e = ne
+		}
+		provisioned = true
+
+	burst:
+		for i := 0; i < 48; i++ {
+			if i == 24 {
+				// Walk the snapshot/rotation path mid-burst. An injected
+				// failure just means the WAL stays authoritative.
+				if serr := st.Snapshot(reg); serr != nil && !errors.Is(serr, fault.ErrInjected) {
+					t.Fatalf("life %d: non-injected snapshot failure: %v", life, serr)
+				}
+			}
+			got, aerr := e.Access(context.Background(), chaosEnv(life*48+i))
+			switch {
+			case aerr == nil:
+				if !bytes.Equal(got, secret) {
+					t.Fatalf("life %d: revealed wrong secret", life)
+				}
+				revealed++
+			case errors.Is(aerr, core.ErrExhausted):
+				break burst // lockout is permanent; the life idles out
+			case errors.Is(aerr, core.ErrTransient), errors.Is(aerr, core.ErrDecodeFailed):
+				// hardware-model noise, part of the trajectory
+			case errors.Is(aerr, registry.ErrStore):
+				if !errors.Is(aerr, fault.ErrInjected) {
+					t.Fatalf("life %d access %d: non-injected store failure: %v", life, i, aerr)
+				}
+				// failed closed: no reveal, no wearout consumed durably
+			default:
+				t.Fatalf("life %d access %d: %v", life, i, aerr)
+			}
+		}
+		// Crash: abandon st without Close.
+	}
+	return revealed
+}
+
+// cleanRecover recovers dir through the real filesystem and returns the
+// surviving entry (nil if the schedule never made anything durable).
+func cleanRecover(t *testing.T, dir string) *registry.Entry {
+	t.Helper()
+	st, err := wal.Open(wal.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("clean open: %v", err)
+	}
+	reg := registry.NewWithStore(4, st)
+	if _, err := st.Recover(reg); err != nil {
+		t.Fatalf("clean recovery must succeed once faults stop: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := reg.Get("arch-000001")
+	if !ok {
+		return nil
+	}
+	return e
+}
+
+// TestChaosFailClosed is the harness entry point: for each fault seed,
+// run the lifetimes, then verify the two invariants on the survivors.
+// CI pins seeds 1–3; longer local runs add more.
+func TestChaosFailClosed(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if !testing.Short() {
+		seeds = append(seeds, 4, 5, 6, 7, 8)
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			inj := fault.NewInjector(fault.OS{}, fault.FromSeed(seed, 4096, 0.05))
+			revealed := runLives(t, dir, inj)
+
+			first := cleanRecover(t, dir)
+			if first == nil {
+				if revealed > 0 {
+					t.Fatalf("%d secrets revealed but nothing recovered — reveals escaped the log", revealed)
+				}
+				return // the schedule killed every life before anything stuck
+			}
+			second := cleanRecover(t, dir)
+
+			// Invariant 2: bit-identical recovery.
+			if !reflect.DeepEqual(first.Arch.State(), second.Arch.State()) {
+				t.Fatal("two recoveries of the same directory diverge")
+			}
+
+			// Invariant 1: fail closed. The durable history (phantom
+			// fsync-failed appends included — those only add wear) never
+			// exceeds the budget, and every client-visible reveal is
+			// backed by a durable record.
+			design := chaosDesign(t)
+			budget := design.MaxAllowedAccesses() + 2*design.Copies
+			total, okCount := first.Arch.Accesses()
+			if int(okCount) > budget {
+				t.Fatalf("durable history records %d successes (of %d attempts), budget is %d",
+					okCount, total, budget)
+			}
+			if revealed > int(okCount) {
+				t.Fatalf("client saw %d reveals but only %d durable successes — a reveal escaped the log",
+					revealed, okCount)
+			}
+		})
+	}
+}
+
+// TestChaosScheduleDeterministic replays one full chaos schedule twice
+// in separate directories: the faults that fire, the ops they hit, and
+// the client-visible reveal count must match exactly.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	plan := fault.FromSeed(3, 4096, 0.05)
+	var fires [][]fault.Injection
+	var reveals []int
+	for run := 0; run < 2; run++ {
+		dir := t.TempDir()
+		inj := fault.NewInjector(fault.OS{}, plan)
+		reveals = append(reveals, runLives(t, dir, inj))
+		fired := inj.Fired()
+		for i := range fired {
+			fired[i].Path = filepath.Base(fired[i].Path)
+		}
+		fires = append(fires, fired)
+	}
+	if reveals[0] != reveals[1] {
+		t.Fatalf("reveal counts diverge: %d vs %d", reveals[0], reveals[1])
+	}
+	if !reflect.DeepEqual(fires[0], fires[1]) {
+		t.Fatalf("fault sequences diverge:\nrun 0: %v\nrun 1: %v", fires[0], fires[1])
+	}
+}

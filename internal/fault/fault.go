@@ -1,0 +1,71 @@
+// Package fault is the deterministic fault-injection layer under the
+// daemon's durable store.
+//
+// The WAL performs every durability-relevant operation through the FS
+// interface below. In production that is OS — a zero-cost veneer over
+// package os. In tests and behind the hidden `lemonaded serve -chaos`
+// flag it is an Injector: a seeded, schedule-driven wrapper that fails
+// specific operations (fsync failure, short/torn write, ENOSPC, slow
+// op) at specific points in the operation sequence. Schedules are pure
+// functions of a seed, so a failing chaos run reproduces exactly.
+package fault
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is the slice of *os.File the WAL writes through. Write, Sync and
+// Truncate guard durability: the lemonvet errcheck analyzer refuses even
+// an explicit `_ =` discard of their errors.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
+// FS is the filesystem surface internal/wal performs durability through.
+// Mutating calls (MkdirAll, OpenFile, Remove, Rename, Truncate) and the
+// per-File Write/Sync/Truncate/Close are the injection points; reads
+// pass through untouched so an injected fault can never fabricate log
+// content — only lose or delay it, which is the failure direction the
+// fail-closed guarantee must survive.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	Truncate(name string, size int64) error
+}
+
+// OS is the production FS: a thin veneer over package os.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (OS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (OS) Remove(name string) error                   { return os.Remove(name) }
+func (OS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (OS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }

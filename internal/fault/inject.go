@@ -1,0 +1,424 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"lemonade/internal/rng"
+)
+
+// Kind enumerates the storage faults the injector can produce. Each is a
+// failure mode the fail-closed wearout guarantee must survive: the store
+// may lose or delay durability, but an access must never succeed without
+// its record on disk.
+type Kind int
+
+const (
+	// FailFsync makes a Sync call return an error without syncing.
+	FailFsync Kind = iota
+	// ShortWrite writes a prefix of the buffer, then errors: a torn
+	// append that recovery must truncate away.
+	ShortWrite
+	// NoSpace fails any mutating operation with ENOSPC.
+	NoSpace
+	// SlowOp delays the operation, then lets it proceed — exercises
+	// request deadlines and the load shedder, not data loss.
+	SlowOp
+
+	numKinds = 4
+)
+
+func (k Kind) String() string {
+	switch k {
+	case FailFsync:
+		return "fail-fsync"
+	case ShortWrite:
+		return "short-write"
+	case NoSpace:
+		return "no-space"
+	case SlowOp:
+		return "slow-op"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// errno is the OS-level error an injected fault surfaces as, so callers'
+// errors.Is checks behave exactly as they would against a real disk.
+func (k Kind) errno() error {
+	if k == NoSpace {
+		return syscall.ENOSPC
+	}
+	return syscall.EIO
+}
+
+// applies reports whether a fault of this kind can fire on the given
+// operation; a rule landing on an inapplicable op passes through (e.g. a
+// FailFsync scheduled where the workload performs a Write).
+func (k Kind) applies(op OpKind) bool {
+	switch k {
+	case FailFsync:
+		return op == OpSync
+	case ShortWrite:
+		return op == OpWrite
+	}
+	return true
+}
+
+// OpKind names the mutating operations the injector counts. Reads
+// (Open/ReadDir/ReadFile/Stat) and Close are passthrough and uncounted:
+// injection can only lose durability, never fabricate history.
+type OpKind int
+
+const (
+	OpMkdirAll OpKind = iota
+	OpOpenFile
+	OpRemove
+	OpRename
+	OpTruncate
+	OpWrite
+	OpSync
+)
+
+func (o OpKind) String() string {
+	switch o {
+	case OpMkdirAll:
+		return "mkdirall"
+	case OpOpenFile:
+		return "openfile"
+	case OpRemove:
+		return "remove"
+	case OpRename:
+		return "rename"
+	case OpTruncate:
+		return "truncate"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(o))
+}
+
+// Rule schedules one fault at one position in the mutation-op sequence
+// (ops are numbered from 1). Delay is only meaningful for SlowOp.
+type Rule struct {
+	Op    uint64
+	Kind  Kind
+	Delay time.Duration
+}
+
+// Plan is a complete, reproducible fault schedule.
+type Plan struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// FromSeed derives a fault plan as a pure function of the seed: each of
+// the first ops mutation slots carries a fault with probability density,
+// kind drawn uniformly. Same seed ⇒ same plan, and because the Injector
+// counts operations deterministically, same plan + same workload ⇒ same
+// failure sequence.
+func FromSeed(seed, ops uint64, density float64) Plan {
+	r := rng.New(seed).Derive("fault.plan")
+	var rules []Rule
+	for n := uint64(1); n <= ops; n++ {
+		if !r.Bernoulli(density) {
+			continue
+		}
+		rules = append(rules, Rule{Op: n, Kind: Kind(r.Intn(numKinds)), Delay: 2 * time.Millisecond})
+	}
+	return Plan{Seed: seed, Rules: rules}
+}
+
+// ParsePlan parses the `lemonaded serve -chaos` spec: a comma-separated
+// list of key=value pairs, e.g. "seed=7,ops=4096,density=0.02". Only
+// seed is required.
+func ParsePlan(spec string) (Plan, error) {
+	var (
+		seed    uint64
+		seedSet bool
+		ops     uint64  = 4096
+		density float64 = 0.02
+	)
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: bad plan term %q (want key=value)", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			seed, err = strconv.ParseUint(val, 10, 64)
+			seedSet = true
+		case "ops":
+			ops, err = strconv.ParseUint(val, 10, 64)
+		case "density":
+			density, err = strconv.ParseFloat(val, 64)
+			if err == nil && (density < 0 || density > 1) {
+				err = fmt.Errorf("density %v outside [0,1]", density)
+			}
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown plan key %q", key)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: bad plan value %q: %w", kv, err)
+		}
+	}
+	if !seedSet {
+		return Plan{}, errors.New("fault: plan needs seed=<n>")
+	}
+	return FromSeed(seed, ops, density), nil
+}
+
+// ErrInjected marks every error produced by the injector, so tests can
+// tell scripted faults from real ones.
+var ErrInjected = errors.New("fault: injected")
+
+// Injection records one fault that actually fired.
+type Injection struct {
+	Op   uint64
+	Kind Kind
+	What OpKind
+	Path string
+}
+
+func (inj Injection) error() error {
+	return fmt.Errorf("%w: %s at op %d (%s %s): %w",
+		ErrInjected, inj.Kind, inj.Op, inj.What, inj.Path, inj.Kind.errno())
+}
+
+// Op is one entry in the optional operation log (see WithOpLog): the
+// record-then-target technique runs a scenario once with an empty plan
+// to learn which op number performs, say, the snapshot fsync, then
+// reruns it with a rule aimed at exactly that op.
+type Op struct {
+	N    uint64
+	Kind OpKind
+	Path string
+}
+
+// Option configures an Injector.
+type Option func(*Injector)
+
+// WithSleep supplies the sleeper SlowOp uses; the default is a no-op so
+// library tests stay fast and deterministic. The daemon passes
+// time.Sleep.
+func WithSleep(fn func(time.Duration)) Option {
+	return func(in *Injector) { in.sleep = fn }
+}
+
+// WithOpLog records every counted operation for record-then-target tests.
+func WithOpLog() Option {
+	return func(in *Injector) { in.logOps = true }
+}
+
+// Injector is an FS that executes a Plan: it counts mutating operations
+// and fails (or delays) exactly the ones the plan names. Safe for
+// concurrent use; the op counter is a single total order.
+type Injector struct {
+	inner FS
+	sleep func(time.Duration)
+
+	mu     sync.Mutex
+	n      uint64
+	rules  map[uint64]Rule
+	fired  []Injection
+	logOps bool
+	ops    []Op
+}
+
+// NewInjector wraps inner with the given plan.
+func NewInjector(inner FS, plan Plan, opts ...Option) *Injector {
+	in := &Injector{inner: inner, rules: make(map[uint64]Rule, len(plan.Rules))}
+	for _, r := range plan.Rules {
+		in.rules[r.Op] = r
+	}
+	for _, o := range opts {
+		o(in)
+	}
+	return in
+}
+
+// begin advances the op counter and returns the fault scheduled for this
+// op, if any applies. delay is nonzero only for SlowOp.
+func (in *Injector) begin(op OpKind, path string) (inj Injection, delay time.Duration, ok bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.n++
+	if in.logOps {
+		in.ops = append(in.ops, Op{N: in.n, Kind: op, Path: path})
+	}
+	r, found := in.rules[in.n]
+	if !found || !r.Kind.applies(op) {
+		return Injection{}, 0, false
+	}
+	inj = Injection{Op: in.n, Kind: r.Kind, What: op, Path: path}
+	in.fired = append(in.fired, inj)
+	return inj, r.Delay, true
+}
+
+// gate is the common pre-call hook for ops where a firing fault either
+// delays (SlowOp) or replaces the whole call with an error.
+func (in *Injector) gate(op OpKind, path string) error {
+	inj, delay, ok := in.begin(op, path)
+	if !ok {
+		return nil
+	}
+	if inj.Kind == SlowOp {
+		in.doSleep(delay)
+		return nil
+	}
+	return inj.error()
+}
+
+func (in *Injector) doSleep(d time.Duration) {
+	if in.sleep != nil {
+		in.sleep(d)
+	}
+}
+
+// Fired returns the faults that actually fired, in op order.
+func (in *Injector) Fired() []Injection {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Injection, len(in.fired))
+	copy(out, in.fired)
+	return out
+}
+
+// OpLog returns the counted-operation log (empty unless WithOpLog).
+func (in *Injector) OpLog() []Op {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Op, len(in.ops))
+	copy(out, in.ops)
+	return out
+}
+
+// OpCount returns how many mutating operations have been counted.
+func (in *Injector) OpCount() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.n
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err := in.gate(OpMkdirAll, path); err != nil {
+		return err
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := in.gate(OpOpenFile, name); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f, path: name}, nil
+}
+
+// Open is a read-side call and uncounted, but the returned handle is
+// still wrapped: the WAL syncs directories through it, and those Syncs
+// must be injectable.
+func (in *Injector) Open(name string) (File, error) {
+	f, err := in.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f, path: name}, nil
+}
+
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) { return in.inner.ReadDir(name) }
+func (in *Injector) ReadFile(name string) ([]byte, error)       { return in.inner.ReadFile(name) }
+
+func (in *Injector) Remove(name string) error {
+	if err := in.gate(OpRemove, name); err != nil {
+		return err
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.gate(OpRename, newpath); err != nil {
+		return err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if err := in.gate(OpTruncate, name); err != nil {
+		return err
+	}
+	return in.inner.Truncate(name, size)
+}
+
+// injFile wraps a File so Write/Sync/Truncate participate in the fault
+// schedule. Stat and Close pass through uncounted.
+type injFile struct {
+	in   *Injector
+	f    File
+	path string
+}
+
+func (w *injFile) Write(p []byte) (int, error) {
+	inj, delay, ok := w.in.begin(OpWrite, w.path)
+	if ok {
+		switch inj.Kind {
+		case SlowOp:
+			w.in.doSleep(delay)
+		case ShortWrite:
+			// A torn write: a prefix lands on disk, then the device
+			// errors. Recovery must treat the tail as noise.
+			n := len(p) / 2
+			if n > 0 {
+				wrote, werr := w.f.Write(p[:n])
+				if werr != nil {
+					return wrote, werr
+				}
+				n = wrote
+			}
+			return n, inj.error()
+		default:
+			return 0, inj.error()
+		}
+	}
+	return w.f.Write(p)
+}
+
+func (w *injFile) Sync() error {
+	inj, delay, ok := w.in.begin(OpSync, w.path)
+	if ok {
+		if inj.Kind == SlowOp {
+			w.in.doSleep(delay)
+		} else {
+			// The sync is skipped entirely: the kernel may hold the
+			// bytes, but the caller must assume they are gone.
+			return inj.error()
+		}
+	}
+	return w.f.Sync()
+}
+
+func (w *injFile) Truncate(size int64) error {
+	if err := w.in.gate(OpTruncate, w.path); err != nil {
+		return err
+	}
+	return w.f.Truncate(size)
+}
+
+func (w *injFile) Stat() (os.FileInfo, error) { return w.f.Stat() }
+func (w *injFile) Close() error               { return w.f.Close() }

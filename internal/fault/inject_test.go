@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// driveOps issues a fixed synthetic operation sequence against an
+// injector-backed FS and returns each op's error. The sequence mixes
+// every countable op kind so applicability filtering is exercised.
+func driveOps(t *testing.T, in *Injector, dir string) []error {
+	t.Helper()
+	var errs []error
+	rec := func(err error) { errs = append(errs, err) }
+
+	rec(in.MkdirAll(filepath.Join(dir, "d"), 0o755)) // op 1
+	f, err := in.OpenFile(filepath.Join(dir, "d", "a.log"), os.O_CREATE|os.O_WRONLY, 0o644)
+	rec(err) // op 2
+	if err != nil {
+		return errs
+	}
+	_, werr := f.Write([]byte("0123456789")) // op 3
+	rec(werr)
+	rec(f.Sync())                                                                      // op 4
+	rec(f.Truncate(4))                                                                 // op 5
+	rec(f.Close())                                                                     // uncounted
+	rec(in.Rename(filepath.Join(dir, "d", "a.log"), filepath.Join(dir, "d", "b.log"))) // op 6
+	rec(in.Remove(filepath.Join(dir, "d", "b.log")))                                   // op 7
+	return errs
+}
+
+// TestInjectorDeterminism is the acceptance criterion in miniature: the
+// same plan over the same op sequence fires the same faults, run after
+// run.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := FromSeed(7, 64, 0.5)
+	if len(plan.Rules) == 0 {
+		t.Fatal("plan at density 0.5 scheduled nothing")
+	}
+	var logs [][]Injection
+	for run := 0; run < 2; run++ {
+		in := NewInjector(OS{}, plan)
+		driveOps(t, in, t.TempDir())
+		fired := in.Fired()
+		// Paths differ per TempDir; compare everything else.
+		for i := range fired {
+			fired[i].Path = filepath.Base(fired[i].Path)
+		}
+		logs = append(logs, fired)
+	}
+	if !reflect.DeepEqual(logs[0], logs[1]) {
+		t.Fatalf("same plan, same ops, different faults:\nrun 0: %v\nrun 1: %v", logs[0], logs[1])
+	}
+}
+
+func TestFromSeedIsPureInSeed(t *testing.T) {
+	a := FromSeed(1, 4096, 0.02)
+	b := FromSeed(1, 4096, 0.02)
+	c := FromSeed(2, 4096, 0.02)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	if reflect.DeepEqual(a.Rules, c.Rules) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if len(a.Rules) == 0 {
+		t.Fatal("density 0.02 over 4096 ops scheduled nothing")
+	}
+	for i := 1; i < len(a.Rules); i++ {
+		if a.Rules[i].Op <= a.Rules[i-1].Op {
+			t.Fatal("rules not strictly increasing by op")
+		}
+	}
+}
+
+func TestKindApplicability(t *testing.T) {
+	// A FailFsync aimed at a Write op passes through harmlessly; aimed at
+	// the Sync op it fires.
+	in := NewInjector(OS{}, Plan{Rules: []Rule{
+		{Op: 3, Kind: FailFsync}, // op 3 is the Write — inapplicable
+		{Op: 4, Kind: FailFsync}, // op 4 is the Sync — fires
+	}})
+	errs := driveOps(t, in, t.TempDir())
+	if errs[2] != nil {
+		t.Fatalf("FailFsync fired on a Write: %v", errs[2])
+	}
+	if !errors.Is(errs[3], ErrInjected) || !errors.Is(errs[3], syscall.EIO) {
+		t.Fatalf("Sync error = %v, want injected EIO", errs[3])
+	}
+	fired := in.Fired()
+	if len(fired) != 1 || fired[0].Op != 4 {
+		t.Fatalf("fired = %v, want exactly op 4", fired)
+	}
+}
+
+func TestNoSpaceSurfacesENOSPC(t *testing.T) {
+	in := NewInjector(OS{}, Plan{Rules: []Rule{{Op: 1, Kind: NoSpace}}})
+	err := in.MkdirAll(filepath.Join(t.TempDir(), "x"), 0o755)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want injected ENOSPC", err)
+	}
+}
+
+func TestShortWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Plan{Rules: []Rule{{Op: 2, Kind: ShortWrite}}})
+	f, err := in.OpenFile(filepath.Join(dir, "torn.log"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("0123456789"))
+	if !errors.Is(werr, ErrInjected) {
+		t.Fatalf("write error = %v, want injected", werr)
+	}
+	if n != 5 {
+		t.Fatalf("short write reported %d bytes, want 5 (half)", n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "torn.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "01234" {
+		t.Fatalf("file holds %q, want the torn prefix %q", data, "01234")
+	}
+}
+
+func TestSlowOpDelaysThenProceeds(t *testing.T) {
+	var slept []time.Duration
+	in := NewInjector(OS{}, Plan{Rules: []Rule{{Op: 1, Kind: SlowOp, Delay: 2 * time.Millisecond}}},
+		WithSleep(func(d time.Duration) { slept = append(slept, d) }))
+	dir := filepath.Join(t.TempDir(), "slow")
+	if err := in.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("SlowOp must proceed after the delay: %v", err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("operation did not actually run: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 2*time.Millisecond {
+		t.Fatalf("slept %v, want one 2ms delay", slept)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=7,ops=128,density=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Rules) == 0 {
+		t.Fatalf("plan = %+v, want seed 7 with rules", p)
+	}
+	if !reflect.DeepEqual(p, FromSeed(7, 128, 0.5)) {
+		t.Fatal("ParsePlan diverges from FromSeed")
+	}
+	for _, bad := range []string{"", "ops=10", "seed=x", "seed=1,density=2", "seed=1,banana=2", "seed"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestOpLogOnlyWhenRequested(t *testing.T) {
+	in := NewInjector(OS{}, Plan{})
+	driveOps(t, in, t.TempDir())
+	if got := in.OpLog(); len(got) != 0 {
+		t.Fatalf("op log recorded %d ops without WithOpLog", len(got))
+	}
+	if in.OpCount() != 7 {
+		t.Fatalf("counted %d ops, want 7", in.OpCount())
+	}
+
+	rec := NewInjector(OS{}, Plan{}, WithOpLog())
+	driveOps(t, rec, t.TempDir())
+	log := rec.OpLog()
+	if len(log) != 7 {
+		t.Fatalf("op log holds %d ops, want 7", len(log))
+	}
+	wantKinds := []OpKind{OpMkdirAll, OpOpenFile, OpWrite, OpSync, OpTruncate, OpRename, OpRemove}
+	for i, op := range log {
+		if op.N != uint64(i+1) || op.Kind != wantKinds[i] {
+			t.Fatalf("op %d = %+v, want N=%d kind %v", i, op, i+1, wantKinds[i])
+		}
+	}
+}

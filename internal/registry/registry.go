@@ -152,7 +152,9 @@ func (e *Entry) Access(ctx context.Context, env nems.Environment) ([]byte, error
 	}
 	done, err := e.store.AppendAccess(AccessRecord{ID: e.ID, TempCelsius: env.TempCelsius})
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		// Double-wrap so callers can classify both the fact that the store
+		// failed (ErrStore) and why (e.g. resilience.ErrOpen ⇒ 503, not 500).
+		return nil, fmt.Errorf("%w: %w", ErrStore, err)
 	}
 	defer done()
 	return e.Arch.Access(env)
@@ -259,7 +261,7 @@ func (r *Registry) Provision(arch *core.Architecture, seed uint64, secret []byte
 		ID: id, Seed: seed, Secret: dup, Design: arch.Design(),
 	})
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		return nil, fmt.Errorf("%w: %w", ErrStore, err)
 	}
 	defer done()
 	return r.insert(id, arch, seed, dup), nil

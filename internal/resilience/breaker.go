@@ -1,0 +1,235 @@
+// Package resilience keeps lemonaded serving while its durable store is
+// sick. A circuit breaker over registry.Store converts a persistently
+// failing store into fast, honest 503s (degraded read-only mode: reads
+// keep serving, state changes are refused with Retry-After) and a
+// bounded-queue load shedder keeps the access path from collapsing under
+// overload. Both obey the determinism contract: the breaker's clock is
+// injected, never read from the wall.
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"lemonade/internal/metrics"
+	"lemonade/internal/registry"
+)
+
+// State is the circuit breaker's position. The numeric values are the
+// wire contract for the lemonaded_breaker_state gauge.
+type State int
+
+const (
+	StateClosed   State = 0 // store trusted, traffic flows
+	StateHalfOpen State = 1 // cooldown elapsed, one probe in flight
+	StateOpen     State = 2 // store bypassed, state changes refused
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// ErrOpen is returned for appends refused because the breaker is open.
+// The server maps it to 503 + Retry-After; no wearout is consumed and no
+// key bytes are revealed — the same fail-closed direction as a real
+// store failure, minus the latency of touching a dead disk.
+var ErrOpen = errors.New("resilience: circuit breaker open, durable store bypassed")
+
+// BreakerConfig parameterizes NewBreaker.
+type BreakerConfig struct {
+	// Store is the wrapped registry.Store (required).
+	Store registry.Store
+	// FailureThreshold is how many consecutive append failures open the
+	// breaker. Default 5.
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe. Default 5s.
+	Cooldown time.Duration
+	// NowNanos supplies the clock (determinism contract: the package
+	// never reads the wall clock). Nil pins time at zero, so an opened
+	// breaker never re-probes — always inject a real clock in the daemon.
+	NowNanos func() int64
+	// Metrics receives lemonaded_breaker_state / lemonaded_degraded_mode
+	// / lemonaded_breaker_opens_total; nil uses a private registry.
+	Metrics *metrics.Registry
+}
+
+// Breaker is a circuit breaker implementing registry.Store. Closed, it
+// forwards appends and counts consecutive failures; at the threshold it
+// opens and refuses appends with ErrOpen until Cooldown elapses; then a
+// single half-open probe is let through — success re-closes, failure
+// re-opens. Safe for concurrent use.
+type Breaker struct {
+	inner     registry.Store
+	threshold int
+	cooldown  int64
+	now       func() int64
+
+	mu       sync.Mutex
+	state    State
+	fails    int // consecutive failures while closed
+	openedAt int64
+	probing  bool
+
+	gState    *metrics.Gauge
+	gDegraded *metrics.Gauge
+	mOpens    *metrics.Counter
+}
+
+// NewBreaker wraps cfg.Store in a circuit breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	threshold := cfg.FailureThreshold
+	if threshold <= 0 {
+		threshold = 5
+	}
+	cooldown := cfg.Cooldown
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	now := cfg.NowNanos
+	if now == nil {
+		now = func() int64 { return 0 }
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = metrics.NewRegistry()
+	}
+	return &Breaker{
+		inner:     cfg.Store,
+		threshold: threshold,
+		cooldown:  int64(cooldown),
+		now:       now,
+		gState:    m.Gauge("lemonaded_breaker_state", "", "circuit breaker position (0=closed, 1=half-open, 2=open)"),
+		gDegraded: m.Gauge("lemonaded_degraded_mode", "", "1 while the daemon is degraded read-only (breaker open)"),
+		mOpens:    m.Counter("lemonaded_breaker_opens_total", "", "times the circuit breaker opened"),
+	}
+}
+
+// AppendProvision implements registry.Store.
+func (b *Breaker) AppendProvision(rec registry.ProvisionRecord) (func(), error) {
+	return b.through(func() (func(), error) { return b.inner.AppendProvision(rec) })
+}
+
+// AppendAccess implements registry.Store.
+func (b *Breaker) AppendAccess(rec registry.AccessRecord) (func(), error) {
+	return b.through(func() (func(), error) { return b.inner.AppendAccess(rec) })
+}
+
+func (b *Breaker) through(op func() (func(), error)) (func(), error) {
+	probe, err := b.admit()
+	if err != nil {
+		return nil, err
+	}
+	done, err := op()
+	b.settle(probe, err)
+	return done, err
+}
+
+// admit decides whether an append may reach the store. It returns probe
+// = true when this call is the half-open probe; exactly one is in flight
+// at a time.
+func (b *Breaker) admit() (probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen {
+		if b.now()-b.openedAt < b.cooldown {
+			return false, ErrOpen
+		}
+		b.setState(StateHalfOpen)
+	}
+	if b.state == StateHalfOpen {
+		if b.probing {
+			return false, ErrOpen
+		}
+		b.probing = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// settle records the append's outcome and moves the state machine.
+func (b *Breaker) settle(probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
+	if err == nil {
+		b.fails = 0
+		if b.state != StateClosed {
+			b.setState(StateClosed)
+		}
+		return
+	}
+	switch b.state {
+	case StateHalfOpen:
+		// The probe hit a still-sick store: back to open, restart cooldown.
+		b.trip()
+	case StateClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker; caller holds b.mu.
+func (b *Breaker) trip() {
+	b.setState(StateOpen)
+	b.openedAt = b.now()
+	b.fails = 0
+	b.mOpens.Inc()
+}
+
+// setState moves the machine and keeps the gauges truthful; caller holds
+// b.mu.
+func (b *Breaker) setState(s State) {
+	b.state = s
+	b.gState.Set(int64(s))
+	if s == StateOpen {
+		b.gDegraded.Set(1)
+	} else {
+		b.gDegraded.Set(0)
+	}
+}
+
+// State reports the effective position: an open breaker whose cooldown
+// has elapsed reads as half-open (the next append will be the probe).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && b.now()-b.openedAt >= b.cooldown {
+		return StateHalfOpen
+	}
+	return b.state
+}
+
+// Degraded reports whether state-changing requests should be refused
+// without touching the store, and how many whole seconds a client should
+// wait before retrying (≥ 1 while degraded). Once the cooldown elapses
+// it reports false so the next request becomes the half-open probe.
+func (b *Breaker) Degraded() (retryAfterSeconds int, degraded bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != StateOpen {
+		return 0, false
+	}
+	remaining := b.cooldown - (b.now() - b.openedAt)
+	if remaining <= 0 {
+		return 0, false
+	}
+	secs := int((remaining + int64(time.Second) - 1) / int64(time.Second))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs, true
+}

@@ -1,0 +1,234 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lemonade/internal/metrics"
+	"lemonade/internal/registry"
+)
+
+// flakyStore is a registry.Store whose failure is a switch.
+type flakyStore struct {
+	failing atomic.Bool
+	calls   atomic.Int64
+}
+
+var errDisk = errors.New("disk on fire")
+
+func (f *flakyStore) append() (func(), error) {
+	f.calls.Add(1)
+	if f.failing.Load() {
+		return nil, errDisk
+	}
+	return func() {}, nil
+}
+
+func (f *flakyStore) AppendProvision(registry.ProvisionRecord) (func(), error) { return f.append() }
+func (f *flakyStore) AppendAccess(registry.AccessRecord) (func(), error)       { return f.append() }
+
+// harness builds a breaker over a flaky store with an injected clock.
+func harness(t *testing.T, threshold int, cooldown time.Duration) (*Breaker, *flakyStore, *int64, *metrics.Registry) {
+	t.Helper()
+	var now int64
+	st := &flakyStore{}
+	m := metrics.NewRegistry()
+	b := NewBreaker(BreakerConfig{
+		Store:            st,
+		FailureThreshold: threshold,
+		Cooldown:         cooldown,
+		NowNanos:         func() int64 { return atomic.LoadInt64(&now) },
+		Metrics:          m,
+	})
+	return b, st, &now, m
+}
+
+func access(b *Breaker) error {
+	done, err := b.AppendAccess(registry.AccessRecord{ID: "arch-000001"})
+	if err == nil {
+		done()
+	}
+	return err
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	b, st, _, _ := harness(t, 3, time.Second)
+	st.failing.Store(true)
+
+	for i := 0; i < 3; i++ {
+		if err := access(b); !errors.Is(err, errDisk) {
+			t.Fatalf("failure %d: got %v, want store error passed through", i, err)
+		}
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+
+	// Open: refused without touching the store.
+	before := st.calls.Load()
+	if err := access(b); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker returned %v, want ErrOpen", err)
+	}
+	if st.calls.Load() != before {
+		t.Fatal("open breaker still touched the store")
+	}
+	if secs, degraded := b.Degraded(); !degraded || secs < 1 {
+		t.Fatalf("Degraded() = (%d, %v), want degraded with Retry-After >= 1", secs, degraded)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b, st, _, _ := harness(t, 3, time.Second)
+	for i := 0; i < 10; i++ {
+		st.failing.Store(true)
+		_ = access(b)
+		_ = access(b) // two failures, below threshold
+		st.failing.Store(false)
+		if err := access(b); err != nil {
+			t.Fatalf("round %d: success after reset failed: %v", i, err)
+		}
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("interleaved failures opened the breaker: state %v", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecloses(t *testing.T) {
+	b, st, now, _ := harness(t, 2, time.Second)
+	st.failing.Store(true)
+	_ = access(b)
+	_ = access(b)
+	if b.State() != StateOpen {
+		t.Fatal("breaker did not open")
+	}
+
+	// Cooldown elapses: state reads half-open, Degraded lifts, and the
+	// next append probes the (healed) store.
+	atomic.AddInt64(now, int64(time.Second))
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	if _, degraded := b.Degraded(); degraded {
+		t.Fatal("still degraded after cooldown elapsed")
+	}
+	st.failing.Store(false)
+	if err := access(b); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	// Fully healed: a single failure does not re-open.
+	st.failing.Store(true)
+	_ = access(b)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("one failure after heal re-opened: state %v", got)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, st, now, _ := harness(t, 2, time.Second)
+	st.failing.Store(true)
+	_ = access(b)
+	_ = access(b)
+
+	atomic.AddInt64(now, int64(time.Second))
+	if err := access(b); !errors.Is(err, errDisk) {
+		t.Fatalf("probe error = %v, want store error", err)
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open (cooldown restarted)", got)
+	}
+	// The restarted cooldown gates the next probe.
+	calls := st.calls.Load()
+	if err := access(b); !errors.Is(err, ErrOpen) {
+		t.Fatalf("got %v, want ErrOpen during restarted cooldown", err)
+	}
+	if st.calls.Load() != calls {
+		t.Fatal("store touched during restarted cooldown")
+	}
+}
+
+func TestBreakerGauges(t *testing.T) {
+	b, st, now, m := harness(t, 1, time.Second)
+
+	var buf strings.Builder
+	mustContain := func(want string) {
+		t.Helper()
+		buf.Reset()
+		if err := m.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	st.failing.Store(true)
+	_ = access(b)
+	mustContain("lemonaded_breaker_state 2")
+	mustContain("lemonaded_degraded_mode 1")
+	mustContain("lemonaded_breaker_opens_total 1")
+
+	atomic.AddInt64(now, int64(time.Second))
+	st.failing.Store(false)
+	if err := access(b); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	mustContain("lemonaded_breaker_state 0")
+	mustContain("lemonaded_degraded_mode 0")
+}
+
+func TestShedderShedsWhenFull(t *testing.T) {
+	m := metrics.NewRegistry()
+	s := NewShedder(ShedderConfig{MaxConcurrent: 1, MaxQueue: -1, Metrics: m})
+
+	rel, err := s.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Slot held and no queue: the next arrival is shed immediately.
+	if _, err := s.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("got %v, want ErrShed", err)
+	}
+	rel()
+	rel2, err := s.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	rel2()
+
+	var buf strings.Builder
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lemonaded_shed_total 1") {
+		t.Fatalf("shed counter wrong:\n%s", buf.String())
+	}
+}
+
+func TestShedderQueueHonorsContext(t *testing.T) {
+	s := NewShedder(ShedderConfig{MaxConcurrent: 1, MaxQueue: 1})
+	rel, err := s.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire with dead ctx = %v, want context.Canceled", err)
+	}
+	// The queue slot was returned: a live waiter can still join it.
+	select {
+	case s.queue <- struct{}{}:
+		<-s.queue
+	default:
+		t.Fatal("queue slot leaked by cancelled waiter")
+	}
+}

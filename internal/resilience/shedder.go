@@ -1,0 +1,89 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+
+	"lemonade/internal/metrics"
+)
+
+// ErrShed is returned when the access queue is full: the request never
+// ran, so retrying after backoff is always safe.
+var ErrShed = errors.New("resilience: access queue full, request shed")
+
+// ShedderConfig parameterizes NewShedder.
+type ShedderConfig struct {
+	// MaxConcurrent is how many acquisitions may hold slots at once.
+	// Default 64.
+	MaxConcurrent int
+	// MaxQueue bounds how many acquisitions may wait for a slot before
+	// new arrivals are shed. 0 means the default (256); negative means
+	// no queue at all — when the slots are full, shed immediately.
+	MaxQueue int
+	// Metrics receives lemonaded_shed_total; nil uses a private registry.
+	Metrics *metrics.Registry
+}
+
+// Shedder is a bounded-concurrency admission gate for the access path.
+// Rather than letting a slow store stack up unbounded goroutines (each
+// pinning a connection and a request body), at most MaxConcurrent
+// requests run, at most MaxQueue wait, and the rest are shed with a 503
+// the moment they arrive — fast failure the client can retry against.
+type Shedder struct {
+	slots chan struct{}
+	queue chan struct{}
+	mShed *metrics.Counter
+}
+
+// NewShedder builds a Shedder.
+func NewShedder(cfg ShedderConfig) *Shedder {
+	maxc := cfg.MaxConcurrent
+	if maxc <= 0 {
+		maxc = 64
+	}
+	maxq := cfg.MaxQueue
+	if maxq == 0 {
+		maxq = 256
+	}
+	if maxq < 0 {
+		maxq = 0
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = metrics.NewRegistry()
+	}
+	return &Shedder{
+		slots: make(chan struct{}, maxc),
+		queue: make(chan struct{}, maxq),
+		mShed: m.Counter("lemonaded_shed_total", "", "access requests shed (queue full or deadline hit while queued)"),
+	}
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue if none
+// is free. It returns a release function that must be called exactly
+// once, or an error — ErrShed when the queue is full, or ctx.Err() when
+// the caller's deadline expires while queued (also counted as shed: the
+// request did no work).
+func (s *Shedder) Acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case s.slots <- struct{}{}:
+		return s.release, nil
+	default:
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.mShed.Inc()
+		return nil, ErrShed
+	}
+	defer func() { <-s.queue }()
+	select {
+	case s.slots <- struct{}{}:
+		return s.release, nil
+	case <-ctx.Done():
+		s.mShed.Inc()
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Shedder) release() { <-s.slots }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -13,6 +14,26 @@ import (
 	"lemonade/internal/nems"
 	"lemonade/internal/rng"
 )
+
+// refuseDegraded answers 503 + Retry-After when the breaker has the
+// daemon in degraded read-only mode. State-changing routes call it
+// first, so a sick store costs one mutex peek instead of a doomed append
+// per request; reads never call it.
+func (s *Server) refuseDegraded(w http.ResponseWriter) bool {
+	if s.breaker == nil {
+		return false
+	}
+	secs, degraded := s.breaker.Degraded()
+	if !degraded {
+		return false
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+		Error: "degraded mode: durable store unavailable, state changes refused (reads still served)",
+		Retry: true,
+	})
+	return true
+}
 
 // maxSecretBytes bounds the protected secret; the paper's use cases carry
 // 128–256-bit keys, so 4 KiB is already generous.
@@ -32,6 +53,9 @@ const (
 // with 500 — an architecture the log does not know about would resurrect
 // with a fresh budget after a restart.
 func (s *Server) handleProvision(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDegraded(w) {
+		return
+	}
 	var req ProvisionRequest
 	if err := decodeJSON(r, &req, false); err != nil {
 		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
@@ -106,6 +130,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // serialize inside the entry — each one is a distinct physical access,
 // so the sum of successes can never exceed the hardware budget.
 func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDegraded(w) {
+		return
+	}
 	e, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
 		s.writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown architecture"})
@@ -120,7 +147,25 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	if req.TempCelsius != 0 {
 		env = nems.Environment{TempCelsius: req.TempCelsius}
 	}
-	secret, err := e.Access(r.Context(), env)
+	// The resilience envelope: a per-request deadline bounds how long a
+	// slow store can pin this handler, and the shedder bounds how many
+	// handlers a slow store can pin at once. Both refuse before any
+	// wearout is consumed, so shedding is always safe to retry.
+	ctx := r.Context()
+	if s.accessTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.accessTimeout)
+		defer cancel()
+	}
+	if s.shedder != nil {
+		release, err := s.shedder.Acquire(ctx)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		defer release()
+	}
+	secret, err := e.Access(ctx, env)
 	total, okCount := e.Arch.Accesses()
 	switch {
 	case err == nil:

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lemonade/internal/metrics"
+	"lemonade/internal/registry"
+	"lemonade/internal/resilience"
+)
+
+// switchableStore is a registry.Store that fails on demand — the "disk"
+// the breaker test turns off and on. No sleeps anywhere: time is the
+// injected clock below.
+type switchableStore struct {
+	failing atomic.Bool
+	calls   atomic.Int64
+}
+
+var errStoreDown = errors.New("store down")
+
+func (f *switchableStore) append() (func(), error) {
+	f.calls.Add(1)
+	if f.failing.Load() {
+		return nil, errStoreDown
+	}
+	return func() {}, nil
+}
+
+func (f *switchableStore) AppendProvision(registry.ProvisionRecord) (func(), error) {
+	return f.append()
+}
+func (f *switchableStore) AppendAccess(registry.AccessRecord) (func(), error) { return f.append() }
+
+// degradedHarness is a full HTTP server whose registry writes through a
+// breaker over a switchable store, with an injected clock shared by the
+// server and the breaker.
+type degradedHarness struct {
+	ts      *httptest.Server
+	store   *switchableStore
+	breaker *resilience.Breaker
+	clock   *atomic.Int64
+}
+
+func newDegradedHarness(t *testing.T, threshold int, cooldown time.Duration) *degradedHarness {
+	t.Helper()
+	var clock atomic.Int64
+	st := &switchableStore{}
+	m := metrics.NewRegistry()
+	br := resilience.NewBreaker(resilience.BreakerConfig{
+		Store:            st,
+		FailureThreshold: threshold,
+		Cooldown:         cooldown,
+		NowNanos:         clock.Load,
+		Metrics:          m,
+	})
+	reg := registry.NewWithStore(4, br)
+	s := New(Config{
+		Registry: reg,
+		Metrics:  m,
+		NowNanos: func() int64 { return clock.Add(1_000_000) },
+		Breaker:  br,
+		Shedder:  resilience.NewShedder(resilience.ShedderConfig{Metrics: m}),
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return &degradedHarness{ts: ts, store: st, breaker: br, clock: &clock}
+}
+
+// TestBreakerDegradedModeThroughHTTP drives the full degradation arc at
+// the HTTP layer: sustained store failure → 500s → breaker opens → fast
+// 503 + Retry-After with reads (status/list/events/metrics/healthz)
+// still served → cooldown elapses on the injected clock → half-open
+// probe against the healed store → full service restored.
+func TestBreakerDegradedModeThroughHTTP(t *testing.T) {
+	const threshold = 3
+	h := newDegradedHarness(t, threshold, time.Minute)
+	pr := provisionGolden(t, h.ts.URL, 42)
+	accessURL := h.ts.URL + "/v1/architectures/" + pr.ID + "/access"
+
+	// Sustained store failure: each append fails closed (500, ErrStore)
+	// until the threshold trips the breaker.
+	h.store.failing.Store(true)
+	for i := 0; i < threshold; i++ {
+		resp, body := postJSON(t, accessURL, nil)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("failure %d: status %d (%s), want 500", i, resp.StatusCode, body)
+		}
+	}
+	if got := h.breaker.State(); got != resilience.StateOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+
+	// Open: access and provision are refused fast, without touching the
+	// store, and with a Retry-After hint.
+	calls := h.store.calls.Load()
+	resp, body := postJSON(t, accessURL, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded access: status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("degraded access: Retry-After = %q, want a positive hint", ra)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || !er.Retry {
+		t.Fatalf("degraded access body not retryable: %s (err %v)", body, err)
+	}
+	resp, _ = postJSON(t, h.ts.URL+"/v1/architectures", ProvisionRequest{
+		Spec: goldenSpec, SecretHex: goldenSecretHex, Seed: 43,
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded provision: status %d, want 503", resp.StatusCode)
+	}
+	if h.store.calls.Load() != calls {
+		t.Fatal("degraded mode still touched the store")
+	}
+
+	// Degraded READ-ONLY: every read keeps serving.
+	for _, path := range []string{
+		"/v1/architectures/" + pr.ID,
+		"/v1/architectures",
+		"/v1/architectures/" + pr.ID + "/events",
+		"/metrics",
+	} {
+		if resp, body := getJSON(t, h.ts.URL+path); resp.StatusCode != http.StatusOK {
+			t.Fatalf("degraded read %s: status %d (%s), want 200", path, resp.StatusCode, body)
+		}
+	}
+	resp, body = getJSON(t, h.ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || string(body) != "degraded\n" {
+		t.Fatalf("healthz while degraded = %d %q, want 200 \"degraded\"", resp.StatusCode, body)
+	}
+	resp, body = getJSON(t, h.ts.URL+"/metrics")
+	for _, want := range []string{"lemonaded_breaker_state 2", "lemonaded_degraded_mode 1"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics while degraded missing %q", want)
+		}
+	}
+	_ = resp
+
+	// Cooldown elapses on the injected clock; the store has healed. The
+	// next access is the half-open probe and succeeds for real.
+	h.clock.Add(int64(time.Minute))
+	h.store.failing.Store(false)
+	resp, body = postJSON(t, accessURL, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cooldown probe: status %d (%s), want 200", resp.StatusCode, body)
+	}
+	if got := h.breaker.State(); got != resilience.StateClosed {
+		t.Fatalf("breaker state after probe = %v, want closed", got)
+	}
+	resp, body = getJSON(t, h.ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz after recovery = %d %q, want 200 \"ok\"", resp.StatusCode, body)
+	}
+}
+
+// TestBreakerFailedProbeRestartsCooldownThroughHTTP pins the other arc:
+// the store is still sick when the probe goes through, so the breaker
+// re-opens and subsequent requests are refused without touching it.
+func TestBreakerFailedProbeRestartsCooldownThroughHTTP(t *testing.T) {
+	h := newDegradedHarness(t, 2, time.Minute)
+	pr := provisionGolden(t, h.ts.URL, 42)
+	accessURL := h.ts.URL + "/v1/architectures/" + pr.ID + "/access"
+
+	h.store.failing.Store(true)
+	for i := 0; i < 2; i++ {
+		postDiscard(t, accessURL)
+	}
+	h.clock.Add(int64(time.Minute))
+	// Probe runs, store still down → 500, breaker re-opens.
+	resp, _ := postJSON(t, accessURL, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("probe against sick store: status %d, want 500", resp.StatusCode)
+	}
+	calls := h.store.calls.Load()
+	resp, _ = postJSON(t, accessURL, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("after failed probe: status %d, want 503", resp.StatusCode)
+	}
+	if h.store.calls.Load() != calls {
+		t.Fatal("store touched during restarted cooldown")
+	}
+}
+
+func postDiscard(t *testing.T, url string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// TestAccessShedsUnderOverload pins the shedder's HTTP mapping: with a
+// single slot held and no queue, the next access is shed with 503 +
+// Retry-After, and the shed counter shows up in /metrics.
+func TestAccessShedsUnderOverload(t *testing.T) {
+	var ticks atomic.Int64
+	m := metrics.NewRegistry()
+	shed := resilience.NewShedder(resilience.ShedderConfig{MaxConcurrent: 1, MaxQueue: -1, Metrics: m})
+	s := New(Config{Metrics: m, NowNanos: func() int64 { return ticks.Add(1_000_000) }, Shedder: shed})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	pr := provisionGolden(t, ts.URL, 42)
+
+	// Occupy the only slot from outside a request; the next access must
+	// be shed without consuming wearout.
+	release, err := shed.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/access", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded access: status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	release()
+
+	// With the slot free the same request succeeds — nothing was consumed
+	// by the shed attempt.
+	resp, body = postJSON(t, ts.URL+"/v1/architectures/"+pr.ID+"/access", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-shed access: status %d (%s), want 200", resp.StatusCode, body)
+	}
+	var ar AccessResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (shed request must not consume wearout)", ar.Attempts)
+	}
+
+	_, metricsBody := getJSON(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metricsBody), "lemonaded_shed_total 1") {
+		t.Fatalf("metrics missing shed counter:\n%s", metricsBody)
+	}
+}

@@ -31,11 +31,13 @@ package server
 import (
 	"net/http"
 	"strconv"
+	"time"
 
 	"lemonade/internal/cache"
 	"lemonade/internal/dse"
 	"lemonade/internal/metrics"
 	"lemonade/internal/registry"
+	"lemonade/internal/resilience"
 )
 
 // Config parameterizes a Server. The zero value is usable: default
@@ -63,6 +65,20 @@ type Config struct {
 	NowNanos func() int64
 	// MaxBodyBytes caps request bodies (0 → 1 MiB).
 	MaxBodyBytes int64
+	// Breaker, when non-nil, is the circuit breaker wrapped around the
+	// registry's durable store. The server consults it to refuse
+	// state-changing requests fast while the store is sick (degraded
+	// read-only mode: 503 + Retry-After) and to report "degraded" from
+	// /healthz. The daemon builds it; nil means no degraded mode.
+	Breaker *resilience.Breaker
+	// Shedder, when non-nil, bounds concurrent access traffic; excess
+	// requests are shed with 503 + Retry-After instead of queueing
+	// without limit. Nil means no shedding.
+	Shedder *resilience.Shedder
+	// AccessTimeout, when > 0, is the per-request deadline applied to the
+	// access path (queue wait included) so a slow store bounds latency
+	// instead of pinning handlers forever.
+	AccessTimeout time.Duration
 }
 
 // Server is the lemonaded HTTP service. Create with New; it is an
@@ -74,6 +90,10 @@ type Server struct {
 	now     func() int64
 	maxBody int64
 	mux     *http.ServeMux
+
+	breaker       *resilience.Breaker
+	shedder       *resilience.Shedder
+	accessTimeout time.Duration
 
 	// Access outcomes, by terminal classification of one hardware access.
 	mAccessSuccess *metrics.Counter
@@ -124,6 +144,10 @@ func New(cfg Config) *Server {
 		now:     now,
 		maxBody: cfg.MaxBodyBytes,
 
+		breaker:       cfg.Breaker,
+		shedder:       cfg.Shedder,
+		accessTimeout: cfg.AccessTimeout,
+
 		mAccessSuccess:  m.Counter("lemonaded_accesses_total", `outcome="success"`, "hardware accesses by outcome"),
 		mAccessTrans:    m.Counter("lemonaded_accesses_total", `outcome="transient"`, "hardware accesses by outcome"),
 		mAccessExh:      m.Counter("lemonaded_accesses_total", `outcome="exhausted"`, "hardware accesses by outcome"),
@@ -146,8 +170,15 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/dse/explore", "explore", s.handleExplore)
 	s.route("POST /v1/dse/frontier", "frontier", s.handleFrontier)
 	s.mux.Handle("GET /metrics", m)
+	// healthz reports "degraded" with 200 while the breaker is open —
+	// the process is alive and serving reads, and an orchestrator that
+	// kills it for a sick disk would only lose the in-memory fleet.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.breaker != nil && s.breaker.State() != resilience.StateClosed {
+			_, _ = w.Write([]byte("degraded\n"))
+			return
+		}
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	return s

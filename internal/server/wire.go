@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"lemonade/api"
 	"lemonade/internal/core"
 	"lemonade/internal/dse"
 	"lemonade/internal/registry"
 	"lemonade/internal/reliability"
+	"lemonade/internal/resilience"
 	"lemonade/internal/weibull"
 )
 
@@ -118,6 +120,8 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 //	core.ErrExhausted   → 410 Gone — the budget is spent, forever
 //	core.ErrDecodeFailed→ 422 — conducted but unreconstructable
 //	dse.ErrInfeasible   → 409 — spec conflicts with device physics
+//	resilience.ErrOpen  → 503 + Retry-After — breaker open, degraded mode
+//	resilience.ErrShed  → 503 + Retry-After — access queue full, shed
 //	registry.ErrStore   → 500 — durability failed, access refused closed
 //	core.ErrTransient   → 503 + retry — next copy takes over
 //	context cancelled   → 499-style client-closed-request (as 503)
@@ -134,6 +138,15 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		s.writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
 	case errors.Is(err, dse.ErrInfeasible):
 		s.writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+	// The resilience refusals come before ErrStore: an append the breaker
+	// refused wraps both sentinels, and it is a fast, retryable 503 — not
+	// a store fault (the store was never touched).
+	case errors.Is(err, resilience.ErrOpen):
+		w.Header().Set("Retry-After", strconv.Itoa(s.breakerRetryAfter()))
+		s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Retry: true})
+	case errors.Is(err, resilience.ErrShed):
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Retry: true})
 	case errors.Is(err, registry.ErrStore):
 		s.mStoreFailures.Inc()
 		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
@@ -145,6 +158,17 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	default:
 		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 	}
+}
+
+// breakerRetryAfter picks the Retry-After for a breaker-refused request:
+// the breaker's remaining cooldown, or 1s when it is already probing.
+func (s *Server) breakerRetryAfter() int {
+	if s.breaker != nil {
+		if secs, degraded := s.breaker.Degraded(); degraded {
+			return secs
+		}
+	}
+	return 1
 }
 
 // decodeJSON decodes a request body into v. An empty body decodes the

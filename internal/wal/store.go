@@ -13,6 +13,7 @@ import (
 
 	"lemonade/internal/core"
 	"lemonade/internal/dse"
+	"lemonade/internal/fault"
 	"lemonade/internal/metrics"
 	"lemonade/internal/nems"
 	"lemonade/internal/registry"
@@ -33,6 +34,10 @@ type Config struct {
 	// SnapshotThreshold, when > 0, signals SnapshotNeeded once that many
 	// records accumulate since the last snapshot.
 	SnapshotThreshold int
+	// FS is the filesystem the store performs durability through. Nil
+	// uses the real one (fault.OS); tests and chaos runs supply a
+	// fault.Injector.
+	FS fault.FS
 }
 
 // record is the JSON payload of one WAL frame.
@@ -79,6 +84,7 @@ type RecoveryStats struct {
 // use.
 type DiskStore struct {
 	dir       string
+	fs        fault.FS
 	now       func() int64
 	threshold int
 
@@ -91,7 +97,7 @@ type DiskStore struct {
 	barrier sync.RWMutex
 
 	mu        sync.Mutex // guards the fields below
-	cur       *os.File
+	cur       fault.File
 	curSeq    uint64
 	curOff    int64
 	recsSince int
@@ -119,7 +125,11 @@ func Open(cfg Config) (*DiskStore, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("wal: empty data directory")
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
+	if err := fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: creating data dir: %w", err)
 	}
 	now := cfg.NowNanos
@@ -132,6 +142,7 @@ func Open(cfg Config) (*DiskStore, error) {
 	}
 	s := &DiskStore{
 		dir:       cfg.Dir,
+		fs:        fsys,
 		now:       now,
 		threshold: cfg.SnapshotThreshold,
 		snapCh:    make(chan struct{}, 1),
@@ -293,14 +304,14 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 // present in dir, each ascending, removing leftover temp files from an
 // interrupted snapshot write as it goes.
 func (s *DiskStore) scanDir() (segs, snaps []uint64, err error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, ent := range entries {
 		name := ent.Name()
 		if strings.HasSuffix(name, ".tmp") {
-			_ = os.Remove(filepath.Join(s.dir, name))
+			_ = s.fs.Remove(filepath.Join(s.dir, name))
 			continue
 		}
 		if n, ok := parseSeq(name, segPrefix, segSuffix); ok {
@@ -316,7 +327,7 @@ func (s *DiskStore) scanDir() (segs, snaps []uint64, err error) {
 
 // syncDir fsyncs the data directory so creates and renames are durable.
 func (s *DiskStore) syncDir() error {
-	d, err := os.Open(s.dir)
+	d, err := s.fs.Open(s.dir)
 	if err != nil {
 		return err
 	}
@@ -407,12 +418,12 @@ func (s *DiskStore) Recover(reg *registry.Registry) (RecoveryStats, error) {
 	// snapshot and deleting what it covers leaves them behind).
 	for _, seq := range segs {
 		if seq < replayFrom {
-			_ = os.Remove(filepath.Join(s.dir, segName(seq)))
+			_ = s.fs.Remove(filepath.Join(s.dir, segName(seq)))
 		}
 	}
 	for _, epoch := range snaps {
 		if epoch < replayFrom {
-			_ = os.Remove(filepath.Join(s.dir, snapName(epoch)))
+			_ = s.fs.Remove(filepath.Join(s.dir, snapName(epoch)))
 		}
 	}
 
@@ -421,7 +432,7 @@ func (s *DiskStore) Recover(reg *registry.Registry) (RecoveryStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(replay) == 0 {
-		f, err := os.OpenFile(filepath.Join(s.dir, segName(replayFrom)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := s.fs.OpenFile(filepath.Join(s.dir, segName(replayFrom)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return stats, fmt.Errorf("wal: creating segment: %w", err)
 		}
@@ -432,7 +443,7 @@ func (s *DiskStore) Recover(reg *registry.Registry) (RecoveryStats, error) {
 		s.cur, s.curSeq, s.curOff = f, replayFrom, 0
 	} else {
 		last := replay[len(replay)-1]
-		f, err := os.OpenFile(filepath.Join(s.dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := s.fs.OpenFile(filepath.Join(s.dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return stats, fmt.Errorf("wal: opening current segment: %w", err)
 		}
@@ -451,7 +462,7 @@ func (s *DiskStore) Recover(reg *registry.Registry) (RecoveryStats, error) {
 
 func (s *DiskStore) loadSnapshot(epoch uint64) (*snapshotFile, error) {
 	name := snapName(epoch)
-	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, name))
 	if err != nil {
 		return nil, fmt.Errorf("wal: reading snapshot: %w", err)
 	}
@@ -512,7 +523,7 @@ func restoreSnapshot(reg *registry.Registry, snap *snapshotFile) error {
 func (s *DiskStore) replaySegment(reg *registry.Registry, seq uint64, isLast bool, stats *RecoveryStats) (int64, error) {
 	name := segName(seq)
 	path := filepath.Join(s.dir, name)
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		return 0, fmt.Errorf("wal: reading segment: %w", err)
 	}
@@ -532,10 +543,10 @@ func (s *DiskStore) replaySegment(reg *registry.Registry, seq uint64, isLast boo
 		return 0, &CorruptionError{File: name, Record: rec, Offset: good,
 			Reason: fmt.Sprintf("sealed segment has a %d-byte torn tail", torn)}
 	}
-	if err := os.Truncate(path, good); err != nil {
+	if err := s.fs.Truncate(path, good); err != nil {
 		return 0, fmt.Errorf("wal: truncating torn tail of %s: %w", name, err)
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	f, err := s.fs.OpenFile(path, os.O_WRONLY, 0o644)
 	if err == nil {
 		err = f.Sync()
 		if cerr := f.Close(); err == nil {
@@ -623,7 +634,7 @@ func (s *DiskStore) Snapshot(reg *registry.Registry) error {
 	}
 
 	newSeq := s.curSeq + 1
-	f, err := os.OpenFile(filepath.Join(s.dir, segName(newSeq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.fs.OpenFile(filepath.Join(s.dir, segName(newSeq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		s.mu.Unlock()
 		s.barrier.Unlock()
@@ -671,12 +682,12 @@ func (s *DiskStore) Snapshot(reg *registry.Registry) error {
 	}
 	for _, seq := range segs {
 		if seq < newSeq {
-			_ = os.Remove(filepath.Join(s.dir, segName(seq)))
+			_ = s.fs.Remove(filepath.Join(s.dir, segName(seq)))
 		}
 	}
 	for _, epoch := range snaps {
 		if epoch < newSeq {
-			_ = os.Remove(filepath.Join(s.dir, snapName(epoch)))
+			_ = s.fs.Remove(filepath.Join(s.dir, snapName(epoch)))
 		}
 	}
 	return nil
@@ -701,7 +712,7 @@ func (s *DiskStore) writeSnapshotFile(snap *snapshotFile) error {
 	}
 	final := filepath.Join(s.dir, snapName(snap.Epoch))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: creating snapshot temp file: %w", err)
 	}
@@ -713,11 +724,11 @@ func (s *DiskStore) writeSnapshotFile(snap *snapshotFile) error {
 		err = cerr
 	}
 	if err != nil {
-		_ = os.Remove(tmp)
+		_ = s.fs.Remove(tmp)
 		return fmt.Errorf("wal: writing snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		_ = os.Remove(tmp)
+	if err := s.fs.Rename(tmp, final); err != nil {
+		_ = s.fs.Remove(tmp)
 		return fmt.Errorf("wal: publishing snapshot: %w", err)
 	}
 	if err := s.syncDir(); err != nil {

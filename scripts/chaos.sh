@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# chaos.sh — live-daemon chaos test of the fail-closed wearout guarantee.
+#
+# For each fixed fault seed the script runs three phases against one data
+# directory:
+#
+#   1. CHAOS  — lemonaded serves with -chaos injecting deterministic
+#      storage faults (failed fsyncs, torn writes, ENOSPC, slow ops).
+#      Clients hammer the access path and tolerate 500/503; the daemon is
+#      then killed dead mid-flight.
+#   2. RECOVER — a clean daemon (no chaos) restarts on the battered
+#      directory, must log a successful recovery, and is driven to
+#      lockout. The combined successful accesses across BOTH phases must
+#      not exceed the architecture's max_allowed_accesses: faults and
+#      crashes may waste budget, never mint it.
+#   3. REPLAY — the daemon is killed and restarted once more; the
+#      architecture's status must come back byte-identical and the
+#      lockout must still hold (once dead, always dead).
+#
+# Run from the repo root; CI runs this exact script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/lemonaded" ./cmd/lemonaded
+
+# start_daemon [extra flags...] — boot on the seed's data dir.
+start_daemon() {
+    rm -f "$workdir/addr"
+    # Tiny snapshot threshold: rotation and snapshot writes happen during
+    # the run, so faults land on those paths too. Short breaker cooldown
+    # keeps the daemon probing its way back out of degraded mode.
+    "$workdir/lemonaded" serve -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+        -data-dir "$workdir/data-$seed" -snapshot-records 8 \
+        -breaker-threshold 3 -breaker-cooldown 200ms \
+        "$@" >>"$workdir/log-$seed" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 50); do
+        [ -s "$workdir/addr" ] && break
+        sleep 0.1
+    done
+    [ -s "$workdir/addr" ] || { echo "chaos: daemon never bound"; tail "$workdir/log-$seed"; exit 1; }
+    base="http://$(cat "$workdir/addr")"
+}
+
+# access_n N — up to N accesses; echo "<successes> <locked>". Under
+# chaos, 500 (store fault) and 503 (transient/degraded/shed) are the
+# weather; 410 is lockout and stops early.
+access_n() {
+    local ok=0 locked=0 i code
+    for i in $(seq 1 "$1"); do
+        code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+            "$base/v1/architectures/$id/access")
+        case "$code" in
+            200) ok=$((ok + 1)) ;;
+            500 | 503) ;;
+            410) locked=1; break ;;
+            *) echo "chaos: unexpected status $code" >&2; exit 1 ;;
+        esac
+    done
+    echo "$ok $locked"
+}
+
+for seed in 1 2 3; do
+    # ---- Phase 1: serve through a faulty disk, then die mid-flight. ----
+    start_daemon -chaos "seed=$seed,density=0.02"
+    echo "chaos: seed $seed phase 1 (chaos) on $base"
+    grep -q 'CHAOS MODE' "$workdir/log-$seed" || {
+        echo "chaos: daemon did not announce chaos mode"; exit 1
+    }
+    # Provisioning itself may hit an injected fault (500/503); retry.
+    id=""
+    for _ in $(seq 1 20); do
+        prov=$(curl -s -X POST "$base/v1/architectures" -d '{
+            "spec": {"alpha": 6, "beta": 8, "lab": 30, "kfrac": 0.1, "continuous_t": true},
+            "secret_hex": "00112233445566778899aabbccddeeff",
+            "seed": 42
+        }')
+        id=$(echo "$prov" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+        [ -n "$id" ] && break
+        sleep 0.2
+    done
+    [ -n "$id" ] || { echo "chaos: provision never succeeded under chaos"; exit 1; }
+    max=$(curl -sf "$base/v1/architectures/$id" |
+        sed -n 's/.*"max_allowed_accesses": \([0-9]*\).*/\1/p')
+    [ -n "$max" ] || { echo "chaos: no max_allowed_accesses in status"; exit 1; }
+    read -r s1 _ <<<"$(access_n 20)"
+    echo "chaos: seed $seed: $s1 successes through the faulty disk, killing daemon"
+    kill -9 "$pid"
+    wait "$pid" 2>/dev/null || true
+
+    # ---- Phase 2: clean restart, recover, drive to lockout. ----
+    start_daemon
+    echo "chaos: seed $seed phase 2 (recovery) on $base"
+    grep -q 'lemonaded: recovered' "$workdir/log-$seed" || {
+        echo "chaos: no recovery log line"; tail "$workdir/log-$seed"; exit 1
+    }
+    read -r s2 locked <<<"$(access_n 200)"
+    [ "$locked" = 1 ] || { echo "chaos: never reached lockout after recovery"; exit 1; }
+    total=$((s1 + s2))
+    if [ "$total" -gt "$max" ]; then
+        echo "chaos: FAIL — seed $seed minted budget: $s1 + $s2 = $total > max_allowed $max"
+        exit 1
+    fi
+    echo "chaos: seed $seed: budget held ($s1 + $s2 = $total <= $max), lockout reached"
+    status1=$(curl -sf "$base/v1/architectures/$id")
+    kill -9 "$pid"
+    wait "$pid" 2>/dev/null || true
+
+    # ---- Phase 3: recovery is bit-identical and lockout is durable. ----
+    start_daemon
+    echo "chaos: seed $seed phase 3 (replay) on $base"
+    status2=$(curl -sf "$base/v1/architectures/$id")
+    if [ "$status1" != "$status2" ]; then
+        echo "chaos: FAIL — seed $seed status diverged across replay:"
+        echo "  before: $status1"
+        echo "  after:  $status2"
+        exit 1
+    fi
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        "$base/v1/architectures/$id/access")
+    [ "$code" = 410 ] || { echo "chaos: lockout not durable (got $code)"; exit 1; }
+    kill -TERM "$pid"
+    wait "$pid" || { echo "chaos: daemon exited nonzero"; exit 1; }
+    echo "chaos: seed $seed PASS"
+done
+echo "chaos: PASS"
