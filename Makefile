@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check lint race bench test build fmt smoke crash chaos
+.PHONY: check lint race bench test build fmt smoke crash chaos bench-json bench-compare fuzz-smoke
 
 ## check: everything CI runs — format, vet, lemonvet, build, tests, race, smoke
 check: lint build test race smoke crash chaos
@@ -34,6 +34,25 @@ smoke:
 ## bench: the repo benchmarks, including the DeriveIndex hot path
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/rng/ ./internal/montecarlo/ .
+
+## bench-json: lemonbench macro suite -> BENCH_<gitsha>.json at the repo root
+bench-json:
+	$(GO) run ./cmd/lemonaded bench -seed 42 \
+		-out BENCH_$$(git rev-parse --short=12 HEAD).json
+
+## bench-compare: gate NEW (default: this checkout's BENCH file) against OLD
+## usage: make bench-compare OLD=BENCH_abc.json [NEW=BENCH_def.json]
+bench-compare:
+	@test -n "$(OLD)" || { echo "usage: make bench-compare OLD=<file> [NEW=<file>]"; exit 2; }
+	$(GO) run ./cmd/lemonaded bench compare "$(OLD)" \
+		"$${NEW:-BENCH_$$(git rev-parse --short=12 HEAD).json}"
+
+## fuzz-smoke: short native-fuzz runs over the WAL frame decoder and the
+## codec (the CI smoke; `go test -fuzz` for a long local session)
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzWALFrameDecode' -fuzztime 30s ./internal/wal/
+	$(GO) test -run '^$$' -fuzz 'FuzzShamirReconstruct' -fuzztime 15s ./internal/shamir/
+	$(GO) test -run '^$$' -fuzz 'FuzzRSDecode' -fuzztime 15s ./internal/rs/
 
 ## crash: crash-recovery test (SIGKILL mid-budget, restart, exact wear)
 crash:

@@ -32,42 +32,49 @@ var sink interface{}
 // --- One benchmark per paper exhibit --------------------------------------------
 
 func BenchmarkFigure1_WeibullModel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.Figure1()
 	}
 }
 
 func BenchmarkFigure3a_ScaledAlpha(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.Figure3a()
 	}
 }
 
 func BenchmarkFigure3b_Parallel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.Figure3b()
 	}
 }
 
 func BenchmarkFigure3c_RedundantEncoding(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.Figure3c()
 	}
 }
 
 func BenchmarkFigure4a_ConnectionNoEncoding(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.Figure4a()
 	}
 }
 
 func BenchmarkFigure4b_ConnectionEncoding(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.Figure4b()
 	}
 }
 
 func BenchmarkFigure4c_RelaxedCriteria(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f, t := figures.Figure4c()
 		sink = []interface{}{f, t}
@@ -75,30 +82,35 @@ func BenchmarkFigure4c_RelaxedCriteria(b *testing.B) {
 }
 
 func BenchmarkFigure4d_StrongerPasscodes(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.Figure4d()
 	}
 }
 
 func BenchmarkTable1_AreaCost(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.Table1()
 	}
 }
 
 func BenchmarkFigure5a_TargetingNoEncoding(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.Figure5a()
 	}
 }
 
 func BenchmarkFigure5b_TargetingEncoding(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.Figure5b()
 	}
 }
 
 func BenchmarkFigure8_OTPSuccessKH(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, a := figures.Figure8()
 		sink = []interface{}{r, a}
@@ -106,6 +118,7 @@ func BenchmarkFigure8_OTPSuccessKH(b *testing.B) {
 }
 
 func BenchmarkFigure9_OTPSuccessAlphaH(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, a := figures.Figure9()
 		sink = []interface{}{r, a}
@@ -113,24 +126,28 @@ func BenchmarkFigure9_OTPSuccessAlphaH(b *testing.B) {
 }
 
 func BenchmarkFigure10_OTPDensity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.Figure10()
 	}
 }
 
 func BenchmarkOTPLatencyEnergy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.OTPLatencyEnergy()
 	}
 }
 
 func BenchmarkConnectionEnergyLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.ConnectionEnergyLatency()
 	}
 }
 
 func BenchmarkAbstract_HeadlineReduction(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.HeadlineReduction()
 	}
@@ -141,6 +158,7 @@ func BenchmarkAbstract_HeadlineReduction(b *testing.B) {
 func BenchmarkWeibullSample(b *testing.B) {
 	d := weibull.MustNew(14, 8)
 	r := rng.New(1)
+	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = d.Sample(r)
@@ -150,6 +168,7 @@ func BenchmarkWeibullSample(b *testing.B) {
 func BenchmarkWeibullFit(b *testing.B) {
 	d := weibull.MustNew(14, 8)
 	times := d.SampleN(rng.New(2), 1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fit, err := weibull.FitLifetimes(times)
@@ -162,6 +181,8 @@ func BenchmarkWeibullFit(b *testing.B) {
 
 func BenchmarkParallelReliability(b *testing.B) {
 	d := weibull.MustNew(14, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sink = structure.ParallelReliability(d, 141, 15, 15)
 	}
@@ -171,6 +192,7 @@ func BenchmarkShamirSplit(b *testing.B) {
 	r := rng.New(3)
 	secret := make([]byte, 32)
 	r.Bytes(secret)
+	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		shares, err := shamir.Split(secret, 15, 141, r)
@@ -208,6 +230,7 @@ func BenchmarkRSEncode(b *testing.B) {
 	data := make([]byte, 16*64)
 	rng.New(5).Bytes(data)
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		shards, err := c.Encode(data)
@@ -256,6 +279,7 @@ func BenchmarkArchitectureAccess(b *testing.B) {
 func BenchmarkOTPFabricateAndRetrieve(b *testing.B) {
 	p := otp.Params{Dist: weibull.MustNew(10, 1), Height: 4, Copies: 32, K: 4}
 	r := rng.New(7)
+	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pad, _, err := otp.Fabricate(p, 3, r)
@@ -277,6 +301,8 @@ func BenchmarkDSEExploreEncoded(b *testing.B) {
 		KFrac:       0.10,
 		ContinuousT: true,
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d, err := dse.Explore(spec)
 		if err != nil {
@@ -289,30 +315,35 @@ func BenchmarkDSEExploreEncoded(b *testing.B) {
 // --- Ablation / extension benches ----------------------------------------------
 
 func BenchmarkAblationContinuousT(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.AblationContinuousT()
 	}
 }
 
 func BenchmarkAblationKFraction(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.AblationKFraction()
 	}
 }
 
 func BenchmarkAblationReplication(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.AblationReplication()
 	}
 }
 
 func BenchmarkAblationSeriesRejection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.SeriesRejection()
 	}
 }
 
 func BenchmarkExtensionFabricationTradeoff(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.FabricationTradeoff()
 	}
@@ -322,6 +353,7 @@ func BenchmarkShamir16WideSplit(b *testing.B) {
 	r := rng.New(8)
 	secret := make([]byte, 32)
 	r.Bytes(secret)
+	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		shares, err := shamir16.Split(secret, 150, 1500, r)
@@ -333,6 +365,7 @@ func BenchmarkShamir16WideSplit(b *testing.B) {
 }
 
 func BenchmarkExtensionInvasiveAttack(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.InvasiveAttack()
 	}
@@ -351,6 +384,7 @@ func BenchmarkBinomTailGE(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sink = mathx.BinomTailGE(c.n, c.k, c.p)
 			}
@@ -359,6 +393,7 @@ func BenchmarkBinomTailGE(b *testing.B) {
 }
 
 func BenchmarkExtensionDefenseComparison(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = figures.DefenseComparison()
 	}
@@ -367,6 +402,7 @@ func BenchmarkExtensionDefenseComparison(b *testing.B) {
 func BenchmarkDriftCheckLot(b *testing.B) {
 	ref := weibull.MustNew(14, 8)
 	lifetimes := ref.SampleN(rng.New(9), 1500)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err := drift.NewMonitor(ref, 0.10, 0.20, 0.001)
@@ -393,6 +429,7 @@ func BenchmarkTimelineWeek(b *testing.B) {
 		b.Fatal(err)
 	}
 	user := timeline.UserModel{MeanDailyUnlocks: 10, TypoRate: 0.05}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := timeline.Simulate(design, user, []string{"a", "b"}, 7, rng.New(uint64(i)))
@@ -405,6 +442,7 @@ func BenchmarkTimelineWeek(b *testing.B) {
 
 func BenchmarkOTPReliableChannelSend(b *testing.B) {
 	p := otp.Params{Dist: weibull.MustNew(10, 1), Height: 4, Copies: 32, K: 4}
+	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ch, err := otp.NewReliableChannel(p, 1, 0, rng.New(uint64(i)))
@@ -418,6 +456,7 @@ func BenchmarkOTPReliableChannelSend(b *testing.B) {
 
 func BenchmarkBaselinePUFFingerprint(b *testing.B) {
 	p := baselines.NewPUF(512, 0.05, rng.New(10))
+	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = p.Fingerprint(9)

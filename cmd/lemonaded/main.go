@@ -6,6 +6,7 @@
 //
 //	serve    — run the daemon (default when flags are given directly)
 //	loadgen  — drive a running daemon with concurrent access traffic
+//	bench    — run the lemonbench macro-benchmark suite / gate two reports
 //
 // With -data-dir the daemon is durable: every provision and access is
 // appended to a write-ahead log before the hardware fires (the log-ahead
@@ -50,6 +51,8 @@ func main() {
 		err = runServe(args)
 	case "loadgen":
 		err = runLoadgen(args)
+	case "bench":
+		err = runBench(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -64,13 +67,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: lemonaded [serve|loadgen] [flags]
+	fmt.Fprint(os.Stderr, `usage: lemonaded [serve|loadgen|bench] [flags]
 
 serve   [-addr host:port] [-addr-file path] [-shards n] [-cache n] [-drain-timeout d]
         [-data-dir path] [-snapshot-interval d] [-snapshot-records n]
         [-breaker-threshold n] [-breaker-cooldown d] [-access-timeout d]
         [-max-concurrent-access n] [-access-queue n]
 loadgen -base URL [-workers n] [-seed n] [-alpha a] [-beta b] [-lab n] [-kfrac f]
+bench   [-seed n] [-n reps] [-warmup reps] [-filter substr] [-json] [-out file]
+bench   compare OLD.json NEW.json [-threshold f] [-sigma f] [-floor-us n]
 `)
 }
 

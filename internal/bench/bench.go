@@ -1,0 +1,279 @@
+// Package bench is lemonbench: a seeded, deterministic macro-benchmark
+// harness over the service's five hot paths (montecarlo, DSE, the
+// Shamir/RS codec, the WAL, and the full HTTP access path), with a
+// machine-readable report format and a noise-aware regression gate.
+//
+// The paper's claims are statistical — Weibull wearout windows,
+// k-out-of-n success probabilities — so the performance record is too:
+// every metric is measured N times after warmup and reported as
+// median/p95/stddev plus allocations, and Compare fails a build only
+// when a median shifts beyond what the pooled per-run noise explains.
+// Single-run timings would flap; distributions gate.
+//
+// Determinism is load-bearing twice over. Each metric's workload is a
+// pure function of the report seed, re-derived identically on every
+// iteration, and the harness hashes the workload's observable output
+// into a per-metric checksum: two runs at the same seed must produce
+// bit-identical checksums, and a checksum that drifts *within* one run
+// aborts it — so the benchmark suite doubles as an always-on
+// integration test of the whole stack, exercised through the same
+// public entry points production traffic uses.
+//
+// The package obeys the lemonvet determinism contract: it never reads
+// the wall clock itself. The caller (cmd/lemonaded) injects a monotonic
+// nanosecond clock; everything else is seeded.
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion identifies the report format. Compare refuses to gate
+// across schema versions — a changed format means changed semantics.
+const SchemaVersion = 1
+
+// Config parameterizes one benchmark run.
+type Config struct {
+	// Seed derives every workload in the suite. Same seed, same machine
+	// ⇒ identical non-timing fields in the report.
+	Seed uint64
+	// N is the measured repetitions per metric (default 10).
+	N int
+	// Warmup is the discarded repetitions before measurement (default 2).
+	Warmup int
+	// NowNanos is the injected monotonic clock (required): the package
+	// never reads the wall clock itself.
+	NowNanos func() int64
+	// Scratch is the directory WAL cases create their data dirs under
+	// (default: the OS temp dir). Everything created is removed again.
+	Scratch string
+	// Filter, when non-empty, restricts the run to metrics whose name
+	// contains the substring.
+	Filter string
+	// Log, when non-nil, receives one progress line per metric.
+	Log func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 10
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if c.N > 0 && c.Warmup == 0 {
+		c.Warmup = 2
+	}
+	if c.Log == nil {
+		c.Log = func(string, ...any) {}
+	}
+	return c
+}
+
+// Result is one metric's measured distribution. The non-timing fields
+// (Name, N, Warmup, Checksum) are deterministic for a fixed seed; the
+// nanosecond fields and the allocation counters carry machine noise and
+// are gated statistically by Compare.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Warmup      int     `json:"warmup"`
+	MedianNanos float64 `json:"median_ns"`
+	P95Nanos    float64 `json:"p95_ns"`
+	StddevNanos float64 `json:"stddev_ns"`
+	MinNanos    float64 `json:"min_ns"`
+	MaxNanos    float64 `json:"max_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Checksum is the hex digest of the workload's observable output —
+	// identical on every iteration of every run at the same seed. A
+	// cross-run mismatch at equal seeds is a determinism regression and
+	// fails Compare outright.
+	Checksum string `json:"checksum"`
+}
+
+// Report is the schema-versioned output of one run, written as
+// BENCH_<gitsha>.json at the repo root by `make bench-json`.
+type Report struct {
+	SchemaVersion int      `json:"schema_version"`
+	GitSHA        string   `json:"git_sha,omitempty"`
+	GoVersion     string   `json:"go_version"`
+	GOOS          string   `json:"goos"`
+	GOARCH        string   `json:"goarch"`
+	GOMAXPROCS    int      `json:"gomaxprocs"`
+	Seed          uint64   `json:"seed"`
+	N             int      `json:"n"`
+	Warmup        int      `json:"warmup"`
+	Results       []Result `json:"results"`
+}
+
+// Case is one benchmark: Setup builds the workload and returns the
+// closure the harness times. The closure returns the workload's
+// observable output, which the harness hashes into the metric checksum;
+// it must be bit-identical on every invocation (the harness verifies).
+type Case struct {
+	Name  string
+	Setup func(env *Env) (run func() ([]byte, error), cleanup func(), err error)
+}
+
+// Env is what a Case's Setup sees: the run seed and a scratch-dir
+// factory for cases that need a filesystem (the WAL path).
+type Env struct {
+	Seed    uint64
+	scratch string
+	temps   []string
+}
+
+// Run executes the suite under cfg and assembles the report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NowNanos == nil {
+		return nil, errors.New("bench: Config.NowNanos is required (the harness never reads the wall clock itself)")
+	}
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Seed:          cfg.Seed,
+		N:             cfg.N,
+		Warmup:        cfg.Warmup,
+	}
+	for _, c := range Suite() {
+		if cfg.Filter != "" && !strings.Contains(c.Name, cfg.Filter) {
+			continue
+		}
+		res, err := runCase(cfg, c)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", c.Name, err)
+		}
+		cfg.Log("%-24s median %12.0f ns  p95 %12.0f ns  σ %10.0f ns  %8.1f allocs/op",
+			res.Name, res.MedianNanos, res.P95Nanos, res.StddevNanos, res.AllocsPerOp)
+		rep.Results = append(rep.Results, res)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("bench: no metric matches filter %q", cfg.Filter)
+	}
+	return rep, nil
+}
+
+// runCase measures one case: warmup iterations (digest-checked but
+// untimed), then N timed iterations with per-iteration allocation
+// deltas. Any digest drift between iterations aborts the run — a
+// nondeterministic hot path is a bug this harness exists to catch.
+func runCase(cfg Config, c Case) (Result, error) {
+	env := &Env{Seed: cfg.Seed, scratch: cfg.Scratch}
+	defer env.removeTemps()
+	run, cleanup, err := c.Setup(env)
+	if err != nil {
+		return Result{}, fmt.Errorf("setup: %w", err)
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+
+	var digest string
+	check := func(out []byte) error {
+		sum := sha256.Sum256(out)
+		d := hex.EncodeToString(sum[:16])
+		if digest == "" {
+			digest = d
+		} else if d != digest {
+			return fmt.Errorf("nondeterministic workload: iteration digest %s != %s", d, digest)
+		}
+		return nil
+	}
+
+	for i := 0; i < cfg.Warmup; i++ {
+		out, err := run()
+		if err != nil {
+			return Result{}, fmt.Errorf("warmup %d: %w", i, err)
+		}
+		if err := check(out); err != nil {
+			return Result{}, err
+		}
+	}
+
+	times := make([]float64, cfg.N)
+	var allocs, bytes float64
+	var ms runtime.MemStats
+	for i := 0; i < cfg.N; i++ {
+		runtime.ReadMemStats(&ms)
+		m0, b0 := ms.Mallocs, ms.TotalAlloc
+		start := cfg.NowNanos()
+		out, err := run()
+		elapsed := cfg.NowNanos() - start
+		if err != nil {
+			return Result{}, fmt.Errorf("iteration %d: %w", i, err)
+		}
+		runtime.ReadMemStats(&ms)
+		if err := check(out); err != nil {
+			return Result{}, err
+		}
+		times[i] = float64(elapsed)
+		allocs += float64(ms.Mallocs - m0)
+		bytes += float64(ms.TotalAlloc - b0)
+	}
+
+	sorted := append([]float64(nil), times...)
+	sort.Float64s(sorted)
+	return Result{
+		Name:        c.Name,
+		N:           cfg.N,
+		Warmup:      cfg.Warmup,
+		MedianNanos: quantile(sorted, 0.5),
+		P95Nanos:    quantile(sorted, 0.95),
+		StddevNanos: stddev(times),
+		MinNanos:    sorted[0],
+		MaxNanos:    sorted[len(sorted)-1],
+		AllocsPerOp: allocs / float64(cfg.N),
+		BytesPerOp:  bytes / float64(cfg.N),
+		Checksum:    digest,
+	}, nil
+}
+
+// quantile returns the interpolated q-quantile of sorted values.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// stddev returns the sample standard deviation.
+func stddev(vals []float64) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	var ss float64
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(vals)-1))
+}

@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+)
+
+// TempDir returns a fresh scratch directory for the current case. Every
+// directory handed out is removed when the case finishes, whether it
+// passed or failed.
+func (e *Env) TempDir() (string, error) {
+	base := e.scratch
+	if base == "" {
+		base = os.TempDir()
+	}
+	dir, err := os.MkdirTemp(base, "lemonbench-")
+	if err != nil {
+		return "", fmt.Errorf("bench: scratch dir: %w", err)
+	}
+	e.temps = append(e.temps, dir)
+	return dir, nil
+}
+
+func (e *Env) removeTemps() {
+	for _, d := range e.temps {
+		_ = os.RemoveAll(d)
+	}
+	e.temps = nil
+}

@@ -1,0 +1,461 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+
+	"lemonade/internal/cache"
+	"lemonade/internal/core"
+	"lemonade/internal/dse"
+	"lemonade/internal/metrics"
+	"lemonade/internal/montecarlo"
+	"lemonade/internal/nems"
+	"lemonade/internal/registry"
+	"lemonade/internal/reliability"
+	"lemonade/internal/rng"
+	"lemonade/internal/rs"
+	"lemonade/internal/server"
+	"lemonade/internal/shamir"
+	"lemonade/internal/wal"
+	"lemonade/internal/weibull"
+)
+
+// smallSpec is the fast design problem the WAL and HTTP cases provision:
+// the same mean-6-cycle, LAB-30, 10%-encoded architecture the golden
+// determinism tests pin, so its access trajectory is short and known.
+func smallSpec() dse.Spec {
+	return dse.Spec{
+		Dist:        weibull.MustNew(6, 8),
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         30,
+		KFrac:       0.10,
+		ContinuousT: true,
+	}
+}
+
+// paperSpec is the paper's baseline design problem (mean lifetime 14,
+// LAB 91,250, 10% encoding) — the expensive search ExploreFrontier and
+// the cached-explore path are measured against.
+func paperSpec() dse.Spec {
+	return dse.Spec{
+		Dist:        weibull.MustNew(14, 8),
+		Criteria:    reliability.DefaultCriteria,
+		LAB:         91_250,
+		KFrac:       0.10,
+		ContinuousT: true,
+	}
+}
+
+// Suite returns the five hot paths lemonbench measures end to end.
+// Order is stable; report consumers rely on metric names, not position.
+func Suite() []Case {
+	return []Case{
+		{Name: "montecarlo/run_parallel", Setup: setupMonteCarlo},
+		{Name: "dse/frontier_cold", Setup: setupFrontierCold},
+		{Name: "dse/explore_cached", Setup: setupExploreCached},
+		{Name: "codec/shamir_split_combine", Setup: setupShamir},
+		{Name: "codec/rs_encode_decode", Setup: setupRS},
+		{Name: "wal/append", Setup: setupWALAppend},
+		{Name: "wal/replay", Setup: setupWALReplay},
+		{Name: "wal/snapshot_recovery", Setup: setupWALSnapshotRecovery},
+		{Name: "http/access", Setup: setupHTTPAccess},
+	}
+}
+
+// --- montecarlo -------------------------------------------------------------
+
+// setupMonteCarlo measures RunParallel over 4096 Weibull-sampling trials
+// — the workhorse under every figure and the /v1 simulation endpoints.
+func setupMonteCarlo(env *Env) (func() ([]byte, error), func(), error) {
+	d := weibull.MustNew(14, 8)
+	trial := func(r *rng.RNG) float64 { return d.Sample(r) }
+	seed := env.Seed
+	run := func() ([]byte, error) {
+		s, err := montecarlo.RunParallel(context.Background(), seed, 4096, trial)
+		if err != nil {
+			return nil, err
+		}
+		var out bytes.Buffer
+		fmt.Fprintf(&out, "n=%d mean=%.17g sd=%.17g min=%.17g max=%.17g p95=%.17g",
+			s.Trials, s.Mean, s.SD, s.Min, s.Max, s.Quantile(0.95))
+		return out.Bytes(), nil
+	}
+	return run, nil, nil
+}
+
+// --- dse --------------------------------------------------------------------
+
+// setupFrontierCold measures the full feasible-design enumeration for
+// the paper's baseline problem, uncached — the cost a cache miss pays.
+func setupFrontierCold(env *Env) (func() ([]byte, error), func(), error) {
+	spec := paperSpec()
+	run := func() ([]byte, error) {
+		designs, err := dse.ExploreFrontier(context.Background(), spec)
+		if err != nil {
+			return nil, err
+		}
+		var out bytes.Buffer
+		for _, d := range designs {
+			fmt.Fprintf(&out, "T=%d N=%d K=%d copies=%d total=%d\n",
+				d.T, d.N, d.K, d.Copies, d.TotalDevices)
+		}
+		return out.Bytes(), nil
+	}
+	return run, nil, nil
+}
+
+// setupExploreCached measures the cache-hit path a provisioning fleet
+// takes: 1024 Explore calls against a primed LRU, per iteration.
+func setupExploreCached(env *Env) (func() ([]byte, error), func(), error) {
+	spec := paperSpec()
+	c := cache.New[dse.Design](16)
+	key := spec.CacheKey()
+	compute := func() (dse.Design, error) { return dse.Explore(spec) }
+	if _, _, err := c.Do(key, compute); err != nil {
+		return nil, nil, err
+	}
+	run := func() ([]byte, error) {
+		var last dse.Design
+		for i := 0; i < 1024; i++ {
+			d, hit, err := c.Do(key, compute)
+			if err != nil {
+				return nil, err
+			}
+			if !hit {
+				return nil, fmt.Errorf("primed cache missed on iteration %d", i)
+			}
+			last = d
+		}
+		var out bytes.Buffer
+		fmt.Fprintf(&out, "T=%d N=%d K=%d copies=%d total=%d",
+			last.T, last.N, last.K, last.Copies, last.TotalDevices)
+		return out.Bytes(), nil
+	}
+	return run, nil, nil
+}
+
+// --- codec ------------------------------------------------------------------
+
+// setupShamir measures the paper-baseline sharing: split a 32-byte
+// secret 15-of-141 over GF(256) and combine from the last 15 shares,
+// four round trips per iteration.
+func setupShamir(env *Env) (func() ([]byte, error), func(), error) {
+	secret := make([]byte, 32)
+	rng.New(env.Seed).Bytes(secret)
+	seed := env.Seed
+	run := func() ([]byte, error) {
+		var out bytes.Buffer
+		for rep := 0; rep < 4; rep++ {
+			r := rng.New(seed).DeriveIndex("shamir-", rep)
+			shares, err := shamir.Split(secret, 15, 141, r)
+			if err != nil {
+				return nil, err
+			}
+			got, err := shamir.Combine(shares[len(shares)-15:], 15)
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(got, secret) {
+				return nil, fmt.Errorf("rep %d: combined secret differs from input", rep)
+			}
+			for _, sh := range shares {
+				out.WriteByte(sh.X)
+				out.Write(sh.Data)
+			}
+		}
+		return out.Bytes(), nil
+	}
+	return run, nil, nil
+}
+
+// setupRS measures Reed-Solomon erasure coding at the fleet shape
+// (16-of-64): encode 1 KiB and decode it back from a pseudo-random
+// 16-shard subset.
+func setupRS(env *Env) (func() ([]byte, error), func(), error) {
+	code, err := rs.New(16, 64)
+	if err != nil {
+		return nil, nil, err
+	}
+	data := make([]byte, 16*64)
+	rng.New(env.Seed).Bytes(data)
+	seed := env.Seed
+	run := func() ([]byte, error) {
+		shards, err := code.Encode(data)
+		if err != nil {
+			return nil, err
+		}
+		r := rng.New(seed).DeriveIndex("rs-pick-", 0)
+		perm := r.Perm(64)[:16]
+		survivors := make([]rs.Shard, len(perm))
+		for i, idx := range perm {
+			survivors[i] = rs.Shard{Index: idx, Data: shards[idx]}
+		}
+		got, err := code.Decode(survivors)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(got, data) {
+			return nil, fmt.Errorf("erasure round trip differs from input")
+		}
+		var out bytes.Buffer
+		for _, s := range shards {
+			out.Write(s)
+		}
+		return out.Bytes(), nil
+	}
+	return run, nil, nil
+}
+
+// --- wal --------------------------------------------------------------------
+
+// walAccesses is how many durable accesses the WAL cases drive per
+// iteration/fixture — inside the small architecture's designed window,
+// so outcomes stay on the success/transient path.
+const walAccesses = 16
+
+// buildSmallArch deterministically fabricates the small architecture.
+func buildSmallArch(seed uint64) (*core.Architecture, dse.Design, error) {
+	design, err := dse.Explore(smallSpec())
+	if err != nil {
+		return nil, dse.Design{}, err
+	}
+	arch, err := core.Build(design, []byte("lemonbench secret 0123456789abcd"), rng.New(seed))
+	return arch, design, err
+}
+
+// openStore opens (and recovers into reg) a DiskStore on dir with a
+// null clock and a private metric registry.
+func openStore(dir string, reg *registry.Registry) (*wal.DiskStore, wal.RecoveryStats, error) {
+	store, err := wal.Open(wal.Config{Dir: dir, Metrics: metrics.NewRegistry()})
+	if err != nil {
+		return nil, wal.RecoveryStats{}, err
+	}
+	stats, err := store.Recover(reg)
+	if err != nil {
+		return nil, stats, err
+	}
+	return store, stats, nil
+}
+
+// driveAccesses performs n durable accesses through the registry entry,
+// recording each outcome class into out.
+func driveAccesses(out *bytes.Buffer, e *registry.Entry, n int) error {
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		secret, err := e.Access(ctx, nems.RoomTemp)
+		switch {
+		case err == nil:
+			fmt.Fprintf(out, "ok %x\n", secret)
+		case errors.Is(err, core.ErrTransient):
+			fmt.Fprintf(out, "transient\n")
+		case errors.Is(err, core.ErrExhausted):
+			fmt.Fprintf(out, "exhausted\n")
+		default:
+			return err
+		}
+	}
+	return nil
+}
+
+// setupWALAppend measures the durable write path: recover an empty data
+// directory, provision one architecture through the log-ahead store, and
+// drive walAccesses fsynced accesses — a fresh directory per iteration.
+func setupWALAppend(env *Env) (func() ([]byte, error), func(), error) {
+	seed := env.Seed
+	run := func() ([]byte, error) {
+		dir, err := env.TempDir()
+		if err != nil {
+			return nil, err
+		}
+		reg := registry.New(1)
+		store, _, err := openStore(dir, reg)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = store.Close() }()
+		reg = registry.NewWithStore(1, store)
+		arch, _, err := buildSmallArch(seed)
+		if err != nil {
+			return nil, err
+		}
+		e, err := reg.Provision(arch, seed, []byte("lemonbench secret 0123456789abcd"))
+		if err != nil {
+			return nil, err
+		}
+		var out bytes.Buffer
+		fmt.Fprintf(&out, "id=%s\n", e.ID)
+		if err := driveAccesses(&out, e, walAccesses); err != nil {
+			return nil, err
+		}
+		total, okCount := e.Arch.Accesses()
+		fmt.Fprintf(&out, "attempts=%d successes=%d\n", total, okCount)
+		return out.Bytes(), nil
+	}
+	return run, nil, nil
+}
+
+// setupWALReplay measures cold recovery from a pure log: the fixture
+// directory holds one provision plus walAccesses access records and no
+// snapshot, and every iteration replays it into a fresh registry.
+func setupWALReplay(env *Env) (func() ([]byte, error), func(), error) {
+	dir, err := env.TempDir()
+	if err != nil {
+		return nil, nil, err
+	}
+	seed := env.Seed
+	if err := buildWALFixture(dir, seed, false); err != nil {
+		return nil, nil, err
+	}
+	run := func() ([]byte, error) { return recoverDir(dir) }
+	return run, nil, nil
+}
+
+// setupWALSnapshotRecovery measures recovery through a snapshot: the
+// fixture holds a compacted snapshot of the provisioned state plus a
+// tail of access records appended after it.
+func setupWALSnapshotRecovery(env *Env) (func() ([]byte, error), func(), error) {
+	dir, err := env.TempDir()
+	if err != nil {
+		return nil, nil, err
+	}
+	seed := env.Seed
+	if err := buildWALFixture(dir, seed, true); err != nil {
+		return nil, nil, err
+	}
+	run := func() ([]byte, error) { return recoverDir(dir) }
+	return run, nil, nil
+}
+
+// buildWALFixture populates dir with one provisioned architecture and
+// two batches of walAccesses accesses; with snapshot set, a snapshot is
+// taken between the batches so recovery loads it and replays the tail.
+func buildWALFixture(dir string, seed uint64, snapshot bool) error {
+	reg := registry.New(1)
+	store, _, err := openStore(dir, reg)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = store.Close() }()
+	reg = registry.NewWithStore(1, store)
+	arch, _, err := buildSmallArch(seed)
+	if err != nil {
+		return err
+	}
+	e, err := reg.Provision(arch, seed, []byte("lemonbench secret 0123456789abcd"))
+	if err != nil {
+		return err
+	}
+	var sink bytes.Buffer
+	if err := driveAccesses(&sink, e, walAccesses); err != nil {
+		return err
+	}
+	if snapshot {
+		if err := store.Snapshot(reg); err != nil {
+			return err
+		}
+	}
+	return driveAccesses(&sink, e, walAccesses)
+}
+
+// recoverDir runs one cold recovery of dir into a fresh registry and
+// summarizes the recovered state.
+func recoverDir(dir string) ([]byte, error) {
+	reg := registry.New(1)
+	store, stats, err := openStore(dir, reg)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = store.Close() }()
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "snapshot_epoch=%d snapshot_archs=%d provisions=%d accesses=%d segments=%d torn=%d\n",
+		stats.SnapshotEpoch, stats.SnapshotArchitectures,
+		stats.ReplayedProvisions, stats.ReplayedAccesses, stats.Segments, stats.TornBytesTruncated)
+	reg.Range(func(e *registry.Entry) bool {
+		total, okCount := e.Arch.Accesses()
+		fmt.Fprintf(&out, "%s attempts=%d successes=%d alive=%t\n", e.ID, total, okCount, e.Arch.Alive())
+		return true
+	})
+	return out.Bytes(), nil
+}
+
+// --- http -------------------------------------------------------------------
+
+// setupHTTPAccess measures the full service path: an httptest listener
+// over a real internal/server; each iteration provisions a fresh
+// architecture over HTTP and drives it to lockout, checksumming every
+// status code and returned secret.
+func setupHTTPAccess(env *Env) (func() ([]byte, error), func(), error) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+	seed := env.Seed
+	provisionBody := fmt.Sprintf(
+		`{"spec":{"alpha":6,"beta":8,"lab":30,"kfrac":0.1,"continuous_t":true},"secret_hex":"00112233445566778899aabbccddeeff","seed":%d}`,
+		seed)
+	run := func() ([]byte, error) {
+		resp, err := client.Post(ts.URL+"/v1/architectures", "application/json",
+			bytes.NewReader([]byte(provisionBody)))
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusCreated {
+			return nil, fmt.Errorf("provision: status %d: %s", resp.StatusCode, body)
+		}
+		id, err := extractID(body)
+		if err != nil {
+			return nil, err
+		}
+		var out bytes.Buffer
+		for attempt := 0; attempt < 100; attempt++ {
+			resp, err := client.Post(ts.URL+"/v1/architectures/"+id+"/access", "application/json", nil)
+			if err != nil {
+				return nil, err
+			}
+			body, err := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&out, "%d\n", resp.StatusCode)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				out.Write(body)
+			case http.StatusGone:
+				return out.Bytes(), nil
+			case http.StatusServiceUnavailable:
+				// transient: the next copy takes over
+			default:
+				return nil, fmt.Errorf("access: unexpected status %d: %s", resp.StatusCode, body)
+			}
+		}
+		return nil, fmt.Errorf("architecture not exhausted after 100 attempts")
+	}
+	return run, ts.Close, nil
+}
+
+// extractID pulls the "id" field out of a provision response without
+// depending on the full wire struct (the checksum must not absorb
+// incidental response fields).
+func extractID(body []byte) (string, error) {
+	const key = `"id": "`
+	i := bytes.Index(body, []byte(key))
+	if i < 0 {
+		return "", fmt.Errorf("no id in provision response: %s", body)
+	}
+	rest := body[i+len(key):]
+	j := bytes.IndexByte(rest, '"')
+	if j < 0 {
+		return "", fmt.Errorf("unterminated id in provision response")
+	}
+	return string(rest[:j]), nil
+}

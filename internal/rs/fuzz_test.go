@@ -42,6 +42,71 @@ func FuzzEncodeDecode(f *testing.F) {
 	})
 }
 
+// FuzzRSDecode attacks Decode from the receiver's side: a valid
+// k-subset must round-trip, while damaged survivor sets — out-of-range
+// indices, duplicates collapsing the set below k, truncated shards,
+// flipped data bytes — must produce a clean error or wrong bytes, never
+// a panic.
+func FuzzRSDecode(f *testing.F) {
+	f.Add([]byte("erasure-coded secret"), uint8(3), uint8(6), uint64(1), uint8(0), uint8(0))
+	f.Add([]byte{9}, uint8(1), uint8(2), uint64(2), uint8(1), uint8(3))
+	f.Add([]byte("0123456789abcdef"), uint8(4), uint8(10), uint64(3), uint8(2), uint8(200))
+	f.Fuzz(func(t *testing.T, data []byte, k8, n8 uint8, seed uint64, mode, corrupt uint8) {
+		k := int(k8%16) + 1
+		n := k + int(n8%32)
+		if len(data) == 0 || len(data) > 256 {
+			return
+		}
+		c, err := New(k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		padded, orig := Pad(data, k)
+		shards, err := c.Encode(padded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(seed)
+		subset := make([]Shard, k)
+		for i, idx := range r.Perm(n)[:k] {
+			subset[i] = Shard{Index: idx, Data: append([]byte(nil), shards[idx]...)}
+		}
+
+		switch mode % 4 {
+		case 0: // pristine subset must round-trip
+			got, err := c.Decode(subset)
+			if err != nil {
+				t.Fatalf("Decode on valid shards: %v", err)
+			}
+			if !bytes.Equal(Unpad(got, orig), data) {
+				t.Fatal("valid shards decoded to wrong bytes")
+			}
+		case 1: // out-of-range index must error, not index out of bounds
+			subset[int(corrupt)%k].Index = c.n + int(corrupt)
+			if _, err := c.Decode(subset); err == nil {
+				t.Fatal("Decode accepted an out-of-range shard index")
+			}
+		case 2: // duplicate index drops the distinct count below k
+			if k < 2 {
+				return
+			}
+			subset[0].Index = subset[1].Index
+			if _, err := c.Decode(subset); err == nil {
+				t.Fatal("Decode succeeded with a duplicated shard index")
+			}
+		case 3: // truncated shard must error cleanly
+			if k < 2 || len(subset[0].Data) < 2 {
+				return
+			}
+			i := int(corrupt) % k
+			subset[i].Data = subset[i].Data[:len(subset[i].Data)-1]
+			if _, err := c.Decode(subset); err == nil {
+				t.Fatal("Decode succeeded with inconsistent shard lengths")
+			}
+		}
+	})
+}
+
 func FuzzRecoverPolynomialWithErrors(f *testing.F) {
 	f.Add([]byte("abcdefgh"), uint8(3), uint8(9), uint64(1), uint8(1))
 	f.Fuzz(func(t *testing.T, data []byte, k8, n8 uint8, seed uint64, errCount uint8) {

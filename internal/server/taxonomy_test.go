@@ -1,0 +1,214 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lemonade/internal/core"
+	"lemonade/internal/dse"
+	"lemonade/internal/registry"
+	"lemonade/internal/resilience"
+)
+
+// deadStore always fails, for tripping a breaker deterministically.
+type deadStore struct{}
+
+func (deadStore) AppendProvision(registry.ProvisionRecord) (func(), error) {
+	return nil, errors.New("disk unplugged")
+}
+func (deadStore) AppendAccess(registry.AccessRecord) (func(), error) {
+	return nil, errors.New("disk unplugged")
+}
+
+// TestErrorTaxonomy is the complete error→HTTP contract, one row per
+// sentinel the stack can surface, asserting status code, the wire
+// ErrorResponse fields, and the Retry-After header. A new sentinel that
+// reaches writeError unmapped lands in the default 500 row — this table
+// is where adding its mapping becomes a conscious decision.
+func TestErrorTaxonomy(t *testing.T) {
+	var ticks atomic.Int64
+	clock := func() int64 { return ticks.Add(1_000_000) }
+
+	// A breaker tripped by a dead store, so the ErrOpen row exercises the
+	// real cooldown-derived Retry-After instead of the fallback.
+	breaker := resilience.NewBreaker(resilience.BreakerConfig{
+		Store:            deadStore{},
+		FailureThreshold: 1,
+		Cooldown:         30 * time.Second,
+		NowNanos:         clock,
+	})
+	if _, err := breaker.AppendAccess(registry.AccessRecord{ID: "arch-000001"}); err == nil {
+		t.Fatal("dead store append succeeded")
+	}
+	if _, degraded := breaker.Degraded(); !degraded {
+		t.Fatal("breaker did not trip on the first failure at threshold 1")
+	}
+
+	s := New(Config{NowNanos: clock, Breaker: breaker})
+
+	cases := []struct {
+		name       string
+		err        error
+		status     int
+		field      string // ErrorResponse.Field
+		retry      bool   // ErrorResponse.Retry
+		retryAfter string // Retry-After header; "" = must be absent, "*" = any value
+	}{
+		{
+			name:   "spec field error -> 400 naming the field",
+			err:    &dse.FieldError{Field: "LAB", Err: errors.New("must be positive")},
+			status: http.StatusBadRequest, field: "LAB",
+		},
+		{
+			name:   "invalid spec -> 400",
+			err:    fmt.Errorf("validating: %w", dse.ErrInvalidSpec),
+			status: http.StatusBadRequest,
+		},
+		{
+			name:   "exhausted -> 410 Gone",
+			err:    fmt.Errorf("arch-000001: %w", core.ErrExhausted),
+			status: http.StatusGone,
+		},
+		{
+			name:   "decode failed -> 422",
+			err:    fmt.Errorf("arch-000001: %w", core.ErrDecodeFailed),
+			status: http.StatusUnprocessableEntity,
+		},
+		{
+			name:   "infeasible design -> 409 Conflict",
+			err:    fmt.Errorf("exploring: %w", dse.ErrInfeasible),
+			status: http.StatusConflict,
+		},
+		{
+			name:   "breaker open -> 503 with cooldown Retry-After",
+			err:    fmt.Errorf("appending: %w", resilience.ErrOpen),
+			status: http.StatusServiceUnavailable, retry: true, retryAfter: "*",
+		},
+		{
+			// The breaker wraps both sentinels when it refuses an append;
+			// the retryable 503 must win over the 500 store-fault row
+			// (the store was never touched).
+			name:   "breaker open wrapping ErrStore -> still 503",
+			err:    fmt.Errorf("%w: %w", registry.ErrStore, resilience.ErrOpen),
+			status: http.StatusServiceUnavailable, retry: true, retryAfter: "*",
+		},
+		{
+			name:   "load shed -> 503 Retry-After 1",
+			err:    fmt.Errorf("access: %w", resilience.ErrShed),
+			status: http.StatusServiceUnavailable, retry: true, retryAfter: "1",
+		},
+		{
+			name:   "store fault -> 500",
+			err:    fmt.Errorf("%w: %w", registry.ErrStore, errors.New("fsync: input/output error")),
+			status: http.StatusInternalServerError,
+		},
+		{
+			name:   "transient access failure -> 503 Retry-After 0",
+			err:    fmt.Errorf("arch-000001: %w", core.ErrTransient),
+			status: http.StatusServiceUnavailable, retry: true, retryAfter: "0",
+		},
+		{
+			name:   "canceled request -> 503",
+			err:    context.Canceled,
+			status: http.StatusServiceUnavailable, retry: true,
+		},
+		{
+			name:   "deadline exceeded -> 503",
+			err:    context.DeadlineExceeded,
+			status: http.StatusServiceUnavailable, retry: true,
+		},
+		{
+			name:   "unclassified error -> 500",
+			err:    errors.New("something nobody mapped"),
+			status: http.StatusInternalServerError,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			s.writeError(rec, tc.err)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d", rec.Code, tc.status)
+			}
+			if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("Content-Type = %q, want application/json", ct)
+			}
+			var body ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+				t.Fatalf("error body is not JSON: %v\n%s", err, rec.Body.Bytes())
+			}
+			if body.Error == "" {
+				t.Fatal("wire error message is empty")
+			}
+			if body.Field != tc.field {
+				t.Fatalf("Field = %q, want %q", body.Field, tc.field)
+			}
+			if body.Retry != tc.retry {
+				t.Fatalf("Retry = %v, want %v", body.Retry, tc.retry)
+			}
+			got := rec.Header().Get("Retry-After")
+			switch tc.retryAfter {
+			case "":
+				if got != "" {
+					t.Fatalf("unexpected Retry-After %q", got)
+				}
+			case "*":
+				if got == "" {
+					t.Fatal("Retry-After header missing")
+				}
+			default:
+				if got != tc.retryAfter {
+					t.Fatalf("Retry-After = %q, want %q", got, tc.retryAfter)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerOpenOverHTTP drives the breaker-open row end to end: with
+// the breaker open, a real POST /v1/architectures through the handler
+// stack must surface 503 + Retry-After, not 500.
+func TestBreakerOpenOverHTTP(t *testing.T) {
+	var ticks atomic.Int64
+	clock := func() int64 { return ticks.Add(1_000_000) }
+	breaker := resilience.NewBreaker(resilience.BreakerConfig{
+		Store:            deadStore{},
+		FailureThreshold: 1,
+		Cooldown:         30 * time.Second,
+		NowNanos:         clock,
+	})
+	if _, err := breaker.AppendAccess(registry.AccessRecord{ID: "arch-000001"}); err == nil {
+		t.Fatal("dead store append succeeded")
+	}
+
+	s := New(Config{
+		NowNanos: clock,
+		Registry: registry.NewWithStore(1, breaker),
+		Breaker:  breaker,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, body := postJSON(t, ts.URL+"/v1/architectures", ProvisionRequest{
+		Spec: goldenSpec, SecretHex: goldenSecretHex, Seed: 42,
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("breaker-open response lacks Retry-After")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || !er.Retry {
+		t.Fatalf("breaker-open wire error not retryable: %s", body)
+	}
+}
