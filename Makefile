@@ -3,17 +3,23 @@
 
 GO ?= go
 
-.PHONY: check lint race bench test build fmt smoke crash chaos bench-json bench-compare fuzz-smoke
+.PHONY: check lint vet-fixtures race bench test build fmt smoke crash chaos bench-json bench-compare fuzz-smoke
 
 ## check: everything CI runs — format, vet, lemonvet, build, tests, race, smoke
 check: lint build test race smoke crash chaos
 
-## lint: gofmt (fail on diff), go vet, and the lemonvet static-analysis suite
+## lint: gofmt (fail on diff), go vet, and the lemonvet static-analysis
+## suite (all nine passes; -strict-suppress also fails on stale allows)
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/lemonvet ./...
+	$(GO) run ./cmd/lemonvet -strict-suppress ./...
+
+## vet-fixtures: the lemonvet fixture suites only — every pass against its
+## testdata/src package, local and whole-program
+vet-fixtures:
+	$(GO) test ./internal/analysis/ -run 'TestAnalyzers$$|TestProgramAnalyzers$$' -v
 
 build:
 	$(GO) build ./...
@@ -24,7 +30,7 @@ test:
 ## race: race detector over the concurrency-sensitive packages, then the
 ## whole module in short mode (matches the CI race matrix entry)
 race:
-	$(GO) test -race ./internal/montecarlo/... ./internal/targeting/... ./internal/core/... ./internal/server/... ./internal/registry/... ./internal/cache/... ./internal/wal/... ./internal/fault/... ./internal/resilience/... ./api/...
+	$(GO) test -race ./internal/montecarlo/... ./internal/targeting/... ./internal/core/... ./internal/server/... ./internal/registry/... ./internal/cache/... ./internal/wal/... ./internal/fault/... ./internal/resilience/... ./internal/analysis/ ./api/...
 	$(GO) test -race -short ./...
 
 ## smoke: end-to-end daemon test (build, provision, lockout, metrics, drain)

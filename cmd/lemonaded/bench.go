@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -57,7 +58,7 @@ func runBench(args []string) error {
 		}
 	}
 
-	rep, err := bench.Run(cfg)
+	rep, err := bench.Run(context.Background(), cfg)
 	if err != nil {
 		return err
 	}

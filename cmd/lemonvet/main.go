@@ -1,17 +1,25 @@
 // Command lemonvet runs the repo-specific static-analysis suite from
-// internal/analysis over the given packages (default ./...).
+// internal/analysis over the given packages (default ./...): the five
+// local determinism passes plus the whole-program concurrency and
+// durability passes (guardedby, lockorder, logahead, ctxflow) built on
+// the stdlib-only call graph.
 //
 // Usage:
 //
-//	go run ./cmd/lemonvet [-json] [packages...]
+//	go run ./cmd/lemonvet [-json] [-strict-suppress] [packages...]
 //
 // It exits 0 when every check passes, 1 when there are unsuppressed
-// findings, and 2 when the packages cannot be loaded (parse or type
-// errors). Findings print as file:line:col: [analyzer] message, or as a
-// JSON array with -json. Suppress an individual finding with a trailing or
+// findings (or, with -strict-suppress, stale //lemonvet:allow comments),
+// and 2 when the packages cannot be loaded (parse or type errors).
+// Findings print as file:line:col: [analyzer] message, or as a JSON array
+// with -json. Suppress an individual finding with a trailing or
 // immediately-preceding comment:
 //
 //	//lemonvet:allow <analyzer> <reason>
+//
+// -strict-suppress additionally fails the run when an allow comment
+// suppresses nothing (stale) or names an unknown analyzer, keeping the
+// suppression inventory honest.
 package main
 
 import (
@@ -25,8 +33,9 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	strictSuppress := flag.Bool("strict-suppress", false, "fail on stale or unknown //lemonvet:allow comments")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lemonvet [-json] [packages...]\n")
+		fmt.Fprintf(os.Stderr, "usage: lemonvet [-json] [-strict-suppress] [packages...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,16 +50,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	var findings []analysis.Finding
-	suppressed := 0
-	for _, pkg := range pkgs {
-		analyzers := analysis.AnalyzersFor(pkg.ImportPath)
-		if len(analyzers) == 0 {
-			continue
-		}
-		fs, sup := analysis.Check(pkg, analyzers)
-		findings = append(findings, fs...)
-		suppressed += sup
+	res := analysis.Run(pkgs)
+	findings := res.Findings
+	if *strictSuppress {
+		findings = append(findings, res.Stale...)
 	}
 
 	if *jsonOut {
@@ -67,8 +70,8 @@ func main() {
 		for _, f := range findings {
 			fmt.Println(f)
 		}
-		fmt.Fprintf(os.Stderr, "lemonvet: %d packages, %d findings, %d suppressed\n",
-			len(pkgs), len(findings), suppressed)
+		fmt.Fprintf(os.Stderr, "lemonvet: %d packages, %d findings, %d suppressed, %d stale allows\n",
+			res.Packages, len(res.Findings), res.Suppressed, len(res.Stale))
 	}
 	if len(findings) > 0 {
 		os.Exit(1)

@@ -14,10 +14,14 @@ import "strings"
 // checks enforce).
 const commandPrefix = "/cmd/"
 
-// AnalyzersFor returns the analyzers lemonvet applies to the package with
-// the given import path.
+func isTestdata(importPath string) bool {
+	return strings.Contains(importPath, "/testdata/")
+}
+
+// AnalyzersFor returns the local analyzers lemonvet applies to the package
+// with the given import path.
 func AnalyzersFor(importPath string) []*Analyzer {
-	if strings.Contains(importPath, "/testdata/") {
+	if isTestdata(importPath) {
 		return nil // fixtures are analyzed explicitly by their tests
 	}
 	isCommand := strings.Contains(importPath, commandPrefix)
@@ -25,6 +29,42 @@ func AnalyzersFor(importPath string) []*Analyzer {
 	for _, a := range All() {
 		switch a.Name {
 		case NoDeterminism.Name, PanicPolicy.Name:
+			if isCommand {
+				continue
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// ProgramAnalyzersFor returns the program analyzers whose findings apply
+// to the package with the given import path and package name. The
+// analyzers themselves run over the whole program (the call graph does not
+// stop at package boundaries); this filter only decides which packages'
+// findings are reported:
+//
+//   - guardedby and lockorder apply everywhere: lock discipline has no
+//     exemptions.
+//   - logahead applies only to the wear-accounting core (registry, wal):
+//     that is where DESIGN.md §8's log-ahead rule is binding. Other
+//     packages (bench, figures) exercise architectures that were never
+//     provisioned durably.
+//   - ctxflow applies to library packages only: package main and cmd/ may
+//     root context trees with context.Background().
+func ProgramAnalyzersFor(importPath, pkgName string) []*ProgramAnalyzer {
+	if isTestdata(importPath) {
+		return nil // fixtures are analyzed explicitly by their tests
+	}
+	isCommand := strings.Contains(importPath, commandPrefix) || pkgName == "main"
+	var out []*ProgramAnalyzer
+	for _, a := range AllProgram() {
+		switch a.Name {
+		case LogAhead.Name:
+			if !strings.Contains(importPath, "/registry") && !strings.Contains(importPath, "/wal") {
+				continue
+			}
+		case CtxFlow.Name:
 			if isCommand {
 				continue
 			}

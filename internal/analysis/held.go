@@ -1,0 +1,343 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// heldLock is one mutex acquisition in force at a program point.
+type heldLock struct {
+	// key is the rendered acquisition expression, e.g. "s.mu" — lexical
+	// identity within one function.
+	key string
+	// class names the lock program-wide, e.g. "wal.DiskStore.mu" for a
+	// struct field or "gf16.tableOnce" for a package-level mutex. Empty
+	// for locks the passes cannot classify (locals, complex expressions).
+	class string
+	// field is the mutex field object when the lock is a struct field.
+	field *types.Var
+	// write distinguishes Lock (true) from RLock (false).
+	write bool
+	// pos is the acquisition site.
+	pos token.Pos
+}
+
+// lockOpOf reports whether n is a call to Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the lock it names and whether the
+// call acquires (true) or releases (false) it.
+func lockOpOf(info *types.Info, n ast.Node) (lk heldLock, acquire, ok bool) {
+	call, isCall := n.(*ast.CallExpr)
+	if !isCall {
+		return heldLock{}, false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return heldLock{}, false, false
+	}
+	var write bool
+	switch sel.Sel.Name {
+	case "Lock", "Unlock":
+		write = true
+	case "RLock", "RUnlock":
+		write = false
+	default:
+		return heldLock{}, false, false
+	}
+	recv := ast.Unparen(sel.X)
+	tv, okType := info.Types[recv]
+	if !okType || !isSyncMutex(tv.Type) {
+		return heldLock{}, false, false
+	}
+	lk = heldLock{
+		key:   types.ExprString(recv),
+		write: write,
+		pos:   call.Pos(),
+	}
+	lk.class, lk.field = lockClass(info, recv)
+	acquire = sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock"
+	return lk, acquire, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockClass derives the program-wide class of the mutex named by recv:
+// "pkg.Type.field" for struct fields, "pkg.var" for package-level mutexes,
+// "" otherwise (locals and expressions too complex to classify).
+func lockClass(info *types.Info, recv ast.Expr) (string, *types.Var) {
+	switch recv := recv.(type) {
+	case *ast.SelectorExpr:
+		selinfo := info.Selections[recv]
+		if selinfo == nil || selinfo.Kind() != types.FieldVal {
+			// Qualified identifier (pkg.Var) has no Selections entry.
+			if v, ok := info.Uses[recv.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name(), nil
+			}
+			return "", nil
+		}
+		fv, ok := selinfo.Obj().(*types.Var)
+		if !ok {
+			return "", nil
+		}
+		owner := derefNamed(selinfo.Recv())
+		if owner == nil {
+			return "", nil
+		}
+		return owner.Obj().Pkg().Name() + "." + owner.Obj().Name() + "." + fv.Name(), fv
+	case *ast.Ident:
+		v, ok := identObj(info, recv).(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return "", nil
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), nil
+		}
+		return "", nil
+	}
+	return "", nil
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	if named == nil || named.Obj().Pkg() == nil {
+		return nil
+	}
+	return named
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// walkFuncHeld traverses body in source order, tracking which locks are
+// lexically held at each point, and calls visit for every node with the
+// current held set. The tracking is branch-local: acquisitions and
+// releases inside a nested block (if/for/switch/select body) do not leak
+// into the statements that follow it, which keeps error paths of the form
+//
+//	mu.Lock()
+//	if bad { mu.Unlock(); return err }
+//	...
+//	mu.Unlock()
+//
+// tracked correctly (the lock is still held after the if). `defer
+// mu.Unlock()` leaves the lock held until the function returns, as it does
+// dynamically. Function literal bodies are walked with an empty held set:
+// the passes treat a closure's body as running at an unknown time.
+func walkFuncHeld(info *types.Info, body *ast.BlockStmt, visit func(n ast.Node, held []heldLock)) {
+	w := &heldWalker{info: info, visit: visit}
+	held := []heldLock{}
+	w.stmts(body.List, &held)
+}
+
+type heldWalker struct {
+	info  *types.Info
+	visit func(n ast.Node, held []heldLock)
+}
+
+func copyHeld(held []heldLock) []heldLock {
+	out := make([]heldLock, len(held))
+	copy(out, held)
+	return out
+}
+
+func (w *heldWalker) stmts(list []ast.Stmt, held *[]heldLock) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+// branch walks a nested statement with a copy of the current held set, so
+// its lock effects stay local to the branch.
+func (w *heldWalker) branch(s ast.Stmt, held []heldLock) {
+	h := copyHeld(held)
+	w.stmt(s, &h)
+}
+
+// branchStmts walks a nested statement list with a copy of the current
+// held set.
+func (w *heldWalker) branchStmts(list []ast.Stmt, held []heldLock) {
+	h := copyHeld(held)
+	w.stmts(list, &h)
+}
+
+func (w *heldWalker) stmt(s ast.Stmt, held *[]heldLock) {
+	switch s := s.(type) {
+	case nil:
+		return
+	case *ast.BlockStmt:
+		w.branchStmts(s.List, *held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, *held)
+		w.branchStmts(s.Body.List, *held)
+		if s.Else != nil {
+			w.branch(s.Else, *held)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, *held)
+		}
+		w.branchStmts(s.Body.List, *held)
+		if s.Post != nil {
+			w.branch(s.Post, *held)
+		}
+	case *ast.RangeStmt:
+		if s.Key != nil {
+			w.expr(s.Key, *held)
+		}
+		if s.Value != nil {
+			w.expr(s.Value, *held)
+		}
+		w.expr(s.X, *held)
+		w.branchStmts(s.Body.List, *held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, *held)
+		}
+		for _, clause := range s.Body.List {
+			w.branch(clause, *held)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.branch(s.Assign, *held)
+		for _, clause := range s.Body.List {
+			w.branch(clause, *held)
+		}
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e, *held)
+		}
+		w.stmts(s.Body, held)
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			w.branch(clause, *held)
+		}
+	case *ast.CommClause:
+		if s.Comm != nil {
+			w.stmt(s.Comm, held)
+		}
+		w.stmts(s.Body, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.DeferStmt:
+		// Visit the call (args and any function literal) but apply no
+		// lock effect: `defer mu.Unlock()` keeps the lock held for the
+		// remainder of the function.
+		w.expr(s.Call, *held)
+	case *ast.GoStmt:
+		w.expr(s.Call, *held)
+	case *ast.ExprStmt:
+		w.expr(s.X, *held)
+		if lk, acquire, ok := lockOpOf(w.info, s.X); ok {
+			applyLockOp(held, lk, acquire)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, *held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, *held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, *held)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, *held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, *held)
+		w.expr(s.Value, *held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, *held)
+					}
+				}
+			}
+		}
+	default:
+		// BranchStmt, EmptyStmt: nothing to visit.
+	}
+}
+
+// expr visits every node of e with the current held set, descending into
+// function literal bodies with an empty held set.
+func (w *heldWalker) expr(e ast.Expr, held []heldLock) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.visit(lit, held)
+			empty := []heldLock{}
+			w.stmts(lit.Body.List, &empty)
+			return false
+		}
+		if n != nil {
+			w.visit(n, held)
+		}
+		return true
+	})
+}
+
+func applyLockOp(held *[]heldLock, lk heldLock, acquire bool) {
+	if acquire {
+		*held = append(copyHeld(*held), lk)
+		return
+	}
+	// Release the most recent matching acquisition (same key; Unlock
+	// matches Lock, RUnlock matches RLock).
+	h := *held
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].key == lk.key && h[i].write == lk.write {
+			out := make([]heldLock, 0, len(h)-1)
+			out = append(out, h[:i]...)
+			out = append(out, h[i+1:]...)
+			*held = out
+			return
+		}
+	}
+}
+
+// heldHas reports whether held contains the lock with the given key, and
+// if needWrite is set, whether that acquisition is a write Lock.
+func heldHas(held []heldLock, key string, needWrite bool) bool {
+	for _, h := range held {
+		if h.key == key && (!needWrite || h.write) {
+			return true
+		}
+	}
+	return false
+}

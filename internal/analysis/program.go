@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// ProgramPass carries the whole program through a program analyzer.
+type ProgramPass struct {
+	Prog *Program
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(analyzer string, pos token.Pos, format string, args ...interface{}) {
+	p.findings = append(p.findings, Finding{
+		Analyzer: analyzer,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ProgramAnalyzer is one whole-program lemonvet check. Unlike Analyzer,
+// its Run sees every loaded package at once, connected by the call graph.
+type ProgramAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ProgramPass)
+}
+
+// AllProgram returns every program analyzer in the suite, in stable order.
+func AllProgram() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{
+		GuardedBy,
+		LockOrder,
+		LogAhead,
+		CtxFlow,
+	}
+}
+
+// ProgramByName returns the program analyzer with the given name, or nil.
+func ProgramByName(name string) *ProgramAnalyzer {
+	for _, a := range AllProgram() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Names returns the canonical names of every analyzer, local and program.
+func Names() []string {
+	var out []string
+	for _, a := range All() {
+		out = append(out, a.Name)
+	}
+	for _, a := range AllProgram() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// CheckProgram runs the given program analyzers over a set of loaded
+// packages (typically a fixture tree) and returns the unsuppressed
+// findings sorted by position plus the suppressed count. Unlike Run it
+// applies no per-package applicability rules: fixtures opt in explicitly.
+func CheckProgram(pkgs []*Package, analyzers []*ProgramAnalyzer) (findings []Finding, suppressed int) {
+	pass := &ProgramPass{Prog: BuildProgram(pkgs)}
+	for _, a := range analyzers {
+		a.Run(pass)
+	}
+	allow := collectAllowsAll(pkgs)
+	for _, f := range pass.findings {
+		if allow.covers(f) {
+			suppressed++
+			continue
+		}
+		findings = append(findings, f)
+	}
+	sortFindings(findings)
+	return findings, suppressed
+}
+
+// RunResult is what a full lemonvet run over a package tree produces.
+type RunResult struct {
+	// Findings are the unsuppressed findings from every applicable local
+	// and program analyzer, sorted by position.
+	Findings []Finding
+	// Suppressed counts findings covered by //lemonvet:allow comments.
+	Suppressed int
+	// Stale reports allow comments that suppressed nothing (or name no
+	// known analyzer); each is rendered as a Finding with Analyzer
+	// "suppress". Only -strict-suppress treats these as failures.
+	Stale []Finding
+	// Packages is how many packages were analyzed.
+	Packages int
+}
+
+// Run is the lemonvet driver: it applies the local analyzers per package
+// (per AnalyzersFor), builds the whole-program call graph, applies the
+// program analyzers (filtered per ProgramAnalyzersFor by the package each
+// finding lands in), resolves suppressions across the whole tree, and
+// reports stale allow comments.
+func Run(pkgs []*Package) RunResult {
+	var res RunResult
+	var raw []Finding
+
+	for _, pkg := range pkgs {
+		analyzers := AnalyzersFor(pkg.ImportPath)
+		if len(analyzers) == 0 && isTestdata(pkg.ImportPath) {
+			continue
+		}
+		res.Packages++
+		raw = append(raw, runLocal(pkg, analyzers)...)
+	}
+
+	prog := BuildProgram(pkgs)
+	pass := &ProgramPass{Prog: prog}
+	for _, a := range AllProgram() {
+		a.Run(pass)
+	}
+	raw = append(raw, pass.findings...)
+	raw = filterProgramFindings(prog, raw)
+
+	allow := collectAllowsAll(pkgs)
+	for _, f := range raw {
+		if allow.covers(f) {
+			res.Suppressed++
+			continue
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	sortFindings(res.Findings)
+	res.Stale = allow.stale()
+	return res
+}
+
+// filterProgramFindings drops program-analyzer findings whose package has
+// opted out of that analyzer (per ProgramAnalyzersFor). Local-analyzer
+// findings pass through untouched.
+func filterProgramFindings(prog *Program, findings []Finding) []Finding {
+	programNames := make(map[string]bool)
+	for _, a := range AllProgram() {
+		programNames[a.Name] = true
+	}
+	fileToPkg := make(map[string]*Package)
+	for file, pkg := range prog.pkgOfFile {
+		fileToPkg[prog.Fset.Position(file.FileStart).Filename] = pkg
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if programNames[f.Analyzer] {
+			pkg := fileToPkg[f.Pos.Filename]
+			if pkg == nil || !programAnalyzerApplies(f.Analyzer, pkg) {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func programAnalyzerApplies(name string, pkg *Package) bool {
+	for _, a := range ProgramAnalyzersFor(pkg.ImportPath, pkg.Types.Name()) {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runLocal runs the local analyzers over pkg and returns the raw findings
+// with no suppression applied.
+func runLocal(pkg *Package, analyzers []*Analyzer) []Finding {
+	pass := &Pass{
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		Info:       pkg.Info,
+		ImportPath: pkg.ImportPath,
+	}
+	for _, a := range analyzers {
+		a.Run(pass)
+	}
+	return pass.findings
+}
+
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixtureTree loads one or more fixture packages from testdata/src
+// (logahead spans three packages, connected by the call graph).
+func loadFixtureTree(t *testing.T, pattern string) []*Package {
+	t.Helper()
+	pkgs, err := Load(".", pattern)
+	if err != nil {
+		t.Fatalf("load fixtures %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture pattern %s matched no packages", pattern)
+	}
+	return pkgs
+}
+
+// wantMarkersAll extracts "// want <analyzer>" comments across a fixture
+// tree, keyed by "file:line".
+func wantMarkersAll(pkgs []*Package) map[string]string {
+	want := make(map[string]string)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					want[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	return want
+}
+
+// TestProgramAnalyzers runs each whole-program analyzer against its
+// fixture tree and checks the findings against "// want" markers: every
+// marked line must be reported, no unmarked line may be, and each
+// fixture's //lemonvet:allow example must suppress exactly one finding.
+//
+// The Bad* fixture cases double as the regression demonstrations the
+// acceptance criteria ask for: deleting the checked Store.Append before a
+// wear mutation (BadNoAppend / BadUncheckedAppend) makes logahead fire,
+// and swapping a lock order (BA, DC) makes lockorder fire.
+func TestProgramAnalyzers(t *testing.T) {
+	cases := []struct {
+		name    string
+		pattern string
+	}{
+		{"guardedby", "./testdata/src/guardedby"},
+		{"lockorder", "./testdata/src/lockorder"},
+		{"ctxflow", "./testdata/src/ctxflow"},
+		{"logahead", "./testdata/src/logahead/..."},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := ProgramByName(c.name)
+			if a == nil {
+				t.Fatalf("no program analyzer named %q", c.name)
+			}
+			pkgs := loadFixtureTree(t, c.pattern)
+			findings, suppressed := CheckProgram(pkgs, []*ProgramAnalyzer{a})
+			want := wantMarkersAll(pkgs)
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no // want markers", c.name)
+			}
+			got := make(map[string]bool)
+			for _, f := range findings {
+				if f.Analyzer != c.name {
+					t.Errorf("unexpected analyzer %q in finding %s", f.Analyzer, f)
+				}
+				key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+				if _, expected := want[key]; !expected {
+					t.Errorf("unexpected finding: %s", f)
+				}
+				got[key] = true
+			}
+			var missed []string
+			for key, wantAnalyzer := range want {
+				if wantAnalyzer != c.name {
+					t.Errorf("%s wants %q, fixture belongs to %q", key, wantAnalyzer, c.name)
+				}
+				if !got[key] {
+					missed = append(missed, key)
+				}
+			}
+			sort.Strings(missed)
+			for _, key := range missed {
+				t.Errorf("no finding at %s, want one", key)
+			}
+			if suppressed != 1 {
+				t.Errorf("suppressed = %d, want 1 (each fixture carries one //lemonvet:allow example)", suppressed)
+			}
+		})
+	}
+}
+
+// TestProgramAnalyzersForConfig pins the driver's applicability rules for
+// the whole-program passes.
+func TestProgramAnalyzersForConfig(t *testing.T) {
+	names := func(as []*ProgramAnalyzer) string {
+		var ns []string
+		for _, a := range as {
+			ns = append(ns, a.Name)
+		}
+		return strings.Join(ns, ",")
+	}
+	cases := []struct {
+		path    string
+		pkgName string
+		want    string
+	}{
+		{"lemonade/internal/registry", "registry", "guardedby,lockorder,logahead,ctxflow"},
+		{"lemonade/internal/wal", "wal", "guardedby,lockorder,logahead,ctxflow"},
+		{"lemonade/internal/montecarlo", "montecarlo", "guardedby,lockorder,ctxflow"},
+		{"lemonade/cmd/lemonaded", "main", "guardedby,lockorder"},
+		{"lemonade/internal/analysis/testdata/src/guardedby", "guardedby", ""},
+	}
+	for _, c := range cases {
+		if got := names(ProgramAnalyzersFor(c.path, c.pkgName)); got != c.want {
+			t.Errorf("ProgramAnalyzersFor(%q, %q) = %q, want %q", c.path, c.pkgName, got, c.want)
+		}
+	}
+}
+
+// TestRunCleanTree is the whole-suite self-hosting check: the full driver
+// (local passes + program passes + suppression resolution) over the entire
+// module must produce zero findings and zero stale allow comments — the
+// exact condition that makes `go run ./cmd/lemonvet -strict-suppress ./...`
+// exit 0 in CI.
+func TestRunCleanTree(t *testing.T) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	res := Run(pkgs)
+	if res.Packages < 20 {
+		t.Fatalf("analyzed only %d packages; pattern ./... no longer covers the module?", res.Packages)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("finding: %s", f)
+	}
+	for _, f := range res.Stale {
+		t.Errorf("stale allow: %s", f)
+	}
+	if res.Suppressed == 0 {
+		t.Error("suppressed = 0: the tree's documented //lemonvet:allow comments were not resolved")
+	}
+}

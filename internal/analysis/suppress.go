@@ -1,15 +1,29 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
 )
 
-// allowSet records, per file and line, which analyzers are suppressed there.
-// A finding is covered when an allow comment for its analyzer sits on the
-// finding's own line (trailing comment) or on the line directly above it.
-type allowSet map[string]map[int][]string
+// allowEntry is one //lemonvet:allow comment.
+type allowEntry struct {
+	name string // canonical analyzer name, "" when the written name is unknown
+	raw  string // analyzer name as written
+	pos  token.Position
+	used bool // covered at least one finding this run
+}
+
+// allowSet records, per file and line, which analyzers are suppressed
+// there, and tracks which allow comments actually fired so stale ones can
+// be reported. A finding is covered when an allow comment for its analyzer
+// sits on the finding's own line (trailing comment) or on the line
+// directly above it.
+type allowSet struct {
+	byLine map[string]map[int][]*allowEntry
+	order  []*allowEntry
+}
 
 // allowAliases maps shorthand names accepted in //lemonvet:allow comments to
 // canonical analyzer names.
@@ -17,8 +31,31 @@ var allowAliases = map[string]string{
 	"panic": "panicpolicy",
 }
 
-func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
-	set := make(allowSet)
+func newAllowSet() *allowSet {
+	return &allowSet{byLine: make(map[string]map[int][]*allowEntry)}
+}
+
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	set := newAllowSet()
+	set.add(fset, files)
+	return set
+}
+
+// collectAllowsAll gathers the allow comments of every package into one
+// set, so program-analyzer findings in any package resolve against it.
+func collectAllowsAll(pkgs []*Package) *allowSet {
+	set := newAllowSet()
+	for _, pkg := range pkgs {
+		set.add(pkg.Fset, pkg.Files)
+	}
+	return set
+}
+
+func (s *allowSet) add(fset *token.FileSet, files []*ast.File) {
+	known := make(map[string]bool)
+	for _, name := range Names() {
+		known[name] = true
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -30,34 +67,65 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 				if len(fields) == 0 {
 					continue
 				}
-				name := fields[0]
+				raw := fields[0]
+				name := raw
 				if canon, ok := allowAliases[name]; ok {
 					name = canon
 				}
-				pos := fset.Position(c.Pos())
-				byLine := set[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int][]string)
-					set[pos.Filename] = byLine
+				if !known[name] {
+					name = ""
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], name)
+				entry := &allowEntry{name: name, raw: raw, pos: fset.Position(c.Pos())}
+				byLine := s.byLine[entry.pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]*allowEntry)
+					s.byLine[entry.pos.Filename] = byLine
+				}
+				byLine[entry.pos.Line] = append(byLine[entry.pos.Line], entry)
+				s.order = append(s.order, entry)
 			}
 		}
 	}
-	return set
 }
 
-func (s allowSet) covers(f Finding) bool {
-	byLine := s[f.Pos.Filename]
+func (s *allowSet) covers(f Finding) bool {
+	byLine := s.byLine[f.Pos.Filename]
 	if byLine == nil {
 		return false
 	}
+	covered := false
 	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		for _, name := range byLine[line] {
-			if name == f.Analyzer {
-				return true
+		for _, entry := range byLine[line] {
+			if entry.name == f.Analyzer {
+				entry.used = true
+				covered = true
 			}
 		}
 	}
-	return false
+	return covered
+}
+
+// stale returns one Finding (Analyzer "suppress") per allow comment that
+// suppressed nothing in this run, or that names no known analyzer. Call it
+// only after every covers() query of the run.
+func (s *allowSet) stale() []Finding {
+	var out []Finding
+	for _, entry := range s.order {
+		switch {
+		case entry.name == "":
+			out = append(out, Finding{
+				Analyzer: "suppress",
+				Pos:      entry.pos,
+				Message:  fmt.Sprintf("//lemonvet:allow names unknown analyzer %q", entry.raw),
+			})
+		case !entry.used:
+			out = append(out, Finding{
+				Analyzer: "suppress",
+				Pos:      entry.pos,
+				Message:  fmt.Sprintf("stale //lemonvet:allow %s: it suppresses no finding; delete it", entry.raw),
+			})
+		}
+	}
+	sortFindings(out)
+	return out
 }

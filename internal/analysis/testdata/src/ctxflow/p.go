@@ -1,0 +1,45 @@
+// Package ctxflow is the fixture for the ctxflow program analyzer:
+// exported functions take ctx first, and library code never mints root
+// contexts with context.Background()/context.TODO().
+package ctxflow
+
+import "context"
+
+// OKFirst threads ctx in the canonical position.
+func OKFirst(ctx context.Context, n int) error {
+	return work(ctx, n)
+}
+
+// BadSecond takes ctx after another parameter.
+func BadSecond(n int, ctx context.Context) error { // want ctxflow
+	return work(ctx, n)
+}
+
+// BadBackground mints a root context in library code.
+func BadBackground(n int) error {
+	return work(context.Background(), n) // want ctxflow
+}
+
+// BadTODO defers the decision instead of threading the caller's ctx.
+func BadTODO(n int) error {
+	return work(context.TODO(), n) // want ctxflow
+}
+
+// Suppressed documents a bit-identical fast path; this is the fixture's
+// //lemonvet:allow example.
+func Suppressed(n int) error {
+	return work(context.Background(), n) //lemonvet:allow ctxflow fixture example: documented fast path
+}
+
+// helper is unexported, so the ctx-position rule does not apply to it.
+func helper(n int, ctx context.Context) error {
+	return work(ctx, n)
+}
+
+func work(ctx context.Context, n int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}

@@ -1,0 +1,70 @@
+// Package lockorder is the fixture for the lockorder program analyzer:
+// the program-wide lock acquisition order must be acyclic.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+	muE sync.Mutex
+	muF sync.Mutex
+)
+
+// AB and BA nest muA and muB in opposite orders: a two-lock cycle visible
+// without any call graph.
+func AB() {
+	muA.Lock()
+	muB.Lock() // want lockorder
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// BA is the inverted half of the AB cycle.
+func BA() {
+	muB.Lock()
+	muA.Lock() // want lockorder
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// CD holds muC across a call to lockD, which acquires muD; DC nests the
+// same pair directly in the other order. This cycle is visible only
+// through the call graph.
+func CD() {
+	muC.Lock()
+	lockD() // want lockorder
+	muC.Unlock()
+}
+
+func lockD() {
+	muD.Lock()
+	muD.Unlock()
+}
+
+// DC is the direct half of the call-transitive cycle.
+func DC() {
+	muD.Lock()
+	muC.Lock() // want lockorder
+	muC.Unlock()
+	muD.Unlock()
+}
+
+// OKNested always takes muE before muF: consistent order, no finding.
+func OKNested() {
+	muE.Lock()
+	muF.Lock()
+	muF.Unlock()
+	muE.Unlock()
+}
+
+// Reentrant double-acquires muE — an immediate deadlock with sync.Mutex —
+// and is the fixture's //lemonvet:allow example.
+func Reentrant() {
+	muE.Lock()
+	muE.Lock() //lemonvet:allow lockorder fixture example: reentrant acquire kept to exercise suppression
+	muE.Unlock()
+	muE.Unlock()
+}

@@ -1,0 +1,30 @@
+// Package core is a stand-in for the wear-accounting core: the logahead
+// analyzer recognizes wear-state mutators by the /core import-path suffix
+// of the method's receiver type, so this fixture package must live under a
+// directory named core.
+package core
+
+import "errors"
+
+// ErrExhausted is returned when the wearout budget is spent.
+var ErrExhausted = errors.New("core: wearout budget exhausted")
+
+// Architecture models a limited-use primitive with a wearout budget.
+type Architecture struct {
+	// Remaining is the unspent wearout budget.
+	Remaining int
+}
+
+// Access consumes one use and returns the remaining budget.
+func (a *Architecture) Access() (int, error) {
+	if a.Remaining <= 0 {
+		return 0, ErrExhausted
+	}
+	a.Remaining--
+	return a.Remaining, nil
+}
+
+// Restore overwrites wear state from a snapshot.
+func (a *Architecture) Restore(remaining int) {
+	a.Remaining = remaining
+}

@@ -1,0 +1,67 @@
+// Package registry is the fixture for the logahead program analyzer: a
+// wear-state mutation (core.Architecture Access/Restore) must be dominated
+// by a Store.Append whose error was checked — DESIGN.md §8's log-ahead
+// rule. Deleting the Append (BadNoAppend) or discarding its error
+// (BadUncheckedAppend) makes the pass fire.
+package registry
+
+import (
+	"lemonade/internal/analysis/testdata/src/logahead/core"
+	"lemonade/internal/analysis/testdata/src/logahead/store"
+)
+
+// Entry pairs an architecture with its durable log.
+type Entry struct {
+	arch  *core.Architecture
+	store *store.Store
+}
+
+// OKLogAhead appends, checks the error, then mutates: the canonical shape.
+func (e *Entry) OKLogAhead(id string) (int, error) {
+	done, err := e.store.AppendAccess(id)
+	if err != nil {
+		return 0, err
+	}
+	defer done()
+	return e.arch.Access()
+}
+
+// BadNoAppend mutates wear state with no append at all.
+func (e *Entry) BadNoAppend() (int, error) {
+	return e.arch.Access() // want logahead
+}
+
+// BadUncheckedAppend appends but discards the error: durability was never
+// confirmed, so no barrier is established.
+func (e *Entry) BadUncheckedAppend(id string) (int, error) {
+	done, _ := e.store.AppendAccess(id)
+	defer done()
+	return e.arch.Access() // want logahead
+}
+
+// fire is not locally barriered, but its only caller appends first, so the
+// mutation is accepted through the call graph.
+func (e *Entry) fire() (int, error) {
+	return e.arch.Access()
+}
+
+// OKCallerAppends performs the checked append before calling fire.
+func (e *Entry) OKCallerAppends(id string) (int, error) {
+	done, err := e.store.AppendAccess(id)
+	if err != nil {
+		return 0, err
+	}
+	defer done()
+	return e.fire()
+}
+
+// BadRestore overwrites wear state with nothing logged.
+func (e *Entry) BadRestore(n int) {
+	e.arch.Restore(n) // want logahead
+}
+
+// Replay applies a record that is already durable in the log; this is the
+// fixture's //lemonvet:allow example.
+func (e *Entry) Replay() {
+	_, _ = e.arch.Access() //lemonvet:allow logahead fixture example: record already durable in the log
+}

@@ -25,6 +25,7 @@
 package bench
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -123,16 +124,20 @@ type Case struct {
 	Setup func(env *Env) (run func() ([]byte, error), cleanup func(), err error)
 }
 
-// Env is what a Case's Setup sees: the run seed and a scratch-dir
-// factory for cases that need a filesystem (the WAL path).
+// Env is what a Case's Setup sees: the caller's context (threaded into
+// every context-aware callee the workload drives), the run seed, and a
+// scratch-dir factory for cases that need a filesystem (the WAL path).
 type Env struct {
+	Ctx     context.Context
 	Seed    uint64
 	scratch string
 	temps   []string
 }
 
-// Run executes the suite under cfg and assembles the report.
-func Run(cfg Config) (*Report, error) {
+// Run executes the suite under cfg and assembles the report. ctx flows
+// into every case's workload; canceling it aborts the blocking paths
+// (montecarlo, dse, registry accesses) mid-iteration.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if cfg.NowNanos == nil {
 		return nil, errors.New("bench: Config.NowNanos is required (the harness never reads the wall clock itself)")
@@ -151,7 +156,7 @@ func Run(cfg Config) (*Report, error) {
 		if cfg.Filter != "" && !strings.Contains(c.Name, cfg.Filter) {
 			continue
 		}
-		res, err := runCase(cfg, c)
+		res, err := runCase(ctx, cfg, c)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", c.Name, err)
 		}
@@ -169,8 +174,8 @@ func Run(cfg Config) (*Report, error) {
 // untimed), then N timed iterations with per-iteration allocation
 // deltas. Any digest drift between iterations aborts the run — a
 // nondeterministic hot path is a bug this harness exists to catch.
-func runCase(cfg Config, c Case) (Result, error) {
-	env := &Env{Seed: cfg.Seed, scratch: cfg.Scratch}
+func runCase(ctx context.Context, cfg Config, c Case) (Result, error) {
+	env := &Env{Ctx: ctx, Seed: cfg.Seed, scratch: cfg.Scratch}
 	defer env.removeTemps()
 	run, cleanup, err := c.Setup(env)
 	if err != nil {

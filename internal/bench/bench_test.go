@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -22,7 +23,7 @@ func testConfig(t *testing.T) Config {
 // of ISSUE 5 (montecarlo, DSE cold+cached, the codec, the WAL's three
 // phases, HTTP) must all be present in a full run.
 func TestSuiteCoversHotPaths(t *testing.T) {
-	rep, err := Run(testConfig(t))
+	rep, err := Run(context.Background(), testConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +71,11 @@ func TestSuiteCoversHotPaths(t *testing.T) {
 func TestSuiteDeterministicChecksums(t *testing.T) {
 	cfg := testConfig(t)
 	cfg.N, cfg.Warmup = 2, 1
-	r1, err := Run(cfg)
+	r1, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(cfg)
+	r2, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestSuiteDeterministicChecksums(t *testing.T) {
 func TestCompareSelfIsClean(t *testing.T) {
 	cfg := testConfig(t)
 	cfg.Filter = "codec"
-	rep, err := Run(cfg)
+	rep, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestReportFileRoundTrip(t *testing.T) {
 // TestRunRequiresClock pins that the harness refuses to run without an
 // injected clock rather than silently reporting zeros.
 func TestRunRequiresClock(t *testing.T) {
-	if _, err := Run(Config{Seed: 1}); err == nil {
+	if _, err := Run(context.Background(), Config{Seed: 1}); err == nil {
 		t.Fatal("Run without NowNanos succeeded")
 	}
 }

@@ -74,9 +74,10 @@ func Suite() []Case {
 func setupMonteCarlo(env *Env) (func() ([]byte, error), func(), error) {
 	d := weibull.MustNew(14, 8)
 	trial := func(r *rng.RNG) float64 { return d.Sample(r) }
+	ctx := env.Ctx
 	seed := env.Seed
 	run := func() ([]byte, error) {
-		s, err := montecarlo.RunParallel(context.Background(), seed, 4096, trial)
+		s, err := montecarlo.RunParallel(ctx, seed, 4096, trial)
 		if err != nil {
 			return nil, err
 		}
@@ -94,8 +95,9 @@ func setupMonteCarlo(env *Env) (func() ([]byte, error), func(), error) {
 // the paper's baseline problem, uncached — the cost a cache miss pays.
 func setupFrontierCold(env *Env) (func() ([]byte, error), func(), error) {
 	spec := paperSpec()
+	ctx := env.Ctx
 	run := func() ([]byte, error) {
-		designs, err := dse.ExploreFrontier(context.Background(), spec)
+		designs, err := dse.ExploreFrontier(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -244,8 +246,7 @@ func openStore(dir string, reg *registry.Registry) (*wal.DiskStore, wal.Recovery
 
 // driveAccesses performs n durable accesses through the registry entry,
 // recording each outcome class into out.
-func driveAccesses(out *bytes.Buffer, e *registry.Entry, n int) error {
-	ctx := context.Background()
+func driveAccesses(ctx context.Context, out *bytes.Buffer, e *registry.Entry, n int) error {
 	for i := 0; i < n; i++ {
 		secret, err := e.Access(ctx, nems.RoomTemp)
 		switch {
@@ -266,6 +267,7 @@ func driveAccesses(out *bytes.Buffer, e *registry.Entry, n int) error {
 // directory, provision one architecture through the log-ahead store, and
 // drive walAccesses fsynced accesses — a fresh directory per iteration.
 func setupWALAppend(env *Env) (func() ([]byte, error), func(), error) {
+	ctx := env.Ctx
 	seed := env.Seed
 	run := func() ([]byte, error) {
 		dir, err := env.TempDir()
@@ -289,7 +291,7 @@ func setupWALAppend(env *Env) (func() ([]byte, error), func(), error) {
 		}
 		var out bytes.Buffer
 		fmt.Fprintf(&out, "id=%s\n", e.ID)
-		if err := driveAccesses(&out, e, walAccesses); err != nil {
+		if err := driveAccesses(ctx, &out, e, walAccesses); err != nil {
 			return nil, err
 		}
 		total, okCount := e.Arch.Accesses()
@@ -308,7 +310,7 @@ func setupWALReplay(env *Env) (func() ([]byte, error), func(), error) {
 		return nil, nil, err
 	}
 	seed := env.Seed
-	if err := buildWALFixture(dir, seed, false); err != nil {
+	if err := buildWALFixture(env.Ctx, dir, seed, false); err != nil {
 		return nil, nil, err
 	}
 	run := func() ([]byte, error) { return recoverDir(dir) }
@@ -324,7 +326,7 @@ func setupWALSnapshotRecovery(env *Env) (func() ([]byte, error), func(), error) 
 		return nil, nil, err
 	}
 	seed := env.Seed
-	if err := buildWALFixture(dir, seed, true); err != nil {
+	if err := buildWALFixture(env.Ctx, dir, seed, true); err != nil {
 		return nil, nil, err
 	}
 	run := func() ([]byte, error) { return recoverDir(dir) }
@@ -334,7 +336,7 @@ func setupWALSnapshotRecovery(env *Env) (func() ([]byte, error), func(), error) 
 // buildWALFixture populates dir with one provisioned architecture and
 // two batches of walAccesses accesses; with snapshot set, a snapshot is
 // taken between the batches so recovery loads it and replays the tail.
-func buildWALFixture(dir string, seed uint64, snapshot bool) error {
+func buildWALFixture(ctx context.Context, dir string, seed uint64, snapshot bool) error {
 	reg := registry.New(1)
 	store, _, err := openStore(dir, reg)
 	if err != nil {
@@ -351,7 +353,7 @@ func buildWALFixture(dir string, seed uint64, snapshot bool) error {
 		return err
 	}
 	var sink bytes.Buffer
-	if err := driveAccesses(&sink, e, walAccesses); err != nil {
+	if err := driveAccesses(ctx, &sink, e, walAccesses); err != nil {
 		return err
 	}
 	if snapshot {
@@ -359,7 +361,7 @@ func buildWALFixture(dir string, seed uint64, snapshot bool) error {
 			return err
 		}
 	}
-	return driveAccesses(&sink, e, walAccesses)
+	return driveAccesses(ctx, &sink, e, walAccesses)
 }
 
 // recoverDir runs one cold recovery of dir into a fresh registry and

@@ -30,10 +30,10 @@ type call[V any] struct {
 // value is not usable; construct with New.
 type Cache[V any] struct {
 	mu       sync.Mutex
-	capacity int
-	items    map[string]*entry[V]
-	root     entry[V] // list sentinel
-	flight   map[string]*call[V]
+	capacity int                  // immutable after New
+	items    map[string]*entry[V] // guarded by mu
+	root     entry[V]             // guarded by mu; list sentinel
+	flight   map[string]*call[V]  // guarded by mu
 
 	hits, misses uint64 // guarded by mu
 }

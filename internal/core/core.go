@@ -266,6 +266,7 @@ func Build(design dse.Design, secret []byte, r *rng.RNG) (*Architecture, error) 
 // retry (the next copy takes over); ErrExhausted means the secret is gone.
 // It is equivalent to AccessContext(context.Background(), env).
 func (a *Architecture) Access(env nems.Environment) ([]byte, error) {
+	//lemonvet:allow ctxflow documented bit-identical fast path: Access is defined as AccessContext rooted at Background
 	return a.AccessContext(context.Background(), env)
 }
 

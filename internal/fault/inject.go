@@ -220,7 +220,8 @@ func WithSleep(fn func(time.Duration)) Option {
 
 // WithOpLog records every counted operation for record-then-target tests.
 func WithOpLog() Option {
-	return func(in *Injector) { in.logOps = true }
+	// Options run inside NewInjector before the injector is shared.
+	return func(in *Injector) { in.logOps = true } //lemonvet:allow guardedby option applies pre-publication, inside NewInjector
 }
 
 // Injector is an FS that executes a Plan: it counts mutating operations
@@ -231,11 +232,11 @@ type Injector struct {
 	sleep func(time.Duration)
 
 	mu     sync.Mutex
-	n      uint64
-	rules  map[uint64]Rule
-	fired  []Injection
-	logOps bool
-	ops    []Op
+	n      uint64          // guarded by mu
+	rules  map[uint64]Rule // guarded by mu
+	fired  []Injection     // guarded by mu
+	logOps bool            // guarded by mu
+	ops    []Op            // guarded by mu
 }
 
 // NewInjector wraps inner with the given plan.

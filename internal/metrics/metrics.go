@@ -57,10 +57,10 @@ var DefLatencyBuckets = []float64{
 // bounds, Prometheus-style.
 type Histogram struct {
 	mu     sync.Mutex
-	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
-	counts []uint64  // len(bounds)+1
-	sum    float64
-	count  uint64
+	bounds []float64 // sorted upper bounds, immutable after construction; an implicit +Inf bucket follows
+	counts []uint64  // guarded by mu; len(bounds)+1
+	sum    float64   // guarded by mu
+	count  uint64    // guarded by mu
 }
 
 // Observe records one value (for latency histograms, in seconds).
@@ -158,8 +158,8 @@ type family struct {
 // It serves itself over HTTP as the /metrics handler.
 type Registry struct {
 	mu       sync.Mutex
-	families []*family
-	byName   map[string]*family
+	families []*family          // guarded by mu; registration order
+	byName   map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -216,8 +216,21 @@ func (r *Registry) Histogram(name, labels, help string, bounds []float64) *Histo
 
 // WriteText renders every family in the Prometheus text exposition format.
 func (r *Registry) WriteText(w io.Writer) error {
+	// Snapshot the families AND their series lists under the lock:
+	// lookup appends to f.series concurrently, so iterating the live
+	// slice outside r.mu would race with registration.
+	type famSnapshot struct {
+		name, help, typ string
+		series          []*series
+	}
 	r.mu.Lock()
-	fams := append([]*family(nil), r.families...)
+	fams := make([]famSnapshot, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, famSnapshot{
+			name: f.name, help: f.help, typ: f.typ,
+			series: append([]*series(nil), f.series...),
+		})
+	}
 	r.mu.Unlock()
 	for _, f := range fams {
 		if f.help != "" {

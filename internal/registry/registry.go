@@ -132,8 +132,8 @@ type Entry struct {
 	accessMu sync.Mutex
 
 	evMu    sync.Mutex
-	events  []core.AccessEvent // ring of the EventRingSize most recent events
-	evCount uint64             // events ever observed; write cursor is evCount % size
+	events  []core.AccessEvent // guarded by evMu; ring of the EventRingSize most recent events
+	evCount uint64             // guarded by evMu; events ever observed; write cursor is evCount % size
 }
 
 // Access durably records then performs one wearout-consuming access.
@@ -194,7 +194,7 @@ func (e *Entry) Events(max int) []core.AccessEvent {
 
 type shard struct {
 	mu sync.RWMutex
-	m  map[string]*Entry
+	m  map[string]*Entry // guarded by mu
 }
 
 // Registry is a sharded architecture store, safe for concurrent use.

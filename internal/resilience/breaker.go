@@ -75,10 +75,10 @@ type Breaker struct {
 	now       func() int64
 
 	mu       sync.Mutex
-	state    State
-	fails    int // consecutive failures while closed
-	openedAt int64
-	probing  bool
+	state    State // guarded by mu
+	fails    int   // guarded by mu; consecutive failures while closed
+	openedAt int64 // guarded by mu
+	probing  bool  // guarded by mu
 
 	gState    *metrics.Gauge
 	gDegraded *metrics.Gauge
