@@ -14,6 +14,14 @@ import (
 	"time"
 )
 
+// Retry policy: WithRetryOn503 sets HOW MANY times a 503 is retried;
+// WithRetryBackoff sets HOW LONG to wait between attempts when the
+// server is silent. A server-sent Retry-After header always takes
+// precedence over the computed backoff — the server knows its drain
+// better than any client-side schedule. Without WithRetryBackoff the
+// client waits only when the server sends Retry-After (the original
+// fixed behavior), so existing callers are unchanged.
+
 // Error is the typed failure returned by every Client method when the
 // server answered with a non-2xx status. It preserves the HTTP status,
 // the decoded error body, and the server's Retry-After hint, so callers
@@ -22,9 +30,15 @@ import (
 type Error struct {
 	StatusCode int
 	Message    string
-	Field      string        // offending field, for validation failures
-	Retry      bool          // server says retrying may succeed
-	RetryAfter time.Duration // parsed Retry-After header, 0 if absent
+	Field      string // offending field, for validation failures
+	Retry      bool   // server says retrying may succeed
+	// RetryAfter is the parsed Retry-After header, 0 if absent or
+	// unparseable. Both RFC 9110 forms are understood: delta-seconds
+	// ("Retry-After: 3") and HTTP-date ("Retry-After: Fri, 08 Aug 2026
+	// 17:00:00 GMT"); the date form is resolved against the response's
+	// own Date header, so server/client clock skew cancels out. Callers
+	// never need to re-parse headers.
+	RetryAfter time.Duration
 }
 
 func (e *Error) Error() string {
@@ -41,8 +55,12 @@ func IsExhausted(err error) bool {
 	return errors.As(err, &ae) && ae.StatusCode == http.StatusGone
 }
 
-// IsTransient reports whether err is a retryable failure (HTTP 503): the
-// active copy died mid-access and the next copy takes over.
+// IsTransient reports whether err is a retryable failure (HTTP 503).
+// The server answers 503 for every transient refusal: a copy died
+// mid-access and the next takes over, the circuit breaker is open, the
+// load-shedder rejected the request at the door, or the durable store
+// wrapped a commit failure (ErrStore) — in all cases no wearout budget
+// was consumed and retrying the same request may succeed.
 func IsTransient(err error) bool {
 	var ae *Error
 	return errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable
@@ -63,6 +81,11 @@ type Client struct {
 	// retry503 is how many times a 503 response is retried (0 = no
 	// retries). Waits honor the server's Retry-After header.
 	retry503 int
+	// backoffBase/backoffMax, when set, schedule the wait before retry
+	// attempt k as jittered exponential backoff capped at backoffMax —
+	// used only when the server sent no Retry-After (see backoff).
+	backoffBase time.Duration
+	backoffMax  time.Duration
 	// sleep waits for d or until ctx is done, whichever is first,
 	// returning ctx.Err() in the latter case. Injectable so retry tests
 	// run instantly.
@@ -96,8 +119,48 @@ func WithTimeout(d time.Duration) Option { return func(c *Client) { c.httpc.Time
 
 // WithRetryOn503 makes every request retry up to n times when the server
 // answers 503 (transient access failure or shutdown drain), sleeping for
-// the server's Retry-After between attempts.
+// the server's Retry-After between attempts. Combine with
+// WithRetryBackoff to also wait when the server sends no Retry-After.
 func WithRetryOn503(n int) Option { return func(c *Client) { c.retry503 = n } }
+
+// WithRetryBackoff schedules the wait between 503 retries when the
+// server sends no Retry-After header: attempt k (0-based) waits
+// min(max, base<<k) shrunk by a jitter that is a pure function of k —
+// deterministic given the attempt count, so retry traces replay exactly,
+// yet de-synchronized across successive attempts. A server-sent
+// Retry-After always overrides the computed wait. The option sets only
+// the schedule; pair it with WithRetryOn503(n) to enable retries at all.
+func WithRetryBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.backoffBase, c.backoffMax = base, max }
+}
+
+// backoff computes the attempt-k wait for WithRetryBackoff: exponential
+// growth base<<k capped at backoffMax, then scaled into [1/2, 1) of that
+// ceiling by a splitmix64-style hash of k. No global RNG is consulted —
+// two clients configured alike back off identically, which keeps retry
+// tests and recorded traces deterministic.
+func (c *Client) backoff(attempt int) time.Duration {
+	if c.backoffBase <= 0 {
+		return 0
+	}
+	d := c.backoffMax
+	if attempt < 62 {
+		if exp := c.backoffBase << uint(attempt); exp > 0 && exp < d {
+			d = exp
+		}
+	}
+	if d <= 1 {
+		return d
+	}
+	// splitmix64 finalizer on the attempt number: well-mixed bits from a
+	// trivially small domain, with no process-global state.
+	z := uint64(attempt) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	half := uint64(d) / 2
+	return time.Duration(half + z%(uint64(d)-half))
+}
 
 // NewClient returns a client for the daemon at base (e.g.
 // "http://127.0.0.1:8080").
@@ -150,6 +213,12 @@ func (c *Client) Access(ctx context.Context, id string, req AccessRequest) (*Acc
 
 // List pages through the fleet in deterministic ID order. An empty
 // afterID starts from the beginning; limit <= 0 lets the server choose.
+//
+// The response is returned faithfully: in particular NextAfterID is
+// preserved even when Architectures is empty. A server (or a filtering
+// proxy in front of one) may legally emit an empty page mid-pagination
+// with the cursor still set, so "page is empty" does NOT mean "done" —
+// loop until NextAfterID is empty, never until a page has no rows.
 func (c *Client) List(ctx context.Context, afterID string, limit int) (*ListResponse, error) {
 	q := url.Values{}
 	if afterID != "" {
@@ -253,12 +322,20 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if !retryable || attempt >= c.retry503 {
 			return lastErr
 		}
+		// Server-sent Retry-After wins; the configured backoff schedule
+		// fills in only when the server was silent.
+		var wait time.Duration
 		var ae *Error
 		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			wait = ae.RetryAfter
+		} else {
+			wait = c.backoff(attempt)
+		}
+		if wait > 0 {
 			// The wait is capped by the request context: a server
 			// suggesting Retry-After: 3600 against a 50ms deadline gives
 			// up in 50ms, not an hour.
-			if serr := c.sleep(ctx, ae.RetryAfter); serr != nil {
+			if serr := c.sleep(ctx, wait); serr != nil {
 				return serr
 			}
 		}
@@ -266,6 +343,36 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return err
 		}
 	}
+}
+
+// parseRetryAfter turns a Retry-After header into a wait. RFC 9110
+// allows two forms: delta-seconds ("3") and HTTP-date ("Fri, 08 Aug 2026
+// 17:00:00 GMT"). The date form is resolved against the response's own
+// Date header — both stamps come from the server's clock, so their
+// difference is skew-free, and no wall clock is read here (the lemonvet
+// determinism contract covers this package). Go's net/http sets Date on
+// every response automatically; if it is missing or unparseable the date
+// form is ignored rather than guessed. Unparseable or already-elapsed
+// values yield 0.
+func parseRetryAfter(ra, date string) time.Duration {
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	when, err := http.ParseTime(ra)
+	if err != nil {
+		return 0
+	}
+	ref, err := http.ParseTime(date)
+	if err != nil {
+		return 0
+	}
+	if wait := when.Sub(ref); wait > 0 {
+		return wait
+	}
+	return 0
 }
 
 // once performs a single HTTP exchange; retryable reports whether the
@@ -300,9 +407,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 			ae.Message = strings.TrimSpace(string(payload))
 		}
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
-				ae.RetryAfter = time.Duration(secs) * time.Second
-			}
+			ae.RetryAfter = parseRetryAfter(ra, resp.Header.Get("Date"))
 		}
 		return resp.StatusCode == http.StatusServiceUnavailable, ae
 	}

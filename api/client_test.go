@@ -169,6 +169,143 @@ func TestRetryOn503(t *testing.T) {
 	}
 }
 
+// TestRetryBackoffDeterministic pins WithRetryBackoff: with no server
+// Retry-After, attempt k waits a jittered share of min(max, base<<k) —
+// and because the jitter is a pure function of k, two identically
+// configured clients produce the exact same schedule.
+func TestRetryBackoffDeterministic(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable) // no Retry-After
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "transient", Retry: true})
+	})
+	const base, max = 10 * time.Millisecond, 80 * time.Millisecond
+	c, _ := newTestClient(t, h, WithRetryOn503(5), WithRetryBackoff(base, max))
+	var slept []time.Duration
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+
+	if _, err := c.Access(context.Background(), "arch-000001", AccessRequest{}); !IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if calls.Load() != 6 || len(slept) != 5 {
+		t.Fatalf("calls=%d slept=%v, want 6 calls and 5 waits", calls.Load(), slept)
+	}
+	for k, d := range slept {
+		ceil := max
+		if exp := base << uint(k); exp < ceil {
+			ceil = exp
+		}
+		if d < ceil/2 || d >= ceil {
+			t.Errorf("attempt %d slept %v, want within [%v, %v)", k, d, ceil/2, ceil)
+		}
+		if want := c.backoff(k); d != want {
+			t.Errorf("attempt %d slept %v, want the deterministic %v", k, d, want)
+		}
+	}
+	// A second identically configured client computes the same schedule.
+	c2, err := NewClient("http://example.com", WithRetryBackoff(base, max))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, d := range slept {
+		if want := c2.backoff(k); d != want {
+			t.Errorf("attempt %d: clients disagree (%v vs %v)", k, d, want)
+		}
+	}
+}
+
+// TestRetryAfterOverridesBackoff: a server-sent Retry-After beats the
+// configured backoff schedule.
+func TestRetryAfterOverridesBackoff(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "transient", Retry: true})
+	})
+	c, _ := newTestClient(t, h, WithRetryOn503(2), WithRetryBackoff(time.Millisecond, time.Second))
+	var slept []time.Duration
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	if _, err := c.Access(context.Background(), "arch-000001", AccessRequest{}); !IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if len(slept) != 2 || slept[0] != 7*time.Second || slept[1] != 7*time.Second {
+		t.Errorf("slept %v, want two 7s waits from Retry-After", slept)
+	}
+}
+
+// TestRetryAfterHTTPDate: the HTTP-date form of Retry-After parses
+// relative to the response's own Date header, so clock skew between
+// server and client cancels out.
+func TestRetryAfterHTTPDate(t *testing.T) {
+	// The server's absolute clock is irrelevant — only the delta between
+	// its Date and Retry-After stamps matters, so skew cancels out.
+	serverNow := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Date", serverNow.Format(http.TimeFormat))
+		w.Header().Set("Retry-After", serverNow.Add(7*time.Second).Format(http.TimeFormat))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "draining", Retry: true})
+	})
+	c, _ := newTestClient(t, h)
+	err := c.do(context.Background(), http.MethodGet, "/v1/architectures", nil, nil)
+	var ae *Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *Error", err)
+	}
+	if ae.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v, want 7s (HTTP-date relative to Date header)", ae.RetryAfter)
+	}
+
+	date := serverNow.Format(http.TimeFormat)
+	if d := parseRetryAfter("not-a-date", date); d != 0 {
+		t.Errorf("unparseable Retry-After = %v, want 0", d)
+	}
+	if d := parseRetryAfter("-3", date); d != 0 {
+		t.Errorf("negative delta-seconds = %v, want 0", d)
+	}
+	past := serverNow.Add(-time.Hour).Format(http.TimeFormat)
+	if d := parseRetryAfter(past, date); d != 0 {
+		t.Errorf("already-elapsed HTTP-date = %v, want 0", d)
+	}
+	future := serverNow.Add(time.Minute).Format(http.TimeFormat)
+	if d := parseRetryAfter(future, ""); d != 0 {
+		t.Errorf("HTTP-date with no Date reference = %v, want 0 (never guessed)", d)
+	}
+}
+
+// TestListEmptyPageKeepsCursor is the pagination regression test: an
+// empty page mid-pagination must still surface the server's
+// next_after_id, or a paginating caller silently drops the rest of the
+// fleet.
+func TestListEmptyPageKeepsCursor(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("after_id") != "arch-000003" {
+			t.Errorf("after_id = %q", r.URL.Query().Get("after_id"))
+		}
+		_, _ = w.Write([]byte(`{"architectures":[],"next_after_id":"arch-000007"}`))
+	})
+	c, _ := newTestClient(t, h)
+	list, err := c.List(context.Background(), "arch-000003", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Architectures) != 0 {
+		t.Errorf("architectures = %+v, want empty page", list.Architectures)
+	}
+	if list.NextAfterID != "arch-000007" {
+		t.Errorf("NextAfterID = %q, want %q preserved on an empty page", list.NextAfterID, "arch-000007")
+	}
+}
+
 // TestRetryBudgetExhausted: once retries run out the 503 surfaces as a
 // transient typed error.
 func TestRetryBudgetExhausted(t *testing.T) {

@@ -9,15 +9,19 @@ import (
 // LogAhead turns DESIGN.md §8's log-ahead rule into a build-breaking
 // check: inside the wear-accounting packages (registry, wal), any call
 // that mutates wear state — core.Architecture Access/AccessContext/
-// Restore, nems switch actuations — must be dominated by a *checked*
-// Store.Append (AppendAccess/AppendProvision whose error result is tested
-// before the mutation). A mutation that is not locally dominated is still
-// accepted when every call path reaching its function performs the
-// checked append first; replay and recovery paths that legitimately apply
-// already-durable records carry an explicit //lemonvet:allow logahead.
+// Restore, nems switch actuations — must be dominated by a *checked
+// commit ticket wait*: a `tkt, err := store.Append(...)` whose ticket's
+// Wait() error result is tested before the mutation. With group commit,
+// Append only stages the record; the ticket resolving is the proof it is
+// durably fsynced, so checking the Append error alone does NOT establish
+// the barrier — deleting the ticket-wait before the NEMS fire fails the
+// build. A mutation that is not locally dominated is still accepted when
+// every call path reaching its function performs the checked wait first;
+// replay and recovery paths that legitimately apply already-durable
+// records carry an explicit //lemonvet:allow logahead.
 var LogAhead = &ProgramAnalyzer{
 	Name: "logahead",
-	Doc:  "wear-state mutations in registry/wal must be preceded by a checked Store.Append",
+	Doc:  "wear-state mutations in registry/wal must be preceded by a checked Store.Append commit-ticket wait",
 	Run:  runLogAhead,
 }
 
@@ -57,14 +61,15 @@ func isWearMutator(info *types.Info, call *ast.CallExpr) (string, bool) {
 	return named.Obj().Name() + "." + fn.Name(), true
 }
 
-// isStoreAppend reports whether call is a Store.Append* invocation.
+// isStoreAppend reports whether call is a Store.Append invocation (the
+// batch ticket API, or a legacy Append* name).
 func isStoreAppend(info *types.Info, call *ast.CallExpr) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
 	switch sel.Sel.Name {
-	case "AppendAccess", "AppendProvision":
+	case "Append", "AppendAccess", "AppendProvision":
 	default:
 		return false
 	}
@@ -100,7 +105,7 @@ func runLogAhead(p *ProgramPass) {
 				}
 			},
 		}
-		w.stmts(fn.Decl.Body.List, &barrierState{pending: map[types.Object]bool{}})
+		w.stmts(fn.Decl.Body.List, newBarrierState())
 	}
 
 	checker := &barrierChecker{barrierAtCall: barrierAtCall, memo: make(map[*FuncInfo]holderState)}
@@ -153,16 +158,29 @@ func (c *barrierChecker) compute(fn *FuncInfo) bool {
 	return true
 }
 
-// barrierState tracks, along one control-flow path, which error variables
-// hold the result of a Store.Append (pending) and whether a checked
-// append dominates the current point (barrier).
+// barrierState tracks, along one control-flow path, which variables hold
+// commit tickets from a Store.Append (tickets), which error variables
+// hold a ticket's Wait() result (pending), and whether a checked
+// ticket-wait dominates the current point (barrier).
 type barrierState struct {
+	tickets map[types.Object]bool
 	pending map[types.Object]bool
 	barrier bool
 }
 
+func newBarrierState() *barrierState {
+	return &barrierState{tickets: map[types.Object]bool{}, pending: map[types.Object]bool{}}
+}
+
 func (s *barrierState) clone() *barrierState {
-	out := &barrierState{pending: make(map[types.Object]bool, len(s.pending)), barrier: s.barrier}
+	out := &barrierState{
+		tickets: make(map[types.Object]bool, len(s.tickets)),
+		pending: make(map[types.Object]bool, len(s.pending)),
+		barrier: s.barrier,
+	}
+	for k, v := range s.tickets {
+		out.tickets[k] = v
+	}
 	for k, v := range s.pending {
 		out.pending[k] = v
 	}
@@ -267,17 +285,34 @@ func (w *barrierWalker) stmt(s ast.Stmt, st *barrierState) {
 		for _, e := range s.Lhs {
 			w.expr(e, st)
 		}
-		// `done, err := store.AppendAccess(...)` marks err pending.
+		// `tkt, err := store.Append(...)` marks tkt as a commit ticket;
+		// `werr := tkt.Wait()` marks werr pending — checking THAT error is
+		// what establishes the barrier (the append error alone only proves
+		// the record was staged, not that it is durable).
 		if len(s.Rhs) == 1 {
-			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok && isStoreAppend(w.info, call) {
-				for _, lhs := range s.Lhs {
-					id, ok := lhs.(*ast.Ident)
-					if !ok || id.Name == "_" {
-						continue
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+				switch {
+				case isStoreAppend(w.info, call):
+					for _, lhs := range s.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok || id.Name == "_" {
+							continue
+						}
+						obj := identObj(w.info, id)
+						if obj != nil && !types.Identical(obj.Type(), errorType) {
+							st.tickets[obj] = true
+						}
 					}
-					obj := identObj(w.info, id)
-					if obj != nil && types.Identical(obj.Type(), errorType) {
-						st.pending[obj] = true
+				case w.isTicketWait(call, st):
+					for _, lhs := range s.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok || id.Name == "_" {
+							continue
+						}
+						obj := identObj(w.info, id)
+						if obj != nil && types.Identical(obj.Type(), errorType) {
+							st.pending[obj] = true
+						}
 					}
 				}
 			}
@@ -313,7 +348,7 @@ func (w *barrierWalker) expr(e ast.Expr, st *barrierState) {
 		if lit, ok := n.(*ast.FuncLit); ok {
 			// A closure body runs at an unknown time: walk it with a
 			// fresh, unbarriered state.
-			w.stmts(lit.Body.List, &barrierState{pending: map[types.Object]bool{}})
+			w.stmts(lit.Body.List, newBarrierState())
 			return false
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
@@ -323,8 +358,23 @@ func (w *barrierWalker) expr(e ast.Expr, st *barrierState) {
 	})
 }
 
+// isTicketWait reports whether call is tkt.Wait() on a tracked commit
+// ticket.
+func (w *barrierWalker) isTicketWait(call *ast.CallExpr, st *barrierState) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := identObj(w.info, id)
+	return obj != nil && st.tickets[obj]
+}
+
 // testsPendingErr reports whether cond reads an error variable that holds
-// a pending Store.Append result.
+// a pending commit-ticket Wait result.
 func (w *barrierWalker) testsPendingErr(cond ast.Expr, st *barrierState) bool {
 	found := false
 	ast.Inspect(cond, func(n ast.Node) bool {

@@ -1,8 +1,10 @@
 // Package registry is the fixture for the logahead program analyzer: a
-// wear-state mutation (core.Architecture Access/Restore) must be dominated
-// by a Store.Append whose error was checked — DESIGN.md §8's log-ahead
-// rule. Deleting the Append (BadNoAppend) or discarding its error
-// (BadUncheckedAppend) makes the pass fire.
+// wear-state mutation (core.Architecture Access/Restore) must be
+// dominated by a checked commit-ticket wait — `tkt, err :=
+// store.Append(...)` followed by a tested tkt.Wait() error — DESIGN.md
+// §8's log-ahead rule under group commit. Deleting the Append
+// (BadNoAppend), deleting the ticket-wait (BadNoWait), or discarding the
+// Wait error (BadUncheckedWait) makes the pass fire.
 package registry
 
 import (
@@ -16,13 +18,31 @@ type Entry struct {
 	store *store.Store
 }
 
-// OKLogAhead appends, checks the error, then mutates: the canonical shape.
+// OKLogAhead appends, checks the error, waits on the commit ticket, then
+// mutates: the canonical shape.
 func (e *Entry) OKLogAhead(id string) (int, error) {
-	done, err := e.store.AppendAccess(id)
+	tkt, err := e.store.Append([]string{id})
 	if err != nil {
 		return 0, err
 	}
-	defer done()
+	if werr := tkt.Wait(); werr != nil {
+		return 0, werr
+	}
+	defer tkt.Done()
+	return e.arch.Access()
+}
+
+// OKSeparateWait checks the Wait error in its own statement.
+func (e *Entry) OKSeparateWait(id string) (int, error) {
+	tkt, err := e.store.Append([]string{id})
+	if err != nil {
+		return 0, err
+	}
+	werr := tkt.Wait()
+	if werr != nil {
+		return 0, werr
+	}
+	defer tkt.Done()
 	return e.arch.Access()
 }
 
@@ -31,27 +51,47 @@ func (e *Entry) BadNoAppend() (int, error) {
 	return e.arch.Access() // want logahead
 }
 
-// BadUncheckedAppend appends but discards the error: durability was never
-// confirmed, so no barrier is established.
-func (e *Entry) BadUncheckedAppend(id string) (int, error) {
-	done, _ := e.store.AppendAccess(id)
-	defer done()
+// BadNoWait appends and checks the Append error but never waits on the
+// ticket: the record is only staged, never proven durable — the commit
+// barrier was deleted, so the build must break.
+func (e *Entry) BadNoWait(id string) (int, error) {
+	tkt, err := e.store.Append([]string{id})
+	if err != nil {
+		return 0, err
+	}
+	defer tkt.Done()
 	return e.arch.Access() // want logahead
 }
 
-// fire is not locally barriered, but its only caller appends first, so the
-// mutation is accepted through the call graph.
+// BadUncheckedWait waits but discards the ticket's error: a failed group
+// commit would fire the hardware anyway.
+func (e *Entry) BadUncheckedWait(id string) (int, error) {
+	tkt, err := e.store.Append([]string{id})
+	if err != nil {
+		return 0, err
+	}
+	_ = tkt.Wait()
+	defer tkt.Done()
+	return e.arch.Access() // want logahead
+}
+
+// fire is not locally barriered, but its only caller waits on the commit
+// ticket first, so the mutation is accepted through the call graph.
 func (e *Entry) fire() (int, error) {
 	return e.arch.Access()
 }
 
-// OKCallerAppends performs the checked append before calling fire.
+// OKCallerAppends performs the checked append-and-wait before calling
+// fire.
 func (e *Entry) OKCallerAppends(id string) (int, error) {
-	done, err := e.store.AppendAccess(id)
+	tkt, err := e.store.Append([]string{id})
 	if err != nil {
 		return 0, err
 	}
-	defer done()
+	if werr := tkt.Wait(); werr != nil {
+		return 0, werr
+	}
+	defer tkt.Done()
 	return e.fire()
 }
 

@@ -1,23 +1,26 @@
-// Package store is a stand-in durable log with the Store.Append* method
-// shape the logahead analyzer's barrier detection keys on.
+// Package store is a stand-in durable log with the batch ticket-based
+// Store.Append shape the logahead analyzer's barrier detection keys on.
 package store
+
+// Ticket resolves when the containing commit group is durably fsynced.
+type Ticket interface {
+	Wait() error
+	Done()
+}
+
+type readyTicket struct{}
+
+func (readyTicket) Wait() error { return nil }
+func (readyTicket) Done()       {}
 
 // Store is the durable access log.
 type Store struct {
 	appended int
 }
 
-// AppendAccess appends an access record; the returned func acknowledges
-// the durable write.
-func (s *Store) AppendAccess(id string) (func(), error) {
-	s.appended++
-	_ = id
-	return func() {}, nil
-}
-
-// AppendProvision appends a provision record.
-func (s *Store) AppendProvision(id string) (func(), error) {
-	s.appended++
-	_ = id
-	return func() {}, nil
+// Append stages the records for group commit; the returned Ticket
+// resolves when they are durable.
+func (s *Store) Append(ids []string) (Ticket, error) {
+	s.appended += len(ids)
+	return readyTicket{}, nil
 }

@@ -37,6 +37,7 @@ func TestSuiteCoversHotPaths(t *testing.T) {
 		"wal/replay",
 		"wal/snapshot_recovery",
 		"http/access",
+		"access/saturated",
 	}
 	got := make(map[string]Result, len(rep.Results))
 	for _, r := range rep.Results {

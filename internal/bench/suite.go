@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 
 	"lemonade/internal/cache"
 	"lemonade/internal/core"
@@ -64,6 +65,7 @@ func Suite() []Case {
 		{Name: "wal/replay", Setup: setupWALReplay},
 		{Name: "wal/snapshot_recovery", Setup: setupWALSnapshotRecovery},
 		{Name: "http/access", Setup: setupHTTPAccess},
+		{Name: "access/saturated", Setup: setupAccessSaturated},
 	}
 }
 
@@ -387,6 +389,59 @@ func recoverDir(dir string) ([]byte, error) {
 
 // --- http -------------------------------------------------------------------
 
+// provisionHTTP provisions one small architecture over HTTP and returns
+// its ID.
+func provisionHTTP(client *http.Client, baseURL string, seed uint64) (string, error) {
+	body := fmt.Sprintf(
+		`{"spec":{"alpha":6,"beta":8,"lab":30,"kfrac":0.1,"continuous_t":true},"secret_hex":"00112233445566778899aabbccddeeff","seed":%d}`,
+		seed)
+	resp, err := client.Post(baseURL+"/v1/architectures", "application/json",
+		bytes.NewReader([]byte(body)))
+	if err != nil {
+		return "", err
+	}
+	payload, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("provision: status %d: %s", resp.StatusCode, payload)
+	}
+	return extractID(payload)
+}
+
+// driveToLockout drives one architecture to lockout over HTTP, appending
+// every status code (and every returned secret) to out. Each
+// architecture's transcript is a pure function of its provisioning seed
+// — its wear trajectory depends only on its own NEMS RNG — so the
+// transcript is deterministic even when many of these run concurrently.
+func driveToLockout(client *http.Client, baseURL, id string, out *bytes.Buffer) error {
+	for attempt := 0; attempt < 100; attempt++ {
+		resp, err := client.Post(baseURL+"/v1/architectures/"+id+"/access", "application/json", nil)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d\n", resp.StatusCode)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			out.Write(body)
+		case http.StatusGone:
+			return nil
+		case http.StatusServiceUnavailable:
+			// transient: the next copy takes over
+		default:
+			return fmt.Errorf("access: unexpected status %d: %s", resp.StatusCode, body)
+		}
+	}
+	return fmt.Errorf("architecture %s not exhausted after 100 attempts", id)
+}
+
 // setupHTTPAccess measures the full service path: an httptest listener
 // over a real internal/server; each iteration provisions a fresh
 // architecture over HTTP and drives it to lockout, checksumming every
@@ -396,53 +451,83 @@ func setupHTTPAccess(env *Env) (func() ([]byte, error), func(), error) {
 	ts := httptest.NewServer(srv.Handler())
 	client := ts.Client()
 	seed := env.Seed
-	provisionBody := fmt.Sprintf(
-		`{"spec":{"alpha":6,"beta":8,"lab":30,"kfrac":0.1,"continuous_t":true},"secret_hex":"00112233445566778899aabbccddeeff","seed":%d}`,
-		seed)
 	run := func() ([]byte, error) {
-		resp, err := client.Post(ts.URL+"/v1/architectures", "application/json",
-			bytes.NewReader([]byte(provisionBody)))
-		if err != nil {
-			return nil, err
-		}
-		body, err := io.ReadAll(resp.Body)
-		_ = resp.Body.Close()
-		if err != nil {
-			return nil, err
-		}
-		if resp.StatusCode != http.StatusCreated {
-			return nil, fmt.Errorf("provision: status %d: %s", resp.StatusCode, body)
-		}
-		id, err := extractID(body)
+		id, err := provisionHTTP(client, ts.URL, seed)
 		if err != nil {
 			return nil, err
 		}
 		var out bytes.Buffer
-		for attempt := 0; attempt < 100; attempt++ {
-			resp, err := client.Post(ts.URL+"/v1/architectures/"+id+"/access", "application/json", nil)
-			if err != nil {
-				return nil, err
-			}
-			body, err := io.ReadAll(resp.Body)
-			_ = resp.Body.Close()
-			if err != nil {
-				return nil, err
-			}
-			fmt.Fprintf(&out, "%d\n", resp.StatusCode)
-			switch resp.StatusCode {
-			case http.StatusOK:
-				out.Write(body)
-			case http.StatusGone:
-				return out.Bytes(), nil
-			case http.StatusServiceUnavailable:
-				// transient: the next copy takes over
-			default:
-				return nil, fmt.Errorf("access: unexpected status %d: %s", resp.StatusCode, body)
-			}
+		if err := driveToLockout(client, ts.URL, id, &out); err != nil {
+			return nil, err
 		}
-		return nil, fmt.Errorf("architecture not exhausted after 100 attempts")
+		return out.Bytes(), nil
 	}
 	return run, ts.Close, nil
+}
+
+// saturatedWorkers is the concurrency of the access/saturated metric:
+// this many clients hammer the durable access path at once, which is
+// where group commit earns its keep (one fsync amortizes over the whole
+// in-flight cohort instead of serializing it).
+const saturatedWorkers = 16
+
+// setupAccessSaturated measures saturated concurrent access throughput
+// end to end: an httptest server over a WAL-backed registry, with
+// saturatedWorkers clients each driving its own architecture (seeds
+// seed+i) to lockout in parallel. The iteration time IS the saturation
+// metric — total durable accesses per iteration is fixed by the seeds,
+// so `bench compare` gates the throughput like any other median. The
+// checksum concatenates the per-architecture transcripts in architecture
+// order; interleaving across workers is scheduler noise, but each
+// architecture's own transcript is deterministic.
+func setupAccessSaturated(env *Env) (func() ([]byte, error), func(), error) {
+	seed := env.Seed
+	run := func() ([]byte, error) {
+		dir, err := env.TempDir()
+		if err != nil {
+			return nil, err
+		}
+		reg := registry.New(32)
+		store, _, err := openStore(dir, reg)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = store.Close() }()
+		reg = registry.NewWithStore(32, store)
+		srv := server.New(server.Config{Registry: reg})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		client := ts.Client()
+
+		var ids [saturatedWorkers]string
+		for i := range ids {
+			if ids[i], err = provisionHTTP(client, ts.URL, seed+uint64(i)); err != nil {
+				return nil, err
+			}
+		}
+
+		var wg sync.WaitGroup
+		var transcripts [saturatedWorkers]bytes.Buffer
+		var errs [saturatedWorkers]error
+		for i := range ids {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = driveToLockout(client, ts.URL, ids[i], &transcripts[i])
+			}(i)
+		}
+		wg.Wait()
+		var out bytes.Buffer
+		for i := range ids {
+			if errs[i] != nil {
+				return nil, fmt.Errorf("worker %d (%s): %w", i, ids[i], errs[i])
+			}
+			fmt.Fprintf(&out, "arch=%s\n", ids[i])
+			out.Write(transcripts[i].Bytes())
+		}
+		return out.Bytes(), nil
+	}
+	return run, nil, nil
 }
 
 // extractID pulls the "id" field out of a provision response without

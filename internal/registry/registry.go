@@ -86,33 +86,58 @@ type AccessRecord struct {
 	TempCelsius float64 `json:"temp_celsius"`
 }
 
-// Store is the registry's durability backend. Append methods must make
-// the record durable (fsync) before returning; the returned done func
-// MUST be called exactly once, after the in-memory effect of the record
-// has been applied — the WAL store uses it to hold a snapshot barrier
-// open so a snapshot can never capture a state the log is ahead of, or
-// behind.
-type Store interface {
-	// AppendProvision durably records a provision before the architecture
-	// becomes visible.
-	AppendProvision(rec ProvisionRecord) (done func(), err error)
-	// AppendAccess durably records the intent to fire one access
-	// (log-ahead: called before any switch actuates).
-	AppendAccess(rec AccessRecord) (done func(), err error)
+// Record is one registry mutation submitted to a Store: exactly one of
+// Provision or Access is set. Batching is first-class — a Store may frame
+// many Records (from many callers) into a single durable write.
+type Record struct {
+	Provision *ProvisionRecord `json:"p,omitempty"`
+	Access    *AccessRecord    `json:"a,omitempty"`
 }
+
+// Ticket is the durability handle returned by Store.Append. The records
+// of one Append call always commit (or fail) together, and possibly
+// alongside other calls' records in the same commit group.
+//
+//   - Wait blocks until the containing commit group is durably on disk
+//     (fsynced), returning nil, or the group's failure — in which case
+//     the caller must fail closed: none of the submitted records may
+//     take in-memory effect.
+//   - Done MUST be called exactly once after Wait returned nil and the
+//     records' in-memory effect has been applied. The WAL store uses it
+//     to hold its snapshot barrier open so a snapshot can never capture
+//     a state its log position is ahead of, or behind. After a non-nil
+//     Wait, Done must not be called.
+//
+// Wait is idempotent; calling it again returns the same result.
+type Ticket interface {
+	Wait() error
+	Done()
+}
+
+// Store is the registry's durability backend. Append stages recs for a
+// durable write and returns a Ticket that resolves when the containing
+// commit group is fsynced; Append itself only fails on malformed input
+// or a store that cannot accept work (closed, unrecovered, poisoned).
+// The log-ahead rule lives in the caller: Ticket.Wait is the commit
+// barrier that must be crossed before any wear-state mutation fires.
+type Store interface {
+	Append(recs []Record) (Ticket, error)
+}
+
+// readyTicket is the already-durable Ticket used by NullStore (and any
+// store whose appends complete synchronously).
+type readyTicket struct{}
+
+func (readyTicket) Wait() error { return nil }
+func (readyTicket) Done()       {}
 
 // NullStore is the in-memory Store: appends succeed instantly and nothing
 // survives a restart. It is the default for tests and for deployments
 // that explicitly opt out of persistence.
 type NullStore struct{}
 
-func nullDone() {}
-
-// AppendProvision implements Store as a no-op.
-func (NullStore) AppendProvision(ProvisionRecord) (func(), error) { return nullDone, nil }
-
-// AppendAccess implements Store as a no-op.
-func (NullStore) AppendAccess(AccessRecord) (func(), error) { return nullDone, nil }
+// Append implements Store as a no-op: the ticket is immediately durable.
+func (NullStore) Append([]Record) (Ticket, error) { return readyTicket{}, nil }
 
 // Entry is one provisioned architecture.
 type Entry struct {
@@ -126,10 +151,20 @@ type Entry struct {
 	Secret []byte
 
 	store Store
-	// accessMu serializes the append-then-fire pair so the WAL's
-	// per-architecture record order equals the execution order — the
-	// property that makes replay bit-identical.
-	accessMu sync.Mutex
+	// seqMu orders append submission within the entry: holding it across
+	// the Store.Append call and the turn claim makes the WAL's
+	// per-architecture record order equal the turn order — the property
+	// that makes replay bit-identical. It is NOT held across the fsync
+	// wait, so an entry's encode work overlaps other entries' commits.
+	seqMu    sync.Mutex
+	nextTurn uint64 // guarded by seqMu; next apply-stage turn to hand out
+
+	// applyMu orders the apply stage: turn k's in-memory effect fires
+	// only after turns 0..k-1 have applied (or been skipped by a failed
+	// commit), matching the durable record order exactly.
+	applyMu   sync.Mutex
+	applyCond sync.Cond // signals applied advancing; shares applyMu
+	applied   uint64    // guarded by applyMu; turns applied or skipped so far
 
 	evMu    sync.Mutex
 	events  []core.AccessEvent // guarded by evMu; ring of the EventRingSize most recent events
@@ -138,26 +173,76 @@ type Entry struct {
 
 // Access durably records then performs one wearout-consuming access.
 //
-// The sequence is the log-ahead rule in miniature: check the context,
-// append the access record (fail closed on error), fire the hardware.
-// After the append succeeds the access is committed — it runs to
-// completion even if ctx is cancelled mid-flight, because a durable
-// record with no matching wear would replay into *extra* consumed budget
-// on recovery, never less, and the architecture must agree with its log.
+// The sequence is the log-ahead rule, pipelined: check the context,
+// stage the access record with the store, claim an apply turn, then
+// block on the commit ticket — the barrier that proves the record is
+// fsynced — and only then fire the hardware, in turn order. If staging
+// or the commit fails, the access fails closed: no wearout is consumed
+// and no key bytes are revealed. After the commit succeeds the access
+// runs to completion even if ctx is cancelled mid-flight, because a
+// durable record with no matching wear would replay into *extra*
+// consumed budget on recovery, never less, and the architecture must
+// agree with its log.
+//
+// Decoupling the ticket wait from seqMu is what lets independent
+// requests pipeline: request B's record is encoded and staged while
+// request A's group is still inside its fsync.
 func (e *Entry) Access(ctx context.Context, env nems.Environment) ([]byte, error) {
-	e.accessMu.Lock()
-	defer e.accessMu.Unlock()
+	e.seqMu.Lock()
 	if err := ctx.Err(); err != nil {
+		e.seqMu.Unlock()
 		return nil, err
 	}
-	done, err := e.store.AppendAccess(AccessRecord{ID: e.ID, TempCelsius: env.TempCelsius})
+	tkt, err := e.store.Append([]Record{{Access: &AccessRecord{ID: e.ID, TempCelsius: env.TempCelsius}}})
 	if err != nil {
+		e.seqMu.Unlock()
 		// Double-wrap so callers can classify both the fact that the store
 		// failed (ErrStore) and why (e.g. resilience.ErrOpen ⇒ 503, not 500).
 		return nil, fmt.Errorf("%w: %w", ErrStore, err)
 	}
-	defer done()
-	return e.Arch.Access(env)
+	turn := e.nextTurn
+	e.nextTurn++
+	e.seqMu.Unlock()
+
+	if werr := tkt.Wait(); werr != nil {
+		// The commit group failed: the record never became durable, so the
+		// access fails closed — but the turn was claimed and must be
+		// skipped, or every later access on this entry would wait forever.
+		e.skipTurn(turn)
+		return nil, fmt.Errorf("%w: %w", ErrStore, werr)
+	}
+	e.beginTurn(turn)
+	secret, aerr := e.Arch.Access(env)
+	e.endTurn()
+	tkt.Done()
+	return secret, aerr
+}
+
+// beginTurn blocks until every earlier turn has applied (or been
+// skipped). It returns with applyMu released: turns are unique, so only
+// the goroutine holding turn == applied proceeds — mutual exclusion for
+// the in-memory effect comes from the turn order itself (a ticket
+// lock), ending at the matching endTurn.
+func (e *Entry) beginTurn(turn uint64) {
+	e.applyMu.Lock()
+	for e.applied != turn {
+		e.applyCond.Wait()
+	}
+	e.applyMu.Unlock()
+}
+
+// endTurn marks the current turn applied and wakes the next one.
+func (e *Entry) endTurn() {
+	e.applyMu.Lock()
+	e.applied++
+	e.applyCond.Broadcast()
+	e.applyMu.Unlock()
+}
+
+// skipTurn retires a turn whose commit failed without applying anything.
+func (e *Entry) skipTurn(turn uint64) {
+	e.beginTurn(turn)
+	e.endTurn()
 }
 
 // observe appends ev to the entry's ring buffer; installed as the
@@ -249,7 +334,7 @@ func idNum(id string) (uint64, bool) {
 }
 
 // Provision durably records then stores a freshly built architecture,
-// returning its entry with a newly assigned ID. If the store append
+// returning its entry with a newly assigned ID. If staging or the commit
 // fails, the architecture is not registered (fail closed) and the
 // assigned ID is burned — gaps in the sequence are acceptable, replayed
 // IDs are not.
@@ -257,14 +342,18 @@ func (r *Registry) Provision(arch *core.Architecture, seed uint64, secret []byte
 	id := fmt.Sprintf("arch-%06d", r.seq.Add(1))
 	dup := make([]byte, len(secret))
 	copy(dup, secret)
-	done, err := r.store.AppendProvision(ProvisionRecord{
+	tkt, err := r.store.Append([]Record{{Provision: &ProvisionRecord{
 		ID: id, Seed: seed, Secret: dup, Design: arch.Design(),
-	})
+	}}})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrStore, err)
 	}
-	defer done()
-	return r.insert(id, arch, seed, dup), nil
+	if werr := tkt.Wait(); werr != nil {
+		return nil, fmt.Errorf("%w: %w", ErrStore, werr)
+	}
+	e := r.insert(id, arch, seed, dup)
+	tkt.Done()
+	return e, nil
 }
 
 // Restore inserts a recovered architecture under its original ID without
@@ -289,6 +378,7 @@ func (r *Registry) Restore(id string, arch *core.Architecture, seed uint64, secr
 
 func (r *Registry) insert(id string, arch *core.Architecture, seed uint64, secret []byte) *Entry {
 	e := &Entry{ID: id, Arch: arch, Seed: seed, Secret: secret, store: r.store}
+	e.applyCond.L = &e.applyMu
 	arch.SetObserver(e.observe)
 	s := r.shardFor(id)
 	s.mu.Lock()

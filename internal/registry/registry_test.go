@@ -138,16 +138,31 @@ func TestShardDistribution(t *testing.T) {
 	}
 }
 
-// recordingStore captures appended records and can be told to fail.
+// recordingStore captures appended records and can be told to fail —
+// either synchronously at Append or asynchronously at Ticket.Wait.
 type recordingStore struct {
 	mu         sync.Mutex
 	provisions []ProvisionRecord
 	accesses   []AccessRecord
-	failNext   error
+	failNext   error // next Append returns this error
+	failWait   error // next ticket's Wait returns this error
 	doneCalls  int
 }
 
-func (s *recordingStore) AppendProvision(rec ProvisionRecord) (func(), error) {
+type recordedTicket struct {
+	s   *recordingStore
+	err error
+}
+
+func (t recordedTicket) Wait() error { return t.err }
+
+func (t recordedTicket) Done() {
+	t.s.mu.Lock()
+	t.s.doneCalls++
+	t.s.mu.Unlock()
+}
+
+func (s *recordingStore) Append(recs []Record) (Ticket, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failNext != nil {
@@ -155,26 +170,20 @@ func (s *recordingStore) AppendProvision(rec ProvisionRecord) (func(), error) {
 		s.failNext = nil
 		return nil, err
 	}
-	s.provisions = append(s.provisions, rec)
-	return s.done, nil
-}
-
-func (s *recordingStore) AppendAccess(rec AccessRecord) (func(), error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.failNext != nil {
-		err := s.failNext
-		s.failNext = nil
-		return nil, err
+	if s.failWait != nil {
+		err := s.failWait
+		s.failWait = nil
+		return recordedTicket{s: s, err: err}, nil
 	}
-	s.accesses = append(s.accesses, rec)
-	return s.done, nil
-}
-
-func (s *recordingStore) done() {
-	s.mu.Lock()
-	s.doneCalls++
-	s.mu.Unlock()
+	for _, rec := range recs {
+		if rec.Provision != nil {
+			s.provisions = append(s.provisions, *rec.Provision)
+		}
+		if rec.Access != nil {
+			s.accesses = append(s.accesses, *rec.Access)
+		}
+	}
+	return recordedTicket{s: s}, nil
 }
 
 // TestLogAheadOrdering checks the Store contract: the provision record
@@ -215,10 +224,32 @@ func TestLogAheadOrdering(t *testing.T) {
 			totalBefore, okBefore, totalAfter, okAfter)
 	}
 
+	// Failed commit (the append enqueued but its ticket resolved with an
+	// error — the group-commit fsync failed): same fail-closed outcome.
+	st.failWait = errors.New("fsync failed")
+	if _, err := e.Access(context.Background(), nems.RoomTemp); !errors.Is(err, ErrStore) {
+		t.Fatalf("access with failing commit: err = %v, want ErrStore", err)
+	}
+	totalAfter, okAfter = e.Arch.Accesses()
+	if totalAfter != totalBefore || okAfter != okBefore {
+		t.Errorf("failed commit consumed wearout: (%d,%d) -> (%d,%d)",
+			totalBefore, okBefore, totalAfter, okAfter)
+	}
+	// And the failed commit must not wedge the entry's apply stage: the
+	// next access takes the next turn and succeeds.
+	if _, err := e.Access(context.Background(), nems.RoomTemp); err != nil {
+		t.Fatalf("access after failed commit: %v", err)
+	}
+
 	// Failed provision append registers nothing.
 	st.failNext = errors.New("disk full")
 	if _, err := r.Provision(buildArch(t, 8), 8, []byte("x")); !errors.Is(err, ErrStore) {
 		t.Fatalf("provision with failing store: err = %v, want ErrStore", err)
+	}
+	// Failed provision commit registers nothing either.
+	st.failWait = errors.New("fsync failed")
+	if _, err := r.Provision(buildArch(t, 9), 9, []byte("x")); !errors.Is(err, ErrStore) {
+		t.Fatalf("provision with failing commit: err = %v, want ErrStore", err)
 	}
 	if r.Len() != 1 {
 		t.Errorf("failed provision left %d entries, want 1", r.Len())

@@ -74,11 +74,13 @@ type Breaker struct {
 	cooldown  int64
 	now       func() int64
 
-	mu       sync.Mutex
-	state    State // guarded by mu
-	fails    int   // guarded by mu; consecutive failures while closed
-	openedAt int64 // guarded by mu
-	probing  bool  // guarded by mu
+	mu            sync.Mutex
+	state         State  // guarded by mu
+	fails         int    // guarded by mu; consecutive failures while closed
+	openedAt      int64  // guarded by mu
+	probing       bool   // guarded by mu
+	lastGroup     uint64 // guarded by mu; last failed commit-group ID seen
+	lastGroupSeen bool   // guarded by mu
 
 	gState    *metrics.Gauge
 	gDegraded *metrics.Gauge
@@ -114,25 +116,45 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	}
 }
 
-// AppendProvision implements registry.Store.
-func (b *Breaker) AppendProvision(rec registry.ProvisionRecord) (func(), error) {
-	return b.through(func() (func(), error) { return b.inner.AppendProvision(rec) })
-}
-
-// AppendAccess implements registry.Store.
-func (b *Breaker) AppendAccess(rec registry.AccessRecord) (func(), error) {
-	return b.through(func() (func(), error) { return b.inner.AppendAccess(rec) })
-}
-
-func (b *Breaker) through(op func() (func(), error)) (func(), error) {
+// Append implements registry.Store. A synchronous enqueue failure
+// settles the state machine immediately; otherwise the outcome is only
+// known at Ticket.Wait, so the returned ticket settles it there. With
+// group commit one sick fsync fails a whole batch of tickets carrying
+// the same commit-group ID — the breaker counts that as ONE failure, not
+// one per passenger, so a single bad group can't trip a breaker sized
+// for consecutive independent failures.
+func (b *Breaker) Append(recs []registry.Record) (registry.Ticket, error) {
 	probe, err := b.admit()
 	if err != nil {
 		return nil, err
 	}
-	done, err := op()
-	b.settle(probe, err)
-	return done, err
+	tkt, err := b.inner.Append(recs)
+	if err != nil {
+		b.settle(probe, err)
+		return nil, err
+	}
+	return &breakerTicket{b: b, inner: tkt, probe: probe}, nil
 }
+
+// breakerTicket settles the breaker with the commit outcome the first
+// time Wait returns.
+type breakerTicket struct {
+	b     *Breaker
+	inner registry.Ticket
+	probe bool
+	once  sync.Once
+	err   error
+}
+
+func (t *breakerTicket) Wait() error {
+	t.once.Do(func() {
+		t.err = t.inner.Wait()
+		t.b.settleGroup(t.probe, t.err)
+	})
+	return t.err
+}
+
+func (t *breakerTicket) Done() { t.inner.Done() }
 
 // admit decides whether an append may reach the store. It returns probe
 // = true when this call is the half-open probe; exactly one is in flight
@@ -160,11 +182,38 @@ func (b *Breaker) admit() (probe bool, err error) {
 func (b *Breaker) settle(probe bool, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.settleLocked(probe, err, false)
+}
+
+// settleGroup is settle for commit outcomes delivered via Ticket.Wait:
+// when the error carries a commit-group ID (wal.GroupError), repeats of
+// the same group collapse into one failure.
+func (b *Breaker) settleGroup(probe bool, err error) {
+	var dup bool
+	var g interface{ CommitGroup() uint64 }
+	if err != nil && errors.As(err, &g) {
+		b.mu.Lock()
+		dup = b.lastGroupSeen && b.lastGroup == g.CommitGroup()
+		b.lastGroup, b.lastGroupSeen = g.CommitGroup(), true
+		b.settleLocked(probe, err, dup)
+		b.mu.Unlock()
+		return
+	}
+	b.settle(probe, err)
+}
+
+// settleLocked moves the state machine; caller holds b.mu. dupGroup
+// marks a failure already counted for an earlier ticket of the same
+// commit group: it still ends a probe (and re-opens on probe failure,
+// since the probe demonstrably hit a sick store) but does not advance
+// the consecutive-failure count.
+func (b *Breaker) settleLocked(probe bool, err error, dupGroup bool) {
 	if probe {
 		b.probing = false
 	}
 	if err == nil {
 		b.fails = 0
+		b.lastGroupSeen = false
 		if b.state != StateClosed {
 			b.setState(StateClosed)
 		}
@@ -175,6 +224,9 @@ func (b *Breaker) settle(probe bool, err error) {
 		// The probe hit a still-sick store: back to open, restart cooldown.
 		b.trip()
 	case StateClosed:
+		if dupGroup {
+			return
+		}
 		b.fails++
 		if b.fails >= b.threshold {
 			b.trip()

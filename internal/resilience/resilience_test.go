@@ -12,24 +12,32 @@ import (
 	"lemonade/internal/registry"
 )
 
-// flakyStore is a registry.Store whose failure is a switch.
+// flakyStore is a registry.Store whose failure is a switch. Failures
+// surface at Append (the synchronous path); waitErr instead surfaces
+// them at Ticket.Wait, like a failed group commit.
 type flakyStore struct {
 	failing atomic.Bool
 	calls   atomic.Int64
+	waitErr atomic.Pointer[error] // non-nil: Append succeeds, Wait fails
 }
 
 var errDisk = errors.New("disk on fire")
 
-func (f *flakyStore) append() (func(), error) {
+type flakyTicket struct{ err error }
+
+func (t flakyTicket) Wait() error { return t.err }
+func (flakyTicket) Done()         {}
+
+func (f *flakyStore) Append([]registry.Record) (registry.Ticket, error) {
 	f.calls.Add(1)
 	if f.failing.Load() {
 		return nil, errDisk
 	}
-	return func() {}, nil
+	if ep := f.waitErr.Load(); ep != nil {
+		return flakyTicket{err: *ep}, nil
+	}
+	return flakyTicket{}, nil
 }
-
-func (f *flakyStore) AppendProvision(registry.ProvisionRecord) (func(), error) { return f.append() }
-func (f *flakyStore) AppendAccess(registry.AccessRecord) (func(), error)       { return f.append() }
 
 // harness builds a breaker over a flaky store with an injected clock.
 func harness(t *testing.T, threshold int, cooldown time.Duration) (*Breaker, *flakyStore, *int64, *metrics.Registry) {
@@ -48,11 +56,15 @@ func harness(t *testing.T, threshold int, cooldown time.Duration) (*Breaker, *fl
 }
 
 func access(b *Breaker) error {
-	done, err := b.AppendAccess(registry.AccessRecord{ID: "arch-000001"})
-	if err == nil {
-		done()
+	tkt, err := b.Append([]registry.Record{{Access: &registry.AccessRecord{ID: "arch-000001"}}})
+	if err != nil {
+		return err
 	}
-	return err
+	if err := tkt.Wait(); err != nil {
+		return err
+	}
+	tkt.Done()
+	return nil
 }
 
 func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
@@ -150,6 +162,100 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 	}
 	if st.calls.Load() != calls {
 		t.Fatal("store touched during restarted cooldown")
+	}
+}
+
+// groupErr mimics wal.GroupError: every ticket of one failed commit
+// group resolves with an error carrying the same group ID.
+type groupErr struct{ group uint64 }
+
+func (e *groupErr) Error() string       { return "group commit failed" }
+func (e *groupErr) CommitGroup() uint64 { return e.group }
+
+// groupStore hands out tickets that all fail with the configured group.
+type groupStore struct{ err atomic.Pointer[error] }
+
+func (g *groupStore) Append([]registry.Record) (registry.Ticket, error) {
+	if ep := g.err.Load(); ep != nil {
+		return flakyTicket{err: *ep}, nil
+	}
+	return flakyTicket{}, nil
+}
+
+func setGroup(g *groupStore, group uint64) {
+	var err error = &groupErr{group: group}
+	g.err.Store(&err)
+}
+
+// TestBreakerCountsGroupFailureOnce: one sick fsync fails every ticket
+// in its commit group with the same group ID; the breaker must count
+// that as ONE failure, not one per passenger — otherwise a single bad
+// group trips a breaker sized for consecutive independent failures.
+func TestBreakerCountsGroupFailureOnce(t *testing.T) {
+	st := &groupStore{}
+	b := NewBreaker(BreakerConfig{Store: st, FailureThreshold: 3, Cooldown: time.Second,
+		NowNanos: func() int64 { return 0 }, Metrics: metrics.NewRegistry()})
+
+	// Ten passengers of commit group 1 all observe the same failure.
+	setGroup(st, 1)
+	for i := 0; i < 10; i++ {
+		tkt, err := b.Append([]registry.Record{{Access: &registry.AccessRecord{ID: "arch-000001"}}})
+		if err != nil {
+			t.Fatalf("append %d refused: %v", i, err)
+		}
+		if err := tkt.Wait(); err == nil {
+			t.Fatalf("ticket %d did not fail", i)
+		}
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("one failed group opened the breaker: state %v", got)
+	}
+
+	// Distinct groups are distinct failures: two more reach the threshold.
+	for g := uint64(2); g <= 3; g++ {
+		setGroup(st, g)
+		tkt, err := b.Append([]registry.Record{{Access: &registry.AccessRecord{ID: "arch-000001"}}})
+		if err != nil {
+			t.Fatalf("append for group %d refused: %v", g, err)
+		}
+		_ = tkt.Wait()
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("three distinct failed groups left state %v, want open", got)
+	}
+}
+
+// TestBreakerWaitFailureCounts: a commit failure surfaced at Wait (not
+// at Append) still moves the state machine.
+func TestBreakerWaitFailureCounts(t *testing.T) {
+	b, st, now, _ := harness(t, 2, time.Second)
+	werr := error(errDisk)
+	st.waitErr.Store(&werr)
+	for i := 0; i < 2; i++ {
+		if err := access(b); !errors.Is(err, errDisk) {
+			t.Fatalf("wait failure %d: got %v", i, err)
+		}
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after wait failures = %v, want open", got)
+	}
+
+	// The half-open probe's outcome also arrives via Wait: failure
+	// re-opens, then success re-closes.
+	atomic.AddInt64(now, int64(time.Second))
+	if err := access(b); !errors.Is(err, errDisk) {
+		t.Fatalf("probe wait failure: got %v", err)
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe wait = %v, want open", got)
+	}
+	atomic.AddInt64(now, int64(time.Second))
+	st.waitErr.Store(nil)
+	if err := access(b); err != nil {
+		t.Fatalf("healed probe: %v", err)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after healed probe = %v, want closed", got)
 	}
 }
 

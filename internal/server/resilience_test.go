@@ -26,18 +26,18 @@ type switchableStore struct {
 
 var errStoreDown = errors.New("store down")
 
-func (f *switchableStore) append() (func(), error) {
+type readyTicket struct{}
+
+func (readyTicket) Wait() error { return nil }
+func (readyTicket) Done()       {}
+
+func (f *switchableStore) Append([]registry.Record) (registry.Ticket, error) {
 	f.calls.Add(1)
 	if f.failing.Load() {
 		return nil, errStoreDown
 	}
-	return func() {}, nil
+	return readyTicket{}, nil
 }
-
-func (f *switchableStore) AppendProvision(registry.ProvisionRecord) (func(), error) {
-	return f.append()
-}
-func (f *switchableStore) AppendAccess(registry.AccessRecord) (func(), error) { return f.append() }
 
 // degradedHarness is a full HTTP server whose registry writes through a
 // breaker over a switchable store, with an injected clock shared by the

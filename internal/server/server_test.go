@@ -489,18 +489,11 @@ func ExampleServer() {
 // exercising the fail-closed path through HTTP.
 type flakyStore struct{ fail atomic.Bool }
 
-func (f *flakyStore) AppendProvision(registry.ProvisionRecord) (func(), error) {
+func (f *flakyStore) Append([]registry.Record) (registry.Ticket, error) {
 	if f.fail.Load() {
 		return nil, errors.New("disk full")
 	}
-	return func() {}, nil
-}
-
-func (f *flakyStore) AppendAccess(registry.AccessRecord) (func(), error) {
-	if f.fail.Load() {
-		return nil, errors.New("disk full")
-	}
-	return func() {}, nil
+	return readyTicket{}, nil
 }
 
 // TestStoreFailureFailsClosed: when the durable store cannot record an

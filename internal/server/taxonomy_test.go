@@ -21,10 +21,7 @@ import (
 // deadStore always fails, for tripping a breaker deterministically.
 type deadStore struct{}
 
-func (deadStore) AppendProvision(registry.ProvisionRecord) (func(), error) {
-	return nil, errors.New("disk unplugged")
-}
-func (deadStore) AppendAccess(registry.AccessRecord) (func(), error) {
+func (deadStore) Append([]registry.Record) (registry.Ticket, error) {
 	return nil, errors.New("disk unplugged")
 }
 
@@ -45,7 +42,7 @@ func TestErrorTaxonomy(t *testing.T) {
 		Cooldown:         30 * time.Second,
 		NowNanos:         clock,
 	})
-	if _, err := breaker.AppendAccess(registry.AccessRecord{ID: "arch-000001"}); err == nil {
+	if _, err := breaker.Append([]registry.Record{{Access: &registry.AccessRecord{ID: "arch-000001"}}}); err == nil {
 		t.Fatal("dead store append succeeded")
 	}
 	if _, degraded := breaker.Degraded(); !degraded {
@@ -186,7 +183,7 @@ func TestBreakerOpenOverHTTP(t *testing.T) {
 		Cooldown:         30 * time.Second,
 		NowNanos:         clock,
 	})
-	if _, err := breaker.AppendAccess(registry.AccessRecord{ID: "arch-000001"}); err == nil {
+	if _, err := breaker.Append([]registry.Record{{Access: &registry.AccessRecord{ID: "arch-000001"}}}); err == nil {
 		t.Fatal("dead store append succeeded")
 	}
 

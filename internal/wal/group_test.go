@@ -1,0 +1,241 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"lemonade/internal/fault"
+	"lemonade/internal/registry"
+)
+
+// gatedFS wraps the real filesystem so a test can hold a segment fsync
+// mid-flight and decide its outcome — the choreography that
+// deterministically assembles a multi-ticket commit group: while the
+// committer is parked inside one group's Sync, every Append issued
+// meanwhile queues up and must land in the NEXT group together.
+type gatedFS struct {
+	fault.OS
+	mu      sync.Mutex
+	armed   bool          // guarded by mu; gate segment-file syncs
+	started chan struct{} // a gated Sync announces itself here
+	verdict chan error    // then returns this (nil = really sync)
+}
+
+func (g *gatedFS) arm(on bool) {
+	g.mu.Lock()
+	g.armed = on
+	g.mu.Unlock()
+}
+
+func (g *gatedFS) OpenFile(name string, flag int, perm os.FileMode) (fault.File, error) {
+	f, err := fault.OS{}.OpenFile(name, flag, perm)
+	if err != nil || !strings.Contains(name, segPrefix) {
+		return f, err
+	}
+	return &gatedFile{File: f, g: g}, nil
+}
+
+type gatedFile struct {
+	fault.File
+	g *gatedFS
+}
+
+func (f *gatedFile) Sync() error {
+	f.g.mu.Lock()
+	armed := f.g.armed
+	f.g.mu.Unlock()
+	if !armed {
+		return f.File.Sync()
+	}
+	f.g.started <- struct{}{}
+	if err := <-f.g.verdict; err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func accessRec(id string, i int) registry.Record {
+	return registry.Record{Access: &registry.AccessRecord{ID: id, TempCelsius: accessEnv(i).TempCelsius}}
+}
+
+// TestGroupFsyncFailureFailsAllTicketsClosed is the mid-group fault
+// contract: when one group's fsync fails, EVERY ticket in that group
+// resolves with the same *GroupError — no passenger may treat its record
+// as durable, so no budget is minted — and the store survives (an fsync
+// failure is not poison; the phantom bytes it may leave behind only ever
+// replay into EXTRA consumed wear, never less).
+func TestGroupFsyncFailureFailsAllTicketsClosed(t *testing.T) {
+	dir := t.TempDir()
+	g := &gatedFS{started: make(chan struct{}), verdict: make(chan error)}
+	st := openStoreFS(t, dir, 0, g)
+	reg, e := provisionVia(t, st)
+
+	// Park the committer inside an innocent group's fsync.
+	g.arm(true)
+	tktX, err := st.Append([]registry.Record{accessRec(e.ID, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+
+	// Three more appends queue behind the parked group.
+	var tkts [3]registry.Ticket
+	for i := range tkts {
+		tkt, err := st.Append([]registry.Record{accessRec(e.ID, i+1)})
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		tkts[i] = tkt
+	}
+
+	// Release the parked group (it commits), then fail the batched one.
+	injected := errors.New("injected group fsync failure")
+	g.verdict <- nil
+	if werr := tktX.Wait(); werr != nil {
+		t.Fatalf("parked group failed: %v", werr)
+	}
+	tktX.Done()
+	<-g.started
+	g.verdict <- injected
+	g.arm(false)
+
+	var gerrs [3]*GroupError
+	for i, tkt := range tkts {
+		werr := tkt.Wait()
+		if werr == nil {
+			t.Fatalf("ticket %d of the failed group resolved clean", i)
+		}
+		if !errors.Is(werr, injected) {
+			t.Fatalf("ticket %d error %v does not wrap the injected failure", i, werr)
+		}
+		if !errors.As(werr, &gerrs[i]) {
+			t.Fatalf("ticket %d error %v is not a *GroupError", i, werr)
+		}
+		tkt.Done() // must be a safe no-op after a failed Wait
+	}
+	if gerrs[0] != gerrs[1] || gerrs[1] != gerrs[2] {
+		t.Fatalf("tickets resolved with distinct errors: %v / %v / %v", gerrs[0], gerrs[1], gerrs[2])
+	}
+	if gerrs[0].CommitGroup() == 0 {
+		t.Fatal("GroupError carries no commit group ID")
+	}
+
+	// The store is still serving: the next append commits cleanly…
+	tkt4, err := st.Append([]registry.Record{accessRec(e.ID, 4)})
+	if err != nil {
+		t.Fatalf("append after failed group refused: %v", err)
+	}
+	if werr := tkt4.Wait(); werr != nil {
+		t.Fatalf("append after failed group did not commit: %v", werr)
+	}
+	tkt4.Done()
+
+	// Fail-closed direction on disk: the failed group's bytes may survive
+	// as phantom records (its fsync failed AFTER the write), and replay
+	// may only ADD wear — never under-count. Recovery must see at least
+	// the two committed access records and at most all five staged ones.
+	reg2, _, stats := recoverInto(t, dir)
+	if stats.ReplayedAccesses < 2 || stats.ReplayedAccesses > 5 {
+		t.Fatalf("recovery replayed %d accesses, want between 2 (committed) and 5 (committed+phantom)",
+			stats.ReplayedAccesses)
+	}
+	e2, ok := reg2.Get(e.ID)
+	if !ok {
+		t.Fatalf("recovered registry has no %s", e.ID)
+	}
+	if total, _ := e2.Arch.Accesses(); total != uint64(stats.ReplayedAccesses) {
+		t.Fatalf("recovered wear total %d != replayed records %d", total, stats.ReplayedAccesses)
+	}
+
+	// And the snapshot barrier was not leaked by the failed group.
+	if err := st.Snapshot(reg); err != nil {
+		t.Fatalf("snapshot after failed group: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornBatchBoundaryRecovery crashes a multi-record group mid-write:
+// the batch write tears partway through (short write) and even the
+// repair truncate fails, so the segment keeps a torn tail inside the
+// batch. The ticket fails closed, the store poisons itself, and recovery
+// truncates the tail back to the last complete record — twice, with
+// bit-identical results.
+func TestTornBatchBoundaryRecovery(t *testing.T) {
+	scenario := func(dir string, fsys fault.FS) (registry.Ticket, error) {
+		st := openStoreFS(t, dir, 0, fsys)
+		_, e := provisionVia(t, st)
+		recs := []registry.Record{accessRec(e.ID, 0), accessRec(e.ID, 1), accessRec(e.ID, 2)}
+		tkt, err := st.Append(recs)
+		if err != nil {
+			return nil, err
+		}
+		return tkt, tkt.Wait()
+	}
+
+	// Recording pass: learn which op writes the 3-record batch (the
+	// second segment write; the provision is the first).
+	rec := fault.NewInjector(fault.OS{}, fault.Plan{}, fault.WithOpLog())
+	if tkt, err := scenario(t.TempDir(), rec); err != nil {
+		t.Fatalf("recording pass: %v", err)
+	} else {
+		tkt.Done()
+	}
+	var batchWrite uint64
+	for _, op := range rec.OpLog() {
+		if op.Kind == fault.OpWrite && strings.HasSuffix(op.Path, segName(1)) {
+			batchWrite = op.N // keep the last = the batch write
+		}
+	}
+	if batchWrite == 0 {
+		t.Fatal("recording pass never wrote the segment")
+	}
+
+	// Target pass: tear the batch write AND fail the repair truncate that
+	// immediately follows it — a crash frozen at the worst boundary.
+	dir := t.TempDir()
+	inj := fault.NewInjector(fault.OS{}, fault.Plan{Rules: []fault.Rule{
+		{Op: batchWrite, Kind: fault.ShortWrite},
+		{Op: batchWrite + 1, Kind: fault.NoSpace},
+	}})
+	_, err := scenario(dir, inj)
+	if err == nil {
+		t.Fatal("torn batch write reported success")
+	}
+	var ge *GroupError
+	if !errors.As(err, &ge) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("torn batch error = %v, want *GroupError wrapping the injected fault", err)
+	}
+
+	// Recovery truncates the torn tail inside the batch and replays only
+	// the complete prefix.
+	reg2, _, stats := recoverInto(t, dir)
+	if stats.TornBytesTruncated == 0 {
+		t.Fatal("recovery found no torn tail after a short batch write")
+	}
+	if stats.ReplayedAccesses >= 3 {
+		t.Fatalf("replayed %d accesses from a torn 3-record batch", stats.ReplayedAccesses)
+	}
+	e2, ok := reg2.Get("arch-000001")
+	if !ok {
+		t.Fatal("recovered registry lost the architecture")
+	}
+	if !reflect.DeepEqual(e2.Arch.State(), twin(t, stats.ReplayedAccesses).State()) {
+		t.Fatalf("recovered state differs from twin after %d replayed accesses", stats.ReplayedAccesses)
+	}
+
+	// Double recovery is bit-identical.
+	reg3, _, stats2 := recoverInto(t, dir)
+	if stats2.ReplayedAccesses != stats.ReplayedAccesses || stats2.TornBytesTruncated != 0 {
+		t.Fatalf("second recovery diverged: %+v then %+v", stats, stats2)
+	}
+	e3, _ := reg3.Get("arch-000001")
+	if !reflect.DeepEqual(e3.Arch.State(), e2.Arch.State()) {
+		t.Fatal("double recovery is not bit-identical")
+	}
+}

@@ -38,6 +38,14 @@ type Config struct {
 	// uses the real one (fault.OS); tests and chaos runs supply a
 	// fault.Injector.
 	FS fault.FS
+	// MaxBatch caps how many queued Append calls the committer folds into
+	// one durable write + fsync (default 64). Larger batches amortize the
+	// fsync further at the cost of per-request latency under saturation.
+	MaxBatch int
+	// MaxQueue caps how many Append calls may be queued ahead of the
+	// committer before new appends block (default 1024) — backpressure,
+	// so a stalled disk surfaces as latency instead of unbounded memory.
+	MaxQueue int
 }
 
 // record is the JSON payload of one WAL frame.
@@ -79,21 +87,32 @@ type RecoveryStats struct {
 }
 
 // DiskStore is the disk-backed registry.Store: an append-only segmented
-// WAL plus snapshot compaction. Create with Open, then call Recover
-// exactly once before any append. All methods are safe for concurrent
-// use.
+// WAL plus snapshot compaction, committed by a single group-commit
+// goroutine. Create with Open, then call Recover exactly once before any
+// append; Close drains the commit queue. All methods are safe for
+// concurrent use.
+//
+// Group commit: Append frames its records off the caller's goroutine and
+// enqueues them; the committer drains the queue, writes every pending
+// frame in one segment write, issues ONE fsync, and resolves every
+// ticket in the group. The log-ahead rule survives per request because
+// each caller still blocks on its ticket before any wear-state mutation
+// fires — batching amortizes the fsync, it never skips it.
 type DiskStore struct {
 	dir       string
 	fs        fault.FS
 	now       func() int64
 	threshold int
+	maxBatch  int
+	maxQueue  int
 
-	// barrier orders appends against snapshots: every append holds it
-	// shared from the durable write until the record's in-memory effect
-	// has been applied (the Store done-callback releases it); Snapshot
-	// holds it exclusively while capturing state and rotating segments,
-	// so a snapshot can never observe a state its log position is ahead
-	// of or behind.
+	// barrier orders commits against snapshots: the committer takes one
+	// shared hold per Append in a group before the durable write, and
+	// each hold is released when that Append's records have taken their
+	// in-memory effect (Ticket.Done) — or by the committer itself when
+	// the group fails. Snapshot holds it exclusively while capturing
+	// state and rotating segments, so a snapshot can never observe a
+	// state its log position is ahead of or behind.
 	barrier sync.RWMutex
 
 	mu        sync.Mutex
@@ -104,12 +123,25 @@ type DiskStore struct {
 	recovered bool       // guarded by mu
 	failed    error      // guarded by mu; sticky: set when the log tail is in an unknown state
 
+	// qMu guards the commit queue. It is never held together with mu or
+	// barrier: producers enqueue under qMu alone, and the committer drops
+	// it before touching the file.
+	qMu     sync.Mutex
+	qCond   sync.Cond    // signals queue/qClosed changes; shares qMu
+	queue   []*commitReq // guarded by qMu
+	qClosed bool         // guarded by qMu
+
+	committerDone chan struct{} // closed when the committer goroutine exits
+	groupSeq      uint64        // commit group IDs; only the committer touches it
+
 	snapCh chan struct{}
 
 	mAppendProv *metrics.Counter
 	mAppendAcc  *metrics.Counter
 	mAppendErrs *metrics.Counter
 	hFsync      *metrics.Histogram
+	hBatchSize  *metrics.Histogram
+	mGroupSyncs *metrics.Counter
 	mReplayProv *metrics.Counter
 	mReplayAcc  *metrics.Counter
 	mSnapshots  *metrics.Counter
@@ -117,6 +149,71 @@ type DiskStore struct {
 	gSnapUnix   *metrics.Gauge
 	gRecovered  *metrics.Gauge
 }
+
+// commitReq is one Append staged for the committer: its records already
+// framed, its ticket waiting for the group's fsync.
+type commitReq struct {
+	frames []byte
+	nRecs  int
+	nProv  uint64
+	nAcc   uint64
+	tkt    *groupTicket
+}
+
+// GroupError is the failure every ticket of one commit group resolves
+// with: the same underlying error, tagged with the group ID so consumers
+// (the circuit breaker) can count one sick fsync as one failure instead
+// of one per passenger.
+type GroupError struct {
+	Group uint64
+	Err   error
+}
+
+func (e *GroupError) Error() string {
+	return fmt.Sprintf("wal: commit group %d: %v", e.Group, e.Err)
+}
+
+func (e *GroupError) Unwrap() error { return e.Err }
+
+// CommitGroup returns the failed group's ID.
+func (e *GroupError) CommitGroup() uint64 { return e.Group }
+
+// groupTicket implements registry.Ticket for one Append call.
+type groupTicket struct {
+	s    *DiskStore
+	ch   chan struct{} // closed once err is settled
+	err  error         // written before close(ch), read only after Wait
+	done sync.Once
+}
+
+// Wait blocks until the containing commit group fsyncs (nil) or fails.
+func (t *groupTicket) Wait() error {
+	<-t.ch
+	return t.err
+}
+
+// Done releases this Append's snapshot-barrier hold. It must only be
+// called after Wait returned nil (a failed group's holds were already
+// released by the committer).
+func (t *groupTicket) Done() {
+	if t.err != nil {
+		return
+	}
+	t.done.Do(t.s.barrier.RUnlock)
+}
+
+// resolve settles the ticket; called exactly once, by the committer.
+func (t *groupTicket) resolve(err error) {
+	t.err = err
+	close(t.ch)
+}
+
+// immediateTicket is the already-durable ticket returned for an empty
+// Append: nothing to commit, nothing to release.
+type immediateTicket struct{}
+
+func (immediateTicket) Wait() error { return nil }
+func (immediateTicket) Done()       {}
 
 // Open prepares a DiskStore on dir. It creates the directory if needed
 // and registers metrics, but performs no reads: call Recover to load the
@@ -140,17 +237,30 @@ func Open(cfg Config) (*DiskStore, error) {
 	if m == nil {
 		m = metrics.NewRegistry()
 	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = 1024
+	}
 	s := &DiskStore{
-		dir:       cfg.Dir,
-		fs:        fsys,
-		now:       now,
-		threshold: cfg.SnapshotThreshold,
-		snapCh:    make(chan struct{}, 1),
+		dir:           cfg.Dir,
+		fs:            fsys,
+		now:           now,
+		threshold:     cfg.SnapshotThreshold,
+		maxBatch:      maxBatch,
+		maxQueue:      maxQueue,
+		committerDone: make(chan struct{}),
+		snapCh:        make(chan struct{}, 1),
 
 		mAppendProv: m.Counter("lemonaded_wal_appends_total", `type="provision"`, "durable WAL appends by record type"),
 		mAppendAcc:  m.Counter("lemonaded_wal_appends_total", `type="access"`, "durable WAL appends by record type"),
 		mAppendErrs: m.Counter("lemonaded_wal_append_failures_total", "", "WAL appends that failed (each is a failed-closed operation)"),
 		hFsync:      m.Histogram("lemonaded_wal_fsync_seconds", "", "fsync latency of WAL commits", nil),
+		hBatchSize:  m.Histogram("lemonaded_wal_batch_size", "", "records per group-commit write", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		mGroupSyncs: m.Counter("lemonaded_wal_group_fsyncs_total", "", "group-commit fsyncs issued (each covers a whole batch)"),
 		mReplayProv: m.Counter("lemonaded_wal_replayed_records_total", `type="provision"`, "records replayed during recovery"),
 		mReplayAcc:  m.Counter("lemonaded_wal_replayed_records_total", `type="access"`, "records replayed during recovery"),
 		mSnapshots:  m.Counter("lemonaded_wal_snapshots_total", "", "snapshots written"),
@@ -158,6 +268,8 @@ func Open(cfg Config) (*DiskStore, error) {
 		gSnapUnix:   m.Gauge("lemonaded_wal_last_snapshot_unix_seconds", "", "creation time of the newest snapshot (snapshot age = now minus this)"),
 		gRecovered:  m.Gauge("lemonaded_wal_recovered_architectures", "", "architectures reconstructed by the last recovery"),
 	}
+	s.qCond.L = &s.qMu
+	go s.committer()
 	return s, nil
 }
 
@@ -174,34 +286,141 @@ func (s *DiskStore) RecordsSinceSnapshot() int {
 	return s.recsSince
 }
 
-// AppendProvision implements registry.Store.
-func (s *DiskStore) AppendProvision(rec registry.ProvisionRecord) (func(), error) {
-	done, err := s.append(record{Type: "provision", Provision: &rec})
-	if err == nil {
-		s.mAppendProv.Inc()
+// Append implements registry.Store: it frames recs, enqueues them for
+// the committer, and returns a Ticket that resolves when the containing
+// commit group has been durably fsynced. Errors the store can detect
+// synchronously (bad record shape, unrecovered or poisoned log, closed
+// store) are returned here; durability failures arrive through
+// Ticket.Wait as a *GroupError.
+func (s *DiskStore) Append(recs []registry.Record) (registry.Ticket, error) {
+	req := &commitReq{tkt: &groupTicket{s: s, ch: make(chan struct{})}}
+	for i := range recs {
+		r, err := walRecord(&recs[i])
+		if err != nil {
+			s.mAppendErrs.Inc()
+			return nil, err
+		}
+		payload, err := json.Marshal(r)
+		if err != nil {
+			s.mAppendErrs.Inc()
+			return nil, fmt.Errorf("wal: encoding record: %w", err)
+		}
+		req.frames = appendFrame(req.frames, payload)
+		req.nRecs++
+		if r.Provision != nil {
+			req.nProv++
+		} else {
+			req.nAcc++
+		}
 	}
-	return done, err
-}
-
-// AppendAccess implements registry.Store.
-func (s *DiskStore) AppendAccess(rec registry.AccessRecord) (func(), error) {
-	done, err := s.append(record{Type: "access", Access: &rec})
-	if err == nil {
-		s.mAppendAcc.Inc()
+	if req.nRecs == 0 {
+		return immediateTicket{}, nil
 	}
-	return done, err
-}
 
-func (s *DiskStore) append(r record) (func(), error) {
-	payload, err := json.Marshal(r)
+	// Surface an unusable log synchronously — callers fail closed before
+	// queueing work the committer would only bounce.
+	s.mu.Lock()
+	var err error
+	switch {
+	case s.failed != nil:
+		err = fmt.Errorf("wal: log unusable after earlier failure: %w", s.failed)
+	case !s.recovered:
+		err = errors.New("wal: append before Recover")
+	}
+	s.mu.Unlock()
 	if err != nil {
 		s.mAppendErrs.Inc()
-		return nil, fmt.Errorf("wal: encoding record: %w", err)
+		return nil, err
 	}
-	frame := appendFrame(nil, payload)
 
-	s.barrier.RLock()
+	s.qMu.Lock()
+	for len(s.queue) >= s.maxQueue && !s.qClosed {
+		s.qCond.Wait()
+	}
+	if s.qClosed {
+		s.qMu.Unlock()
+		s.mAppendErrs.Inc()
+		return nil, errors.New("wal: append after Close")
+	}
+	s.queue = append(s.queue, req)
+	s.qCond.Broadcast()
+	s.qMu.Unlock()
+	return req.tkt, nil
+}
+
+// walRecord converts a registry.Record into the WAL's framed form,
+// rejecting shapes that would not survive replay.
+func walRecord(rec *registry.Record) (record, error) {
+	switch {
+	case rec.Provision != nil && rec.Access != nil:
+		return record{}, errors.New("wal: record sets both provision and access")
+	case rec.Provision != nil:
+		return record{Type: "provision", Provision: rec.Provision}, nil
+	case rec.Access != nil:
+		return record{Type: "access", Access: rec.Access}, nil
+	default:
+		return record{}, errors.New("wal: empty record")
+	}
+}
+
+// committer is the single goroutine that turns the queue into durable
+// groups: it drains everything pending, folds it into maxBatch-sized
+// chunks, and commits each chunk with one write and one fsync.
+func (s *DiskStore) committer() {
+	defer close(s.committerDone)
+	for {
+		s.qMu.Lock()
+		for len(s.queue) == 0 && !s.qClosed {
+			s.qCond.Wait()
+		}
+		if len(s.queue) == 0 && s.qClosed {
+			s.qMu.Unlock()
+			return
+		}
+		pending := s.queue
+		s.queue = nil
+		s.qCond.Broadcast() // wake producers blocked on maxQueue
+		s.qMu.Unlock()
+
+		for len(pending) > 0 {
+			n := len(pending)
+			if n > s.maxBatch {
+				n = s.maxBatch
+			}
+			s.commitGroup(pending[:n])
+			pending = pending[n:]
+		}
+	}
+}
+
+// commitGroup durably writes one batch: one segment write, one fsync,
+// then every ticket resolves together. On failure every ticket fails
+// closed with the same *GroupError — no caller in the group may treat
+// its records as durable, and none of its records took in-memory effect
+// (their ticket-holders never got past Wait).
+func (s *DiskStore) commitGroup(batch []*commitReq) {
+	s.groupSeq++
+	group := s.groupSeq
+
+	// One shared barrier hold per Append, taken before the durable write
+	// and released by that Append's Done (or below, on failure) — the
+	// snapshot barrier's accounting is identical to the per-append days.
+	for range batch {
+		s.barrier.RLock()
+	}
+	fail := func(err error) {
+		for range batch {
+			s.barrier.RUnlock()
+		}
+		gerr := &GroupError{Group: group, Err: err}
+		for _, req := range batch {
+			req.tkt.resolve(gerr)
+		}
+		s.mAppendErrs.Add(uint64(len(batch)))
+	}
+
 	s.mu.Lock()
+	var err error
 	switch {
 	case s.failed != nil:
 		err = fmt.Errorf("wal: log unusable after earlier failure: %w", s.failed)
@@ -210,12 +429,25 @@ func (s *DiskStore) append(r record) (func(), error) {
 	}
 	if err != nil {
 		s.mu.Unlock()
-		s.barrier.RUnlock()
-		s.mAppendErrs.Inc()
-		return nil, err
+		fail(err)
+		return
+	}
+	frames := batch[0].frames
+	totalRecs := batch[0].nRecs
+	if len(batch) > 1 {
+		size := 0
+		for _, req := range batch {
+			size += len(req.frames)
+		}
+		frames = make([]byte, 0, size)
+		totalRecs = 0
+		for _, req := range batch {
+			frames = append(frames, req.frames...)
+			totalRecs += req.nRecs
+		}
 	}
 	f := s.cur
-	if _, werr := f.Write(frame); werr != nil {
+	if _, werr := f.Write(frames); werr != nil {
 		// The segment tail is now unknown (possibly a partial frame). Try
 		// to restore the known-good boundary; if even that fails, poison
 		// the store — appending after garbage would turn the next recovery
@@ -224,24 +456,29 @@ func (s *DiskStore) append(r record) (func(), error) {
 			s.failed = fmt.Errorf("write failed (%v), then truncate failed (%v)", werr, terr)
 		}
 		s.mu.Unlock()
-		s.barrier.RUnlock()
-		s.mAppendErrs.Inc()
-		return nil, fmt.Errorf("wal: append: %w", werr)
+		fail(fmt.Errorf("wal: append: %w", werr))
+		return
 	}
-	s.curOff += int64(len(frame))
-	s.recsSince++
+	s.curOff += int64(len(frames))
+	s.recsSince += totalRecs
 	over := s.threshold > 0 && s.recsSince >= s.threshold
 	s.mu.Unlock()
 
-	// fsync outside mu: commits pipeline behind each other, not behind
-	// every registry touch.
+	// fsync outside mu: the commit pipeline stalls behind the disk, not
+	// behind every registry touch.
 	start := s.now()
 	serr := f.Sync()
 	s.hFsync.Observe(float64(s.now()-start) / 1e9)
 	if serr != nil {
-		s.barrier.RUnlock()
-		s.mAppendErrs.Inc()
-		return nil, fmt.Errorf("wal: fsync: %w", serr)
+		fail(fmt.Errorf("wal: fsync: %w", serr))
+		return
+	}
+	s.mGroupSyncs.Inc()
+	s.hBatchSize.Observe(float64(totalRecs))
+	for _, req := range batch {
+		s.mAppendProv.Add(req.nProv)
+		s.mAppendAcc.Add(req.nAcc)
+		req.tkt.resolve(nil)
 	}
 	if over {
 		select {
@@ -249,15 +486,23 @@ func (s *DiskStore) append(r record) (func(), error) {
 		default:
 		}
 	}
-	return s.endOp, nil
 }
 
-func (s *DiskStore) endOp() { s.barrier.RUnlock() }
-
-// Close syncs and closes the current segment. It does not snapshot —
-// that is the daemon's shutdown step, because only the daemon holds the
+// Close stops the committer (draining whatever is already queued), then
+// syncs and closes the current segment. It does not snapshot — that is
+// the daemon's shutdown step, because only the daemon holds the
 // registry.
 func (s *DiskStore) Close() error {
+	s.qMu.Lock()
+	if !s.qClosed {
+		s.qClosed = true
+		s.qCond.Broadcast()
+	}
+	s.qMu.Unlock()
+	if s.committerDone != nil {
+		<-s.committerDone
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cur == nil {

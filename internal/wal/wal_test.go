@@ -293,7 +293,7 @@ func TestFlippedCRCRefuses(t *testing.T) {
 	}
 
 	// The refusing store must not accept appends.
-	if _, aerr := st2.AppendAccess(registry.AccessRecord{ID: "arch-000001"}); aerr == nil {
+	if _, aerr := st2.Append([]registry.Record{{Access: &registry.AccessRecord{ID: "arch-000001"}}}); aerr == nil {
 		t.Fatal("append succeeded on a store that refused recovery")
 	}
 }
@@ -381,7 +381,7 @@ func TestSnapshotThresholdSignals(t *testing.T) {
 // TestAppendBeforeRecoverFails pins the arming contract.
 func TestAppendBeforeRecoverFails(t *testing.T) {
 	st := openStore(t, t.TempDir(), 0)
-	if _, err := st.AppendAccess(registry.AccessRecord{ID: "arch-000001"}); err == nil {
+	if _, err := st.Append([]registry.Record{{Access: &registry.AccessRecord{ID: "arch-000001"}}}); err == nil {
 		t.Fatal("append before Recover succeeded")
 	}
 	if err := st.Snapshot(registry.New(1)); err == nil {

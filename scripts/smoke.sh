@@ -10,7 +10,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
-trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+trap 'kill "$pid" "$pid2" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+pid2=""
 
 go build -o "$workdir/lemonaded" ./cmd/lemonaded
 
@@ -73,4 +74,44 @@ kill -TERM "$pid"
 wait "$pid" || { echo "smoke: daemon exited nonzero"; cat "$workdir/log"; exit 1; }
 grep -q 'stopped' "$workdir/log" || { echo "smoke: no clean-stop log line"; exit 1; }
 echo "smoke: graceful shutdown OK"
+
+# Durable phase: the same drive against a WAL-backed daemon, with
+# concurrent workers so the group committer actually folds appends into
+# shared fsyncs, then assert the group-commit telemetry is exported.
+"$workdir/lemonaded" serve -addr 127.0.0.1:0 -addr-file "$workdir/addr2" \
+    -data-dir "$workdir/data" >"$workdir/log2" 2>&1 &
+pid2=$!
+for _ in $(seq 1 50); do
+    [ -s "$workdir/addr2" ] && break
+    sleep 0.1
+done
+base2="http://$(cat "$workdir/addr2")"
+echo "smoke: durable daemon on $base2"
+
+out=$("$workdir/lemonaded" loadgen -base "$base2" -workers 8)
+echo "$out" | sed 's/^/smoke: /'
+echo "$out" | grep -q 'budget invariant held' || {
+    echo "smoke: durable loadgen did not confirm the budget invariant"; exit 1
+}
+
+wal_metrics=$(curl -sf "$base2/metrics")
+echo "$wal_metrics" | grep -q '^lemonaded_wal_batch_size_bucket' || {
+    echo "smoke: lemonaded_wal_batch_size histogram missing:"
+    echo "$wal_metrics" | grep wal_ || true
+    exit 1
+}
+echo "$wal_metrics" | grep '^lemonaded_wal_batch_size_count' | grep -qv ' 0$' || {
+    echo "smoke: lemonaded_wal_batch_size observed nothing"; exit 1
+}
+echo "$wal_metrics" | grep '^lemonaded_wal_group_fsyncs_total' | grep -qv ' 0$' || {
+    echo "smoke: lemonaded_wal_group_fsyncs_total missing or zero:"
+    echo "$wal_metrics" | grep wal_ || true
+    exit 1
+}
+fsyncs=$(echo "$wal_metrics" | grep '^lemonaded_wal_group_fsyncs_total' | awk '{print $2}')
+records=$(echo "$wal_metrics" | grep '^lemonaded_wal_batch_size_sum' | awk '{print $2}')
+echo "smoke: group commit exported ($records records over $fsyncs group fsyncs)"
+
+kill -TERM "$pid2"
+wait "$pid2" || { echo "smoke: durable daemon exited nonzero"; cat "$workdir/log2"; exit 1; }
 echo "smoke: PASS"
