@@ -212,10 +212,13 @@ func (e *Entry) Access(ctx context.Context, env nems.Environment) ([]byte, error
 		return nil, fmt.Errorf("%w: %w", ErrStore, werr)
 	}
 	e.beginTurn(turn)
-	secret, aerr := e.Arch.Access(env)
-	e.endTurn()
-	tkt.Done()
-	return secret, aerr
+	// Deferred, not inline: a panic inside Arch.Access must still retire
+	// the turn (or every later access on this entry blocks in beginTurn
+	// forever) and release the ticket's snapshot-barrier share (or every
+	// future Snapshot wedges on a hold nobody can drop).
+	defer e.endTurn()
+	defer tkt.Done()
+	return e.Arch.Access(env)
 }
 
 // beginTurn blocks until every earlier turn has applied (or been
@@ -351,9 +354,8 @@ func (r *Registry) Provision(arch *core.Architecture, seed uint64, secret []byte
 	if werr := tkt.Wait(); werr != nil {
 		return nil, fmt.Errorf("%w: %w", ErrStore, werr)
 	}
-	e := r.insert(id, arch, seed, dup)
-	tkt.Done()
-	return e, nil
+	defer tkt.Done()
+	return r.insert(id, arch, seed, dup), nil
 }
 
 // Restore inserts a recovered architecture under its original ID without

@@ -74,13 +74,18 @@ type Breaker struct {
 	cooldown  int64
 	now       func() int64
 
-	mu            sync.Mutex
-	state         State  // guarded by mu
-	fails         int    // guarded by mu; consecutive failures while closed
-	openedAt      int64  // guarded by mu
-	probing       bool   // guarded by mu
-	lastGroup     uint64 // guarded by mu; last failed commit-group ID seen
-	lastGroupSeen bool   // guarded by mu
+	mu       sync.Mutex
+	state    State // guarded by mu
+	fails    int   // guarded by mu; consecutive failures while closed
+	openedAt int64 // guarded by mu
+	probing  bool  // guarded by mu
+	// failedGroups is a ring of recently counted failed commit-group IDs.
+	// A ring, not a single "last seen" value: tickets of different failed
+	// groups Wait() in arbitrary interleavings (5,6,5,6…), and each
+	// revisit of a group already counted must stay a duplicate.
+	failedGroups    [failedGroupMemory]uint64 // guarded by mu
+	nFailedGroups   int                       // guarded by mu; entries in use
+	failedGroupsPos int                       // guarded by mu; next slot to overwrite
 
 	gState    *metrics.Gauge
 	gDegraded *metrics.Gauge
@@ -189,17 +194,37 @@ func (b *Breaker) settle(probe bool, err error) {
 // when the error carries a commit-group ID (wal.GroupError), repeats of
 // the same group collapse into one failure.
 func (b *Breaker) settleGroup(probe bool, err error) {
-	var dup bool
 	var g interface{ CommitGroup() uint64 }
 	if err != nil && errors.As(err, &g) {
 		b.mu.Lock()
-		dup = b.lastGroupSeen && b.lastGroup == g.CommitGroup()
-		b.lastGroup, b.lastGroupSeen = g.CommitGroup(), true
-		b.settleLocked(probe, err, dup)
+		b.settleLocked(probe, err, b.seenFailedGroup(g.CommitGroup()))
 		b.mu.Unlock()
 		return
 	}
 	b.settle(probe, err)
+}
+
+// failedGroupMemory bounds the dedup ring. Commit groups fail in ID
+// order and a ticket's Wait returns promptly after its group settles, so
+// the set of groups with tickets still unobserved at any instant is
+// small; 16 comfortably covers the deepest realistic interleaving while
+// keeping the scan trivial.
+const failedGroupMemory = 16
+
+// seenFailedGroup reports whether gid's failure was already counted,
+// recording it as counted if not. Caller holds b.mu.
+func (b *Breaker) seenFailedGroup(gid uint64) bool {
+	for i := 0; i < b.nFailedGroups; i++ {
+		if b.failedGroups[i] == gid {
+			return true
+		}
+	}
+	b.failedGroups[b.failedGroupsPos] = gid
+	b.failedGroupsPos = (b.failedGroupsPos + 1) % failedGroupMemory
+	if b.nFailedGroups < failedGroupMemory {
+		b.nFailedGroups++
+	}
+	return false
 }
 
 // settleLocked moves the state machine; caller holds b.mu. dupGroup
@@ -213,7 +238,7 @@ func (b *Breaker) settleLocked(probe bool, err error, dupGroup bool) {
 	}
 	if err == nil {
 		b.fails = 0
-		b.lastGroupSeen = false
+		b.nFailedGroups, b.failedGroupsPos = 0, 0
 		if b.state != StateClosed {
 			b.setState(StateClosed)
 		}

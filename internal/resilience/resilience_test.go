@@ -225,6 +225,50 @@ func TestBreakerCountsGroupFailureOnce(t *testing.T) {
 	}
 }
 
+// TestBreakerInterleavedGroupFailuresCountOnceEach: tickets from two
+// failed groups can Wait() in any interleaving (5,6,5,6) — the dedup
+// must remember every recently counted group, not just the latest one,
+// or each revisit counts as a fresh failure and two sick groups trip a
+// breaker sized for three.
+func TestBreakerInterleavedGroupFailuresCountOnceEach(t *testing.T) {
+	st := &groupStore{}
+	b := NewBreaker(BreakerConfig{Store: st, FailureThreshold: 3, Cooldown: time.Second,
+		NowNanos: func() int64 { return 0 }, Metrics: metrics.NewRegistry()})
+
+	appendOne := func() registry.Ticket {
+		t.Helper()
+		tkt, err := b.Append([]registry.Record{{Access: &registry.AccessRecord{ID: "arch-000001"}}})
+		if err != nil {
+			t.Fatalf("append refused: %v", err)
+		}
+		return tkt
+	}
+
+	// Two tickets per group, collected before any Wait, then observed
+	// interleaved: 5, 6, 5, 6.
+	setGroup(st, 5)
+	t5a, t5b := appendOne(), appendOne()
+	setGroup(st, 6)
+	t6a, t6b := appendOne(), appendOne()
+	for i, tkt := range []registry.Ticket{t5a, t6a, t5b, t6b} {
+		if err := tkt.Wait(); err == nil {
+			t.Fatalf("interleaved ticket %d did not fail", i)
+		}
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("two interleaved failed groups opened the breaker: state %v", got)
+	}
+
+	// A third distinct group is the third real failure: now it trips.
+	setGroup(st, 7)
+	if err := appendOne().Wait(); err == nil {
+		t.Fatal("group 7 ticket did not fail")
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("three distinct failed groups left state %v, want open", got)
+	}
+}
+
 // TestBreakerWaitFailureCounts: a commit failure surfaced at Wait (not
 // at Append) still moves the state machine.
 func TestBreakerWaitFailureCounts(t *testing.T) {

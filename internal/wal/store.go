@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"lemonade/internal/core"
 	"lemonade/internal/dse"
@@ -106,13 +107,16 @@ type DiskStore struct {
 	maxBatch  int
 	maxQueue  int
 
-	// barrier orders commits against snapshots: the committer takes one
-	// shared hold per Append in a group before the durable write, and
-	// each hold is released when that Append's records have taken their
-	// in-memory effect (Ticket.Done) — or by the committer itself when
-	// the group fails. Snapshot holds it exclusively while capturing
-	// state and rotating segments, so a snapshot can never observe a
-	// state its log position is ahead of or behind.
+	// barrier orders commits against snapshots: the committer takes ONE
+	// shared hold per commit group before the durable write, refcounted
+	// across the group's tickets, and the last Ticket.Done — every
+	// member's records have taken their in-memory effect — releases it
+	// (the committer itself releases it when the group fails). Snapshot
+	// holds it exclusively while capturing state and rotating segments,
+	// so a snapshot can never observe a state its log position is ahead
+	// of or behind. One RLock per group, not per member: sync.RWMutex
+	// blocks new RLocks once a writer is pending, so a per-member RLock
+	// loop interleaving with Snapshot's Lock would deadlock both sides.
 	barrier sync.RWMutex
 
 	mu        sync.Mutex
@@ -178,9 +182,24 @@ func (e *GroupError) Unwrap() error { return e.Err }
 // CommitGroup returns the failed group's ID.
 func (e *GroupError) CommitGroup() uint64 { return e.Group }
 
+// groupHold is one commit group's shared snapshot-barrier hold. The
+// committer arms it with the group size before the durable write; each
+// member's Done releases one reference and the last reference out drops
+// the group's single barrier.RUnlock.
+type groupHold struct {
+	s    *DiskStore
+	refs atomic.Int64
+}
+
+func (h *groupHold) release() {
+	if h.refs.Add(-1) == 0 {
+		h.s.barrier.RUnlock()
+	}
+}
+
 // groupTicket implements registry.Ticket for one Append call.
 type groupTicket struct {
-	s    *DiskStore
+	hold *groupHold    // the containing group's barrier hold; set by the committer before resolve
 	ch   chan struct{} // closed once err is settled
 	err  error         // written before close(ch), read only after Wait
 	done sync.Once
@@ -192,14 +211,14 @@ func (t *groupTicket) Wait() error {
 	return t.err
 }
 
-// Done releases this Append's snapshot-barrier hold. It must only be
-// called after Wait returned nil (a failed group's holds were already
-// released by the committer).
+// Done releases this Append's share of the group's snapshot-barrier
+// hold. It must only be called after Wait returned nil (a failed
+// group's hold was already released by the committer).
 func (t *groupTicket) Done() {
 	if t.err != nil {
 		return
 	}
-	t.done.Do(t.s.barrier.RUnlock)
+	t.done.Do(t.hold.release)
 }
 
 // resolve settles the ticket; called exactly once, by the committer.
@@ -293,7 +312,7 @@ func (s *DiskStore) RecordsSinceSnapshot() int {
 // store) are returned here; durability failures arrive through
 // Ticket.Wait as a *GroupError.
 func (s *DiskStore) Append(recs []registry.Record) (registry.Ticket, error) {
-	req := &commitReq{tkt: &groupTicket{s: s, ch: make(chan struct{})}}
+	req := &commitReq{tkt: &groupTicket{ch: make(chan struct{})}}
 	for i := range recs {
 		r, err := walRecord(&recs[i])
 		if err != nil {
@@ -402,16 +421,20 @@ func (s *DiskStore) commitGroup(batch []*commitReq) {
 	s.groupSeq++
 	group := s.groupSeq
 
-	// One shared barrier hold per Append, taken before the durable write
-	// and released by that Append's Done (or below, on failure) — the
-	// snapshot barrier's accounting is identical to the per-append days.
-	for range batch {
-		s.barrier.RLock()
+	// One shared barrier hold for the WHOLE group, taken before the
+	// durable write and released by the last member's Done (or below, on
+	// failure). It must be a single RLock: acquiring one per member in a
+	// loop deadlocks against a concurrent Snapshot, because a pending
+	// barrier.Lock blocks new RLocks while the holds already taken only
+	// release after the commit the committer can no longer reach.
+	s.barrier.RLock()
+	hold := &groupHold{s: s}
+	hold.refs.Store(int64(len(batch)))
+	for _, req := range batch {
+		req.tkt.hold = hold
 	}
 	fail := func(err error) {
-		for range batch {
-			s.barrier.RUnlock()
-		}
+		s.barrier.RUnlock()
 		gerr := &GroupError{Group: group, Err: err}
 		for _, req := range batch {
 			req.tkt.resolve(gerr)
@@ -447,6 +470,7 @@ func (s *DiskStore) commitGroup(batch []*commitReq) {
 		}
 	}
 	f := s.cur
+	prevOff := s.curOff // last known-synced boundary
 	if _, werr := f.Write(frames); werr != nil {
 		// The segment tail is now unknown (possibly a partial frame). Try
 		// to restore the known-good boundary; if even that fails, poison
@@ -470,6 +494,21 @@ func (s *DiskStore) commitGroup(batch []*commitReq) {
 	serr := f.Sync()
 	s.hFsync.Observe(float64(s.now()-start) / 1e9)
 	if serr != nil {
+		// The group's frames reached the file but their durability is
+		// unknown. Leaving them (and the advanced offset) in place would
+		// let the next successful group land AFTER them, so replay would
+		// resurrect a whole batch whose callers all failed closed. Restore
+		// the known-synced boundary; if even that repair fails, poison the
+		// store — appending after phantom bytes of unknown extent would
+		// turn the next recovery into a corruption refusal.
+		s.mu.Lock()
+		if terr := f.Truncate(prevOff); terr != nil {
+			s.failed = fmt.Errorf("fsync failed (%v), then truncate failed (%v)", serr, terr)
+		} else {
+			s.curOff = prevOff
+			s.recsSince -= totalRecs
+		}
+		s.mu.Unlock()
 		fail(fmt.Errorf("wal: fsync: %w", serr))
 		return
 	}
