@@ -82,6 +82,7 @@ func runBenchCompare(args []string) error {
 	threshold := fs.Float64("threshold", 0.10, "relative median-shift threshold")
 	sigma := fs.Float64("sigma", 3, "pooled-stddev multiplier in the noise term")
 	floorUS := fs.Float64("floor-us", 20, "absolute noise floor in microseconds")
+	noRatchet := fs.Bool("no-ratchet", false, "disable the absolute allocs/op ceilings on the codec and simulation metrics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,10 +97,15 @@ func runBenchCompare(args []string) error {
 	if err != nil {
 		return err
 	}
+	ceilings := bench.DefaultAllocCeilings
+	if *noRatchet {
+		ceilings = nil
+	}
 	regs, err := bench.Compare(old, cur, bench.CompareOpts{
 		RelThreshold:  *threshold,
 		SigmaFactor:   *sigma,
 		MinDeltaNanos: *floorUS * 1000,
+		AllocCeilings: ceilings,
 	})
 	if err != nil {
 		return err

@@ -28,9 +28,17 @@ var forbiddenTimeFuncs = map[string]bool{
 // explicit, seeded *rng.RNG, and nothing in a simulation path may observe
 // real time. (crypto/rand is untouched: key-generation paths legitimately
 // use it, and it never feeds simulation results.)
+//
+// sync.Pool is conditionally allowed: whether Get returns a cached object
+// or nil depends on GC timing and scheduling, so a pool is only
+// deterministic behind the fallback seam — a New function, which makes
+// the hit and miss paths structurally identical (the codec packages'
+// scratch pools are the pattern: every pooled buffer is re-sliced and
+// fully overwritten before it is read). A pool declared without New is
+// flagged.
 var NoDeterminism = &Analyzer{
 	Name: "nodeterminism",
-	Doc:  "forbid math/rand imports and time.Now/Since/Until in simulation packages",
+	Doc:  "forbid math/rand imports, time.Now/Since/Until, and sync.Pool without a New fallback in simulation packages",
 	Run:  runNoDeterminism,
 }
 
@@ -65,5 +73,49 @@ func runNoDeterminism(pass *Pass) {
 			}
 			return true
 		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if !isSyncPool(pass.Info.Types[n].Type) {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "New" {
+						return true
+					}
+				}
+				pass.Reportf("nodeterminism", n.Pos(),
+					"sync.Pool without a New fallback: Get returns nil depending on GC timing; declare the deterministic-fallback seam (New) and fully overwrite pooled buffers before reading them")
+			case *ast.ValueSpec:
+				// A zero-value pool declaration (`var p sync.Pool`) has the
+				// same missing seam as an empty literal.
+				if len(n.Values) > 0 {
+					return true
+				}
+				for _, name := range n.Names {
+					obj := pass.Info.Defs[name]
+					if obj != nil && isSyncPool(obj.Type()) {
+						pass.Reportf("nodeterminism", name.Pos(),
+							"zero-value sync.Pool: Get returns nil depending on GC timing; declare the deterministic-fallback seam (New) and fully overwrite pooled buffers before reading them")
+					}
+				}
+			}
+			return true
+		})
 	}
+}
+
+// isSyncPool reports whether t is sync.Pool (not a pointer or alias chain
+// ending elsewhere).
+func isSyncPool(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
 }

@@ -4,6 +4,7 @@ package nodeterminism
 
 import (
 	"math/rand" // want nodeterminism
+	"sync"
 	"time"
 )
 
@@ -32,3 +33,15 @@ func OKDuration(cycles int64) time.Duration {
 func SuppressedStamp() time.Time {
 	return time.Now() //lemonvet:allow nodeterminism fixture demonstrates suppression
 }
+
+// BadPool has no New fallback: whether Get returns a cached object or nil
+// depends on GC timing, which the simulation contract forbids observing.
+var BadPool = sync.Pool{} // want nodeterminism
+
+// BadZeroPool is the zero-value form of the same missing seam.
+var BadZeroPool sync.Pool // want nodeterminism
+
+// OKPool carries the deterministic-fallback seam: Get never returns nil,
+// and callers fully overwrite the scratch before reading it, so pool hits
+// and misses are indistinguishable in output.
+var OKPool = sync.Pool{New: func() any { return new([64]byte) }}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -31,8 +32,10 @@ func TestSuiteCoversHotPaths(t *testing.T) {
 		"montecarlo/run_parallel",
 		"dse/frontier_cold",
 		"dse/explore_cached",
+		"explore/parallel",
 		"codec/shamir_split_combine",
 		"codec/rs_encode_decode",
+		"codec/rs-fast-path",
 		"wal/append",
 		"wal/replay",
 		"wal/snapshot_recovery",
@@ -103,6 +106,63 @@ func TestSuiteDeterministicChecksums(t *testing.T) {
 		if r.Field == "checksum" || r.Field == "coverage" {
 			t.Errorf("unexpected regression between identical runs: %s", r)
 		}
+	}
+}
+
+// TestParallelChecksumsWorkerCountInvariant pins the scheduling-
+// independence contract of the two parallel workloads: the montecarlo
+// and frontier-sweep checksums must be identical at GOMAXPROCS ∈
+// {1, 2, 8}. Worker count changes which goroutine computes each trial or
+// design point, never the bytes.
+func TestParallelChecksumsWorkerCountInvariant(t *testing.T) {
+	run := func(workers int, filter string) string {
+		t.Helper()
+		prev := runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+		cfg := testConfig(t)
+		cfg.N, cfg.Warmup = 1, 0
+		cfg.Filter = filter
+		rep, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Results) != 1 {
+			t.Fatalf("filter %q matched %d metrics, want 1", filter, len(rep.Results))
+		}
+		return rep.Results[0].Checksum
+	}
+	for _, filter := range []string{"montecarlo/run_parallel", "explore/parallel"} {
+		want := run(1, filter)
+		for _, workers := range []int{2, 8} {
+			if got := run(workers, filter); got != want {
+				t.Errorf("%s: checksum at GOMAXPROCS=%d is %s, want %s (GOMAXPROCS=1)",
+					filter, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestCompareAllocCeilings covers the ratchet: a new report over a
+// configured ceiling regresses even when the old report was equally
+// bad — the point of an absolute gate.
+func TestCompareAllocCeilings(t *testing.T) {
+	bad := Result{Name: "codec/rs_encode_decode", MedianNanos: 1e6, AllocsPerOp: 500, Checksum: "abc"}
+	opts := CompareOpts{AllocCeilings: map[string]float64{"codec/rs_encode_decode": 48}}
+	regs, err := Compare(report(bad), report(bad), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Field != "allocs_ceiling" {
+		t.Fatalf("got %v, want one allocs_ceiling regression", regs)
+	}
+	good := bad
+	good.AllocsPerOp = 12
+	regs, err = Compare(report(bad), report(good), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("under-ceiling report flagged: %v", regs)
 	}
 }
 

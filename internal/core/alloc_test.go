@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"lemonade/internal/dse"
+	"lemonade/internal/nems"
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+// buildLongLived fabricates an encoded architecture whose switches last
+// far beyond the accesses a test performs (α in the millions), so the
+// steady-state cost of Access can be measured without the copy dying.
+func buildLongLived(t *testing.T, n, k int, secret []byte) *Architecture {
+	t.Helper()
+	design := dse.Design{
+		Spec:   dse.Spec{Dist: weibull.MustNew(5e6, 8)},
+		T:      1000,
+		UpperT: 1000,
+		N:      n,
+		K:      k,
+		Copies: 1,
+	}
+	a, err := Build(design, secret, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestAccessAllocsSteadyState pins the access path's allocation budget:
+// after warmup, one access allocates only the returned secret (the
+// conducting scratch, share selection, and Shamir reconstruction all run
+// on reused or pooled buffers).
+func TestAccessAllocsSteadyState(t *testing.T) {
+	secret := []byte("the paper's limited-use secret")
+	for _, tc := range []struct {
+		name string
+		n, k int
+	}{
+		{"replica", 8, 1},
+		{"gf256", 16, 4},
+		{"gf16", 300, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := buildLongLived(t, tc.n, tc.k, secret)
+			env := nems.Environment{}
+			if _, err := a.Access(env); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if _, err := a.Access(env); err != nil {
+					panic(err)
+				}
+			})
+			// The returned secret is one allocation; leave headroom for
+			// runtime bookkeeping but forbid per-switch or per-share churn.
+			if allocs > 2 {
+				t.Fatalf("Access allocates %.1f times per call, want <= 2 (secret only)", allocs)
+			}
+		})
+	}
+}

@@ -134,46 +134,65 @@ func (d replicaDecoder) combine(conducting []int) ([]byte, error) {
 	return out, nil
 }
 
-// narrowDecoder: GF(256) Shamir shares, switch i guards share i.
+// narrowDecoder: GF(256) Shamir shares, switch i guards share i. The
+// share-selection scratch is reused across accesses; decoders are only
+// invoked with the architecture lock held, so reuse cannot race.
 type narrowDecoder struct {
 	shares []shamir.Share
 	k      int
+	got    []shamir.Share // scratch, reused under the architecture lock
 }
 
-func (d narrowDecoder) combine(conducting []int) ([]byte, error) {
-	got := make([]shamir.Share, 0, d.k)
+func (d *narrowDecoder) combine(conducting []int) ([]byte, error) {
+	got := d.got[:0]
 	for _, i := range conducting {
 		got = append(got, d.shares[i])
 		if len(got) == d.k {
 			break
 		}
 	}
-	return shamir.Combine(got, d.k)
+	d.got = got
+	// The output is the one allocation an access must make: the secret is
+	// handed to the caller, so it cannot come from a reused buffer.
+	out := make([]byte, len(d.shares[0].Data))
+	n, err := shamir.CombineInto(got, d.k, out)
+	if err != nil {
+		return nil, err
+	}
+	return out[:n], nil
 }
 
 // wideDecoder: GF(2^16) Shamir shares for structures wider than 255.
 type wideDecoder struct {
 	shares []shamir16.Share
 	k      int
+	got    []shamir16.Share // scratch, reused under the architecture lock
 }
 
-func (d wideDecoder) combine(conducting []int) ([]byte, error) {
-	got := make([]shamir16.Share, 0, d.k)
+func (d *wideDecoder) combine(conducting []int) ([]byte, error) {
+	got := d.got[:0]
 	for _, i := range conducting {
 		got = append(got, d.shares[i])
 		if len(got) == d.k {
 			break
 		}
 	}
-	return shamir16.Combine(got, d.k)
+	d.got = got
+	out := make([]byte, 2*len(d.shares[0].Data))
+	n, err := shamir16.CombineInto(got, d.k, out)
+	if err != nil {
+		return nil, err
+	}
+	return out[:n], nil
 }
 
 // archCopy is one serially-used copy: n switches, each guarding one
 // component share.
 type archCopy struct {
-	switches []*nems.Switch
-	dec      decoder
-	k        int
+	switches   []*nems.Switch
+	dec        decoder
+	k          int
+	conducting []int // scratch, reused across accesses under the architecture lock
 }
 
 func (c *archCopy) alive() bool {
@@ -195,12 +214,13 @@ func (c *archCopy) alive() bool {
 // failure (enough switches conducted, reconstruction failed) from plain
 // wearout below threshold.
 func (c *archCopy) access(env nems.Environment) ([]byte, int, error) {
-	var conducting []int
+	conducting := c.conducting[:0]
 	for i, sw := range c.switches {
 		if sw.Actuate(env) == nil {
 			conducting = append(conducting, i)
 		}
 	}
+	c.conducting = conducting
 	if len(conducting) < c.k {
 		return nil, len(conducting), nil
 	}
@@ -242,13 +262,13 @@ func Build(design dse.Design, secret []byte, r *rng.RNG) (*Architecture, error) 
 		if err != nil {
 			return nil, fmt.Errorf("core: encoding secret: %w", err)
 		}
-		dec = narrowDecoder{shares: shares, k: design.K}
+		dec = &narrowDecoder{shares: shares, k: design.K, got: make([]shamir.Share, 0, design.K)}
 	default:
 		shares, err := shamir16.Split(secret, design.K, design.N, r)
 		if err != nil {
 			return nil, fmt.Errorf("core: encoding secret: %w", err)
 		}
-		dec = wideDecoder{shares: shares, k: design.K}
+		dec = &wideDecoder{shares: shares, k: design.K, got: make([]shamir16.Share, 0, design.K)}
 	}
 	a := &Architecture{design: design, copies: make([]*archCopy, design.Copies), r: r}
 	for ci := range a.copies {

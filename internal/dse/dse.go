@@ -24,7 +24,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"lemonade/internal/cost"
 	"lemonade/internal/mathx"
@@ -448,16 +451,34 @@ func ExploreFrontier(ctx context.Context, spec Spec) ([]Design, error) {
 	if tMax > float64(upper) {
 		tMax = float64(upper)
 	}
-	cancellable := ctx.Done() != nil
+	// Largest integer target to evaluate; clamped before conversion since
+	// float-to-int overflow is implementation-defined.
+	var points int
+	if tMax >= math.MaxInt64 {
+		points = math.MaxInt64
+	} else {
+		points = int(math.Floor(tMax))
+	}
 	var out []Design
-	for t := 1; float64(t) <= tMax; t++ {
-		if cancellable && t%64 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+	if points < frontierParallelThreshold || runtime.GOMAXPROCS(0) == 1 {
+		// Sequential path: paper-scale sweeps (tMax = 4α+8 with α in the
+		// tens) fit here, where worker startup would cost more than the
+		// whole sweep.
+		cancellable := ctx.Done() != nil
+		for t := 1; t <= points; t++ {
+			if cancellable && t%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			if d, ok := designAt(spec, float64(t), upper); ok {
+				out = append(out, d)
 			}
 		}
-		if d, ok := designAt(spec, float64(t), upper); ok {
-			out = append(out, d)
+	} else {
+		out = exploreFrontierParallel(ctx, spec, upper, points)
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 	}
 	if len(out) == 0 {
@@ -465,6 +486,66 @@ func ExploreFrontier(ctx context.Context, spec Spec) ([]Design, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].TotalDevices < out[j].TotalDevices })
 	return out, nil
+}
+
+// frontierParallelThreshold is the point count below which ExploreFrontier
+// stays sequential.
+const frontierParallelThreshold = 256
+
+// exploreFrontierParallel evaluates the per-copy targets 1..points across
+// a bounded worker pool. designAt is a pure function of (spec, t), so
+// parallel evaluation is trivially deterministic; the ordering contract is
+// preserved by collecting results into a slice indexed by t-1 and merging
+// in index order — exactly the append order of the sequential loop, fed to
+// the same sort. Workers claim chunks of consecutive targets from an
+// atomic counter; cancellation stops chunk claims and the caller reports
+// ctx.Err() as usual.
+func exploreFrontierParallel(ctx context.Context, spec Spec, upper, points int) []Design {
+	const chunk = 32
+	results := make([]Design, points)
+	oks := make([]bool, points)
+	workers := runtime.GOMAXPROCS(0)
+	maxWorkers := (points + chunk - 1) / chunk
+	if workers > maxWorkers {
+		workers = maxWorkers
+	}
+	done := ctx.Done()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(chunk)) - chunk
+				if start >= points {
+					return
+				}
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+				end := start + chunk
+				if end > points {
+					end = points
+				}
+				for i := start; i < end; i++ {
+					results[i], oks[i] = designAt(spec, float64(i+1), upper)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var out []Design
+	for i, ok := range oks {
+		if ok {
+			out = append(out, results[i])
+		}
+	}
+	return out
 }
 
 // --- Sweeps (figure generators build on these) ---------------------------------------

@@ -1,0 +1,70 @@
+package dse
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"lemonade/internal/reliability"
+	"lemonade/internal/weibull"
+)
+
+// wideFrontierSpec is an unencoded spec whose sweep spans 4α+8 = 408
+// integer targets — past frontierParallelThreshold, so ExploreFrontier
+// takes the parallel path when GOMAXPROCS > 1 — and whose relaxed
+// criteria admit several feasible designs, exercising the index-order
+// merge with a multi-element frontier.
+func wideFrontierSpec() Spec {
+	return Spec{
+		Dist:     weibull.MustNew(100, 30),
+		Criteria: reliability.Criteria{MinWork: 0.90, MaxOverrun: 0.10},
+		LAB:      91_250,
+	}
+}
+
+// TestExploreFrontierWorkerCountInvariance pins the determinism contract
+// of the parallel sweep at the GOMAXPROCS ∈ {1, 2, 8} matrix the bench
+// suite also asserts: designAt is a pure function of (spec, t) and the
+// parallel path merges results in index order, so the frontier must be
+// bit-identical to the sequential loop at any worker count. The spec is
+// unencoded with a large α so the sweep crosses
+// frontierParallelThreshold and the parallel path actually executes.
+func TestExploreFrontierWorkerCountInvariance(t *testing.T) {
+	spec := wideFrontierSpec()
+	prev := runtime.GOMAXPROCS(1)
+	want, err := ExploreFrontier(context.Background(), spec)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 2 {
+		t.Fatalf("want a multi-design frontier to exercise the merge, got %d", len(want))
+	}
+	for _, workers := range []int{1, 2, 8} {
+		prev := runtime.GOMAXPROCS(workers)
+		got, err := ExploreFrontier(context.Background(), spec)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: frontier diverges from sequential sweep (%d vs %d designs)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+// TestExploreFrontierParallelCancellation: a pre-cancelled context must
+// surface ctx.Err() from the parallel path too, not a partial frontier.
+func TestExploreFrontierParallelCancellation(t *testing.T) {
+	spec := wideFrontierSpec()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	prev := runtime.GOMAXPROCS(8)
+	_, err := ExploreFrontier(ctx, spec)
+	runtime.GOMAXPROCS(prev)
+	if err == nil || err != context.Canceled {
+		t.Fatalf("cancelled sweep returned err=%v, want context.Canceled", err)
+	}
+}

@@ -66,21 +66,46 @@ func Inv(a uint16) uint16 {
 	return expTable[Order-int(logTable[a])]
 }
 
-// Interpolate evaluates at x the unique degree-(k-1) polynomial through
-// the k points (xs[i], ys[i]); the xs must be distinct.
-func Interpolate(xs, ys []uint16, x uint16) (uint16, error) {
-	if len(xs) != len(ys) {
-		return 0, fmt.Errorf("gf16: mismatched point slices (%d vs %d)", len(xs), len(ys))
+// checkDistinct validates the shared Interpolate/LagrangeCoeffs
+// preconditions without allocating. Small point sets use a pairwise scan;
+// large ones (shamir16 thresholds run to thousands of shares) switch to a
+// stack bitset over the 2^16 possible coordinates, trading an 8 KiB
+// stack clear for O(k) instead of O(k²).
+func checkDistinct(xs []uint16, pairLen int) error {
+	if len(xs) != pairLen {
+		return fmt.Errorf("gf16: mismatched point slices (%d vs %d)", len(xs), pairLen)
 	}
 	if len(xs) == 0 {
-		return 0, fmt.Errorf("gf16: no points to interpolate")
+		return fmt.Errorf("gf16: no points to interpolate")
 	}
-	seen := make(map[uint16]bool, len(xs))
-	for _, v := range xs {
-		if seen[v] {
-			return 0, fmt.Errorf("gf16: duplicate x coordinate %d", v)
+	if len(xs) <= 32 {
+		for i := 0; i < len(xs); i++ {
+			for j := i + 1; j < len(xs); j++ {
+				if xs[i] == xs[j] {
+					return fmt.Errorf("gf16: duplicate x coordinate %d", xs[i])
+				}
+			}
 		}
-		seen[v] = true
+		return nil
+	}
+	var seen [1 << 16 / 8]byte
+	for _, v := range xs {
+		bit := byte(1) << (v & 7)
+		if seen[v>>3]&bit != 0 {
+			return fmt.Errorf("gf16: duplicate x coordinate %d", v)
+		}
+		seen[v>>3] |= bit
+	}
+	return nil
+}
+
+// Interpolate evaluates at x the unique degree-(k-1) polynomial through
+// the k points (xs[i], ys[i]); the xs must be distinct. Like the gf256
+// version, the Lagrange basis folds straight into the accumulator and the
+// success path performs no allocations.
+func Interpolate(xs, ys []uint16, x uint16) (uint16, error) {
+	if err := checkDistinct(xs, len(ys)); err != nil {
+		return 0, err
 	}
 	var acc uint16
 	for i := range xs {

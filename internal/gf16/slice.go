@@ -1,0 +1,106 @@
+package gf16
+
+// Slice kernels mirroring gf256's. A full multiplication table would be
+// 2^32 entries here, so the constant's log is hoisted out of the loop
+// instead and each element costs one log and one exp lookup. As in gf256,
+// field arithmetic is exact, so these are bit-identical to element-wise
+// Mul/Add. dst may be the same slice as src but must not otherwise
+// overlap it; none of the kernels allocate.
+
+// AddSlice adds src into dst elementwise: dst[i] ^= src[i].
+func AddSlice(dst, src []uint16) {
+	if len(dst) != len(src) {
+		//lemonvet:allow panic mismatched kernel operand lengths are a caller bug, like out-of-range indexing
+		panic("gf16: AddSlice length mismatch")
+	}
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}
+
+// MulSliceAdd multiply-accumulates a constant into dst: dst[i] ^= c·src[i].
+func MulSliceAdd(dst, src []uint16, c uint16) {
+	if len(dst) != len(src) {
+		//lemonvet:allow panic mismatched kernel operand lengths are a caller bug, like out-of-range indexing
+		panic("gf16: MulSliceAdd length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		AddSlice(dst, src)
+		return
+	}
+	lc := int(logTable[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[lc+int(logTable[s])]
+		}
+	}
+}
+
+// MulSlice sets dst[i] = c·src[i].
+func MulSlice(dst, src []uint16, c uint16) {
+	if len(dst) != len(src) {
+		//lemonvet:allow panic mismatched kernel operand lengths are a caller bug, like out-of-range indexing
+		panic("gf16: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	lc := int(logTable[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = expTable[lc+int(logTable[s])]
+		}
+	}
+}
+
+// EvalInto evaluates, column by column, the polynomial whose degree-j
+// coefficient vector is rows[j], at x: dst[b] = Σ_j rows[j][b]·x^j.
+// Every row must have len(dst); dst must not overlap any row except
+// rows[0], which it may equal.
+func EvalInto(dst []uint16, rows [][]uint16, x uint16) {
+	if len(rows) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	MulSlice(dst, rows[0], 1)
+	pw := x
+	for j := 1; j < len(rows); j++ {
+		MulSliceAdd(dst, rows[j], pw)
+		pw = Mul(pw, x)
+	}
+}
+
+// LagrangeCoeffs fills coeffs[i] with L_i(x) = Π_{j≠i}(x⊕xs[j])/(xs[i]⊕xs[j]),
+// the scalar weights that reconstruct whole share slices via MulSliceAdd.
+// The xs must be distinct and len(coeffs) must equal len(xs).
+func LagrangeCoeffs(xs []uint16, x uint16, coeffs []uint16) error {
+	if err := checkDistinct(xs, len(coeffs)); err != nil {
+		return err
+	}
+	for i := range xs {
+		num, den := uint16(1), uint16(1)
+		for j := range xs {
+			if j == i {
+				continue
+			}
+			num = Mul(num, x^xs[j])
+			den = Mul(den, xs[i]^xs[j])
+		}
+		coeffs[i] = Div(num, den)
+	}
+	return nil
+}

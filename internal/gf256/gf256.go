@@ -15,6 +15,11 @@ const Poly = 0x11D
 var (
 	expTable [512]byte // doubled so Mul can skip a mod 255
 	logTable [256]byte
+	// mulTable[c] is the full multiplication row of the constant c:
+	// mulTable[c][a] = c·a. 64 KiB once at init buys the slice kernels
+	// (MulSliceAdd and friends) a single lookup per byte instead of two
+	// log lookups plus an exp lookup.
+	mulTable [256][256]byte
 )
 
 func init() {
@@ -29,6 +34,13 @@ func init() {
 	}
 	for i := 255; i < 512; i++ {
 		expTable[i] = expTable[i-255]
+	}
+	for c := 1; c < 256; c++ {
+		row := &mulTable[c]
+		lc := int(logTable[c])
+		for a := 1; a < 256; a++ {
+			row[a] = expTable[lc+int(logTable[a])]
+		}
 	}
 }
 
@@ -123,22 +135,35 @@ func (p Polynomial) Degree() int {
 	return -1
 }
 
-// Interpolate performs Lagrange interpolation over the points (xs[i], ys[i])
-// and returns the value of the unique degree-(k-1) polynomial at x. The xs
-// must be distinct; it returns an error otherwise.
-func Interpolate(xs, ys []byte, x byte) (byte, error) {
-	if len(xs) != len(ys) {
-		return 0, fmt.Errorf("gf256: mismatched point slices (%d vs %d)", len(xs), len(ys))
+// checkDistinct validates the shared Interpolate/LagrangeCoeffs
+// preconditions: pairLen values paired with the xs, at least one point,
+// and all xs distinct. The pairwise scan is O(k²) but allocation-free;
+// k ≤ 255 in this field, so it beats building a seen-set.
+func checkDistinct(xs []byte, pairLen int) error {
+	if len(xs) != pairLen {
+		return fmt.Errorf("gf256: mismatched point slices (%d vs %d)", len(xs), pairLen)
 	}
 	if len(xs) == 0 {
-		return 0, fmt.Errorf("gf256: no points to interpolate")
+		return fmt.Errorf("gf256: no points to interpolate")
 	}
 	for i := 0; i < len(xs); i++ {
 		for j := i + 1; j < len(xs); j++ {
 			if xs[i] == xs[j] {
-				return 0, fmt.Errorf("gf256: duplicate x coordinate %d", xs[i])
+				return fmt.Errorf("gf256: duplicate x coordinate %d", xs[i])
 			}
 		}
+	}
+	return nil
+}
+
+// Interpolate performs Lagrange interpolation over the points (xs[i], ys[i])
+// and returns the value of the unique degree-(k-1) polynomial at x. The xs
+// must be distinct; it returns an error otherwise. The Lagrange basis is
+// folded directly into the accumulator — no intermediate basis polynomials
+// and no allocations on the success path.
+func Interpolate(xs, ys []byte, x byte) (byte, error) {
+	if err := checkDistinct(xs, len(ys)); err != nil {
+		return 0, err
 	}
 	var acc byte
 	for i := range xs {

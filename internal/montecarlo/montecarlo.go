@@ -9,8 +9,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"lemonade/internal/rng"
 )
@@ -74,12 +75,26 @@ func (s Summary) String() string {
 // Trial i always sees the same stream for a given seed.
 func Run(seed uint64, trials int, f Trial) Summary {
 	vals := make([]float64, trials)
-	base := rng.New(seed)
+	d := rng.New(seed).IndexDeriver(trialLabel)
+	var tr rng.RNG
 	for i := range vals {
-		vals[i] = f(base.DeriveIndex("trial-", i))
+		d.SeedInto(&tr, i)
+		vals[i] = f(&tr)
 	}
 	return summarize(vals)
 }
+
+// trialLabel is the per-trial stream derivation label; rng.DeriveIndex
+// with this label and the trial index defines each trial's stream, and
+// has since the first release — changing it would shift every simulation.
+const trialLabel = "trial-"
+
+// chunkSize is the dispatch granularity of RunParallel: workers claim
+// blocks of this many consecutive trial indices from an atomic counter.
+// Chunking amortizes the atomic op; which worker runs a trial never
+// affects its stream (derivation is by index), so results stay
+// bit-identical to Run at any worker count.
+const chunkSize = 64
 
 // RunParallel is Run across GOMAXPROCS workers. Results are identical to
 // Run for the same seed: stream derivation depends only on the trial index.
@@ -100,31 +115,55 @@ func RunParallel(ctx context.Context, seed uint64, trials int, f Trial) (Summary
 	if workers < 1 {
 		workers = 1
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
 	done := ctx.Done()
-	go func() {
-		defer close(next)
-		if done == nil {
-			for i := 0; i < trials; i++ {
-				next <- i
-			}
-			return
-		}
+	d := base.IndexDeriver(trialLabel)
+	if workers == 1 {
+		// Inline path: no goroutines, no dispatch overhead. Cancellation
+		// is still honored between trials.
+		var tr rng.RNG
 		for i := 0; i < trials; i++ {
-			select {
-			case next <- i:
-			case <-done:
-				return
+			if done != nil {
+				select {
+				case <-done:
+					return Summary{}, ctx.Err()
+				default:
+				}
 			}
+			d.SeedInto(&tr, i)
+			vals[i] = f(&tr)
 		}
-	}()
+		if err := ctx.Err(); err != nil {
+			return Summary{}, err
+		}
+		return summarize(vals), nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				vals[i] = f(base.DeriveIndex("trial-", i))
+			var tr rng.RNG
+			for {
+				start := int(next.Add(chunkSize)) - chunkSize
+				if start >= trials {
+					return
+				}
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+				end := start + chunkSize
+				if end > trials {
+					end = trials
+				}
+				for i := start; i < end; i++ {
+					d.SeedInto(&tr, i)
+					vals[i] = f(&tr)
+				}
 			}
 		}()
 	}
@@ -161,18 +200,79 @@ func summarize(vals []float64) Summary {
 	}
 	s.SD = math.Sqrt(variance)
 	sorted := append([]float64(nil), vals...)
-	sort.Float64s(sorted)
+	sortValues(sorted)
 	s.values = sorted
 	return s
+}
+
+// sortValues sorts ascending. Inputs free of NaNs and sign bits — every
+// lifetime distribution, every probability — take an LSD radix sort on
+// the IEEE-754 bit patterns, which for non-negative floats are
+// order-isomorphic to the values: the result is byte-identical to the
+// comparison sort (equal elements are bit-identical, so their relative
+// order is unobservable). Anything else falls back to slices.Sort, the
+// previous behavior, keeping quantiles (and every checksum over them)
+// unchanged for all inputs.
+func sortValues(vals []float64) {
+	if len(vals) < 256 {
+		slices.Sort(vals)
+		return
+	}
+	for _, v := range vals {
+		if math.IsNaN(v) || math.Signbit(v) {
+			slices.Sort(vals)
+			return
+		}
+	}
+	buf := make([]float64, len(vals))
+	src, dst := vals, buf
+	var counts [256]int
+	for shift := 0; shift < 64; shift += 8 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, v := range src {
+			counts[byte(math.Float64bits(v)>>shift)]++
+		}
+		skip := false
+		for _, c := range counts {
+			if c == len(src) {
+				skip = true
+				break
+			}
+			if c > 0 {
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		pos := 0
+		for i, c := range counts {
+			counts[i] = pos
+			pos += c
+		}
+		for _, v := range src {
+			b := byte(math.Float64bits(v) >> shift)
+			dst[counts[b]] = v
+			counts[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &vals[0] {
+		copy(vals, src)
+	}
 }
 
 // Proportion is a convenience for Bernoulli trials: it runs f and reports
 // the success fraction with a Wilson 95% interval.
 func Proportion(seed uint64, trials int, f func(r *rng.RNG) bool) (p, lo, hi float64) {
 	succ := 0
-	base := rng.New(seed)
+	d := rng.New(seed).IndexDeriver(trialLabel)
+	var tr rng.RNG
 	for i := 0; i < trials; i++ {
-		if f(base.DeriveIndex("trial-", i)) {
+		d.SeedInto(&tr, i)
+		if f(&tr) {
 			succ++
 		}
 	}

@@ -1,0 +1,122 @@
+package montecarlo
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"slices"
+	"testing"
+
+	"lemonade/internal/rng"
+	"lemonade/internal/weibull"
+)
+
+// TestRunParallelWorkerCountInvariance pins the scheduling-independence
+// contract at specific worker counts (the GOMAXPROCS ∈ {1, 2, 8} matrix
+// the bench suite also asserts): trial streams are derived by index, so
+// the inline single-worker path, the chunked dispatch path, and the
+// sequential Run must all produce identical summaries — including the
+// full sorted value set, compared through a fine quantile sweep.
+func TestRunParallelWorkerCountInvariance(t *testing.T) {
+	d := weibull.MustNew(14, 8)
+	trial := func(r *rng.RNG) float64 { return d.Sample(r) }
+	const seed, trials = 42, 1500
+	want := Run(seed, trials, trial)
+	for _, workers := range []int{1, 2, 8} {
+		prev := runtime.GOMAXPROCS(workers)
+		got, err := RunParallel(context.Background(), seed, trials, trial)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Mean != want.Mean || got.SD != want.SD || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("workers=%d: summary diverges from sequential Run", workers)
+		}
+		for q := 0.0; q <= 1.0; q += 1.0 / 64 {
+			if got.Quantile(q) != want.Quantile(q) {
+				t.Fatalf("workers=%d: quantile %g diverges", workers, q)
+			}
+		}
+	}
+}
+
+// TestRunAllocsAmortized pins the per-trial overhead of the harness: with
+// the amortized deriver and a caller-held generator, allocations must not
+// scale with the trial count (the harness itself needs only the value
+// buffers plus goroutine bookkeeping).
+func TestRunAllocsAmortized(t *testing.T) {
+	trial := func(r *rng.RNG) float64 { return float64(r.Uint64() >> 40) }
+	const trials = 2048
+	allocs := testing.AllocsPerRun(10, func() {
+		_ = Run(7, trials, trial)
+	})
+	// vals + sorted copy + Summary internals — far below one per trial.
+	if allocs > 16 {
+		t.Fatalf("Run allocates %.0f times for %d trials, want amortized O(1)", allocs, trials)
+	}
+}
+
+func TestProportionMatchesDeriveIndex(t *testing.T) {
+	// Proportion's amortized deriver must see exactly the per-trial
+	// streams the documented DeriveIndex contract defines.
+	base := rng.New(99)
+	wantSucc := 0
+	const trials = 500
+	f := func(r *rng.RNG) bool { return r.Float64() < 0.3 }
+	for i := 0; i < trials; i++ {
+		if f(base.DeriveIndex("trial-", i)) {
+			wantSucc++
+		}
+	}
+	p, _, _ := Proportion(99, trials, f)
+	if p != float64(wantSucc)/trials {
+		t.Fatalf("Proportion %g diverges from DeriveIndex replay %g", p, float64(wantSucc)/trials)
+	}
+}
+
+// TestSortValuesMatchesSlicesSort pins the radix path to the comparison
+// sort over adversarial inputs: heavy duplicates, single-bucket digit
+// planes, denormals, and the NaN/negative fallbacks.
+func TestSortValuesMatchesSlicesSort(t *testing.T) {
+	r := rng.New(3)
+	cases := [][]float64{
+		make([]float64, 4096),
+		make([]float64, 256),
+		make([]float64, 255), // below the radix threshold
+		make([]float64, 4096),
+		make([]float64, 1024),
+		make([]float64, 1024),
+	}
+	for i := range cases[0] {
+		cases[0][i] = r.Float64() * 1e6
+	}
+	for i := range cases[1] {
+		cases[1][i] = float64(r.Intn(7)) // heavy duplicates
+	}
+	for i := range cases[2] {
+		cases[2][i] = r.Float64()
+	}
+	for i := range cases[3] {
+		cases[3][i] = 42.0 // fully constant: every digit plane skips
+	}
+	for i := range cases[4] {
+		cases[4][i] = r.Float64() * 5e-324 // denormals
+	}
+	for i := range cases[5] {
+		cases[5][i] = r.Float64() - 0.5 // negatives: comparison fallback
+	}
+	cases[5][100] = math.NaN()
+	cases[5][200] = math.Copysign(0, -1)
+	for ci, vals := range cases {
+		want := append([]float64(nil), vals...)
+		slices.Sort(want)
+		got := append([]float64(nil), vals...)
+		sortValues(got)
+		for i := range want {
+			wb, gb := math.Float64bits(want[i]), math.Float64bits(got[i])
+			if wb != gb && !(math.IsNaN(want[i]) && math.IsNaN(got[i])) {
+				t.Fatalf("case %d index %d: sortValues %x, slices.Sort %x", ci, i, gb, wb)
+			}
+		}
+	}
+}

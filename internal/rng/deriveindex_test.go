@@ -74,3 +74,56 @@ func TestDeriveIndexNoAlloc(t *testing.T) {
 }
 
 var sink *RNG
+
+// TestIndexDeriverEquivalence pins SeedInto to DeriveIndex: for any parent
+// state, label, and index, the caller-held generator must land in exactly
+// the state DeriveIndex returns — that equality is what lets montecarlo
+// reuse one generator across thousands of trials.
+func TestIndexDeriverEquivalence(t *testing.T) {
+	indices := []int{0, 1, 9, 10, 99, 12345, 1 << 30, -1, -12345, math.MinInt64}
+	for _, seed := range []uint64{0, 1, 42, 0xDEADBEEF} {
+		parent := New(seed)
+		parent.Uint64()
+		for _, label := range []string{"trial-", "", "shard/"} {
+			d := parent.IndexDeriver(label)
+			var got RNG
+			for _, i := range indices {
+				d.SeedInto(&got, i)
+				want := parent.DeriveIndex(label, i)
+				if got.State() != want.State() {
+					t.Fatalf("seed=%d label=%q i=%d: SeedInto state %x, DeriveIndex state %x",
+						seed, label, i, got.State(), want.State())
+				}
+			}
+		}
+	}
+}
+
+// TestIndexDeriverCapturesState: the deriver snapshots the parent state at
+// construction; advancing the parent afterwards must not change its
+// streams (same rule as holding the result of a DeriveIndex call).
+func TestIndexDeriverCapturesState(t *testing.T) {
+	parent := New(11)
+	d := parent.IndexDeriver("trial-")
+	want := parent.DeriveIndex("trial-", 3)
+	parent.Uint64() // advance after capture
+	var got RNG
+	d.SeedInto(&got, 3)
+	if got.State() != want.State() {
+		t.Fatal("IndexDeriver stream changed when the parent advanced after capture")
+	}
+}
+
+// TestSeedIntoNoAlloc asserts the amortized derivation path is fully
+// allocation-free, caller-held generator included.
+func TestSeedIntoNoAlloc(t *testing.T) {
+	parent := New(1)
+	d := parent.IndexDeriver("trial-")
+	var r RNG
+	allocs := testing.AllocsPerRun(200, func() {
+		d.SeedInto(&r, 123456)
+	})
+	if allocs != 0 {
+		t.Fatalf("SeedInto allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -29,6 +29,14 @@ type RNG struct {
 // seed (including 0) yields a well-mixed state.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.seed(seed)
+	return r
+}
+
+// seed (re)initializes the generator in place from a SplitMix64-mixed seed
+// — New without the allocation, for callers cycling one generator through
+// many streams.
+func (r *RNG) seed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9E3779B97F4A7C15
@@ -37,7 +45,6 @@ func New(seed uint64) *RNG {
 		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 		r.s[i] = z ^ (z >> 31)
 	}
-	return r
 }
 
 // stateHash folds the generator's state into an FNV-1a accumulator; Derive
@@ -71,18 +78,44 @@ func (r *RNG) Derive(label string) *RNG {
 // is bit-identical to Derive(fmt.Sprintf(label+"%d", i)); the equivalence is
 // locked down by TestDeriveIndexEquivalence.
 func (r *RNG) DeriveIndex(label string, i int) *RNG {
+	out := &RNG{}
+	r.IndexDeriver(label).SeedInto(out, i)
+	return out
+}
+
+// IndexDeriver is the amortized form of DeriveIndex: the FNV accumulation
+// over the parent's state and the label — identical for every trial of a
+// run — is folded once at construction, and SeedInto finishes the hash
+// with just the index digits into a caller-held generator. It captures the
+// parent's state at construction time, exactly as a DeriveIndex call at
+// that moment would.
+type IndexDeriver struct {
+	prefix uint64
+}
+
+// IndexDeriver returns a deriver for the given label over this generator's
+// current state.
+func (r *RNG) IndexDeriver(label string) IndexDeriver {
 	h := r.stateHash()
 	for j := 0; j < len(label); j++ {
 		h ^= uint64(label[j])
 		h *= 1099511628211
 	}
+	return IndexDeriver{prefix: h}
+}
+
+// SeedInto re-seeds dst with the stream for index i, leaving it in exactly
+// the state DeriveIndex(label, i) on the source generator would have
+// returned — without allocating.
+func (d IndexDeriver) SeedInto(dst *RNG, i int) {
+	h := d.prefix
 	var buf [20]byte // fits int64 including sign
 	b := strconv.AppendInt(buf[:0], int64(i), 10)
 	for _, c := range b {
 		h ^= uint64(c)
 		h *= 1099511628211
 	}
-	return New(h)
+	dst.seed(h)
 }
 
 // Split returns a new generator seeded from this generator's next output,

@@ -24,38 +24,73 @@ var ErrTooManyErrors = errors.New("rs: too many corrupted shards to correct")
 // present (by index) and equal length; use Decode for the erasure-only
 // case, which tolerates more loss.
 func (c *Code) DecodeWithErrors(shards []Shard) ([]byte, error) {
-	distinct := make([]Shard, 0, len(shards))
-	seen := map[int]bool{}
-	for _, s := range shards {
-		if s.Index < 0 || s.Index >= c.n {
-			return nil, fmt.Errorf("rs: shard index %d out of range [0,%d)", s.Index, c.n)
-		}
-		if seen[s.Index] {
-			continue
-		}
-		seen[s.Index] = true
-		distinct = append(distinct, s)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	shardLen, err := c.selectSurvivors(shards, sc, false)
+	if err != nil {
+		return nil, err
 	}
-	if len(distinct) < c.k {
-		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrTooFewShards, len(distinct), c.k)
+	dist := sc.dist
+	nn := len(dist)
+	data := make([]byte, c.k*shardLen)
+
+	// Syndrome fast path: interpolate a candidate codeword from the first
+	// k distinct shards, then check the remaining shards against it. A
+	// column where every extra shard matches is consistent with zero
+	// errors, and Berlekamp–Welch's solution for a zero-error column is
+	// exactly this interpolation — so only flagged columns need the full
+	// linear solve. Clean decodes (the common case for an erasure-only
+	// fault model) skip it entirely.
+	if err := c.lagrangeRows(data, shards, dist[:c.k], shardLen, sc); err != nil {
+		return nil, err
 	}
-	shardLen := len(distinct[0].Data)
-	for _, s := range distinct {
-		if len(s.Data) != shardLen {
-			return nil, errors.New("rs: shards have inconsistent lengths")
+	sc.xsData = growBytes(sc.xsData, c.k)
+	for i := range sc.xsData {
+		sc.xsData[i] = byte(i + 1)
+	}
+	sc.row = growBytes(sc.row, shardLen)
+	sc.bad = growBools(sc.bad, shardLen)
+	for i := range sc.bad {
+		sc.bad[i] = false
+	}
+	anyBad := false
+	for _, si := range dist[c.k:] {
+		s := shards[si]
+		if err := gf256.LagrangeCoeffs(sc.xsData, byte(s.Index+1), sc.coeffs); err != nil {
+			return nil, err
+		}
+		pred := sc.row
+		for j := range pred {
+			pred[j] = 0
+		}
+		for j := 0; j < c.k; j++ {
+			gf256.MulSliceAdd(pred, data[j*shardLen:(j+1)*shardLen], sc.coeffs[j])
+		}
+		for col, v := range pred {
+			if v != s.Data[col] {
+				sc.bad[col] = true
+				anyBad = true
+			}
 		}
 	}
-	nn := len(distinct)
+	if !anyBad {
+		return data, nil
+	}
+
+	// Slow path, flagged columns only: the original per-column
+	// Berlekamp–Welch over all nn shards.
 	e := (nn - c.k) / 2 // correctable errors
 	xs := make([]byte, nn)
-	for i, s := range distinct {
-		xs[i] = byte(s.Index + 1)
+	for i, si := range dist {
+		xs[i] = byte(shards[si].Index + 1)
 	}
-	data := make([]byte, c.k*shardLen)
 	ys := make([]byte, nn)
 	for col := 0; col < shardLen; col++ {
-		for i, s := range distinct {
-			ys[i] = s.Data[col]
+		if !sc.bad[col] {
+			continue
+		}
+		for i, si := range dist {
+			ys[i] = shards[si].Data[col]
 		}
 		poly, err := berlekampWelch(xs, ys, c.k, e)
 		if err != nil {
@@ -80,7 +115,40 @@ func RecoverPolynomial(xs, ys []byte, k int) (gf256.Polynomial, error) {
 	if len(xs) < k {
 		return nil, fmt.Errorf("%w: have %d points, need %d", ErrTooFewShards, len(xs), k)
 	}
+	// Clean fast path: fit the first k points (a k×k solve instead of the
+	// n×(k+2e) Berlekamp–Welch system) and verify the rest. If every point
+	// lies on the fit, zero errors are consistent and Berlekamp–Welch
+	// would return this exact polynomial — coefficients of a degree-<k fit
+	// are unique, whatever algorithm finds them. The equivalence argument
+	// needs distinct evaluation points, so duplicate-bearing inputs take
+	// the original path untouched.
+	if len(xs) > k && allDistinct(xs) {
+		if p, err := berlekampWelch(xs[:k], ys[:k], k, 0); err == nil {
+			clean := true
+			for i := k; i < len(xs); i++ {
+				if p.Eval(xs[i]) != ys[i] {
+					clean = false
+					break
+				}
+			}
+			if clean {
+				return p, nil
+			}
+		}
+	}
 	return berlekampWelch(xs, ys, k, (len(xs)-k)/2)
+}
+
+// allDistinct reports whether no byte value repeats in xs.
+func allDistinct(xs []byte) bool {
+	var seen [256]bool
+	for _, x := range xs {
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+	}
+	return true
 }
 
 // berlekampWelch recovers the degree < k message polynomial from points

@@ -1,0 +1,136 @@
+package rs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current implementation")
+
+// goldenData builds a deterministic data buffer without an RNG.
+func goldenData(n int, salt byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i*101+29) ^ salt
+	}
+	return out
+}
+
+// Pins Encode / Decode / DecodeWithErrors output bytes for a grid of
+// codes, survivor patterns, and corruption patterns. Generated from the
+// pre-kernel per-column implementation; the slice-kernel rewrite and the
+// clean-shard fast path must reproduce every line bit for bit — including
+// which scenarios error.
+func goldenDigests(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	codes := []struct{ k, n int }{{1, 1}, {1, 3}, {2, 3}, {4, 10}, {16, 64}, {10, 12}}
+	for _, kn := range codes {
+		c, err := New(kn.k, kn.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := goldenData(kn.k*31, byte(kn.k^kn.n))
+		shards, err := c.Encode(data)
+		if err != nil {
+			t.Fatalf("Encode(%d,%d): %v", kn.k, kn.n, err)
+		}
+		h := sha256.New()
+		for _, s := range shards {
+			h.Write(s)
+		}
+		fmt.Fprintf(&b, "encode/%d/%d %s\n", kn.k, kn.n, hex.EncodeToString(h.Sum(nil)))
+
+		// Decode from the LAST k shards (favoring parity), reversed, with
+		// a duplicate appended.
+		surv := make([]Shard, 0, kn.k+1)
+		for i := kn.n - 1; i >= kn.n-kn.k; i-- {
+			surv = append(surv, Shard{Index: i, Data: shards[i]})
+		}
+		surv = append(surv, surv[0])
+		got, err := c.Decode(surv)
+		if err != nil {
+			t.Fatalf("Decode(%d,%d): %v", kn.k, kn.n, err)
+		}
+		sum := sha256.Sum256(got)
+		fmt.Fprintf(&b, "decode/%d/%d %s\n", kn.k, kn.n, hex.EncodeToString(sum[:]))
+
+		// DecodeWithErrors over all shards: clean, then with up to e
+		// corrupted shards, then with e+1 (must error when e+1 > 0 exceeds
+		// the budget).
+		e := (kn.n - kn.k) / 2
+		for errs := 0; errs <= e+1; errs++ {
+			all := make([]Shard, kn.n)
+			for i := range all {
+				d := append([]byte(nil), shards[i]...)
+				all[i] = Shard{Index: i, Data: d}
+			}
+			for j := 0; j < errs && j < kn.n; j++ {
+				// corrupt shard j at a shifting column
+				col := (j * 7) % len(all[j].Data)
+				all[j].Data[col] ^= 0x5A
+			}
+			got, err := c.DecodeWithErrors(all)
+			switch {
+			case err == nil:
+				sum := sha256.Sum256(got)
+				fmt.Fprintf(&b, "bw/%d/%d/errs=%d %s\n", kn.k, kn.n, errs, hex.EncodeToString(sum[:]))
+			case errors.Is(err, ErrTooManyErrors):
+				fmt.Fprintf(&b, "bw/%d/%d/errs=%d ERR_TOO_MANY\n", kn.k, kn.n, errs)
+			default:
+				t.Fatalf("DecodeWithErrors(%d,%d,errs=%d): %v", kn.k, kn.n, errs, err)
+			}
+		}
+
+		// RecoverPolynomial across clean and singly-corrupted points.
+		xs := make([]byte, kn.n)
+		ys := make([]byte, kn.n)
+		for i := 0; i < kn.n; i++ {
+			xs[i] = byte(i + 1)
+			ys[i] = shards[i][0]
+		}
+		p, err := RecoverPolynomial(xs, ys, kn.k)
+		if err != nil {
+			t.Fatalf("RecoverPolynomial(%d,%d): %v", kn.k, kn.n, err)
+		}
+		sum = sha256.Sum256(p)
+		fmt.Fprintf(&b, "recover/%d/%d %s\n", kn.k, kn.n, hex.EncodeToString(sum[:]))
+		if e > 0 {
+			ys[1] ^= 0xC3
+			p, err := RecoverPolynomial(xs, ys, kn.k)
+			if err != nil {
+				t.Fatalf("RecoverPolynomial corrupt (%d,%d): %v", kn.k, kn.n, err)
+			}
+			sum := sha256.Sum256(p)
+			fmt.Fprintf(&b, "recover-corrupt/%d/%d %s\n", kn.k, kn.n, hex.EncodeToString(sum[:]))
+		}
+	}
+	return b.String()
+}
+
+func TestGoldenCodec(t *testing.T) {
+	got := goldenDigests(t)
+	path := filepath.Join("testdata", "rs.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

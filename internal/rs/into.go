@@ -1,0 +1,191 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lemonade/internal/gf256"
+)
+
+// scratch is the shared working set of EncodeInto/DecodeInto and the
+// clean-shard fast path in DecodeWithErrors. Instances recycle through
+// scratchPool; every buffer is re-sliced and fully written before it is
+// read, so pool hits and misses produce identical bytes.
+type scratch struct {
+	xs     []byte
+	xsData []byte
+	coeffs []byte
+	dist   []int
+	row    []byte
+	bad    []bool
+}
+
+// scratchPool's New field is the deterministic fallback: a miss constructs
+// a zero scratch grown on demand.
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func growBytes(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
+}
+
+func growInts(b []int, n int) []int {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]int, n)
+}
+
+func growBools(b []bool, n int) []bool {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]bool, n)
+}
+
+// EncodeInto is the destination-buffer form of Encode: shards must have
+// length n; each element is resized to len(data)/k bytes, reusing capacity
+// where available. The first k shards receive the data itself (systematic
+// code); parity shards are built with one MulSliceAdd sweep per data shard
+// instead of a per-column Interpolate. Shard buffers must not overlap data
+// or each other.
+func (c *Code) EncodeInto(data []byte, shards [][]byte) error {
+	if len(data) == 0 || len(data)%c.k != 0 {
+		return fmt.Errorf("rs: data length %d is not a positive multiple of k=%d", len(data), c.k)
+	}
+	if len(shards) != c.n {
+		return fmt.Errorf("rs: destination holds %d shards, need n=%d", len(shards), c.n)
+	}
+	shardLen := len(data) / c.k
+	for i := range shards {
+		shards[i] = growBytes(shards[i], shardLen)
+	}
+	for i := 0; i < c.k; i++ {
+		copy(shards[i], data[i*shardLen:(i+1)*shardLen])
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.xs = growBytes(sc.xs, c.k)
+	sc.coeffs = growBytes(sc.coeffs, c.k)
+	for i := range sc.xs {
+		sc.xs[i] = byte(i + 1)
+	}
+	// Parity shard at x is Σ_j L_j(x)·dataShard_j — the same scalars the
+	// per-column Interpolate computed, applied slice-at-a-time.
+	for i := c.k; i < c.n; i++ {
+		if err := gf256.LagrangeCoeffs(sc.xs, byte(i+1), sc.coeffs); err != nil {
+			return err
+		}
+		p := shards[i]
+		for j := range p {
+			p[j] = 0
+		}
+		for j := 0; j < c.k; j++ {
+			gf256.MulSliceAdd(p, shards[j], sc.coeffs[j])
+		}
+	}
+	return nil
+}
+
+// selectSurvivors deduplicates survivors by index into sc.dist, keeping
+// first occurrences. With stopAtK it stops collecting once k shards are
+// found (Decode semantics); otherwise it collects every distinct shard
+// (DecodeWithErrors semantics). It validates index range as encountered
+// and length consistency across the selected set, returning the shard
+// length.
+func (c *Code) selectSurvivors(survivors []Shard, sc *scratch, stopAtK bool) (int, error) {
+	capHint := c.k
+	if !stopAtK {
+		capHint = c.n
+	}
+	dist := growInts(sc.dist, capHint)[:0]
+	var seen [MaxShards]bool
+	for si := range survivors {
+		idx := survivors[si].Index
+		if idx < 0 || idx >= c.n {
+			sc.dist = dist
+			return 0, fmt.Errorf("rs: shard index %d out of range [0,%d)", idx, c.n)
+		}
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		dist = append(dist, si)
+		if stopAtK && len(dist) == c.k {
+			break
+		}
+	}
+	sc.dist = dist
+	if len(dist) < c.k {
+		return 0, fmt.Errorf("%w: have %d distinct, need %d", ErrTooFewShards, len(dist), c.k)
+	}
+	shardLen := len(survivors[dist[0]].Data)
+	for _, si := range dist {
+		if len(survivors[si].Data) != shardLen {
+			return 0, errors.New("rs: shards have inconsistent lengths")
+		}
+	}
+	return shardLen, nil
+}
+
+// lagrangeRows reconstructs the k data rows into dst (row-major,
+// k·shardLen bytes) from the k survivors indexed by dist. Surviving
+// systematic shards are copied directly — Lagrange interpolation at a node
+// returns that node's value exactly, so the copy is bit-identical to
+// interpolating.
+func (c *Code) lagrangeRows(dst []byte, survivors []Shard, dist []int, shardLen int, sc *scratch) error {
+	sc.xs = growBytes(sc.xs, c.k)
+	sc.coeffs = growBytes(sc.coeffs, c.k)
+	var rowOf [MaxShards]int16
+	for di := 0; di < c.k; di++ {
+		rowOf[di] = -1
+	}
+	for i, si := range dist {
+		if idx := survivors[si].Index; idx < c.k {
+			rowOf[idx] = int16(i)
+		}
+		sc.xs[i] = byte(survivors[si].Index + 1)
+	}
+	for di := 0; di < c.k; di++ {
+		out := dst[di*shardLen : (di+1)*shardLen]
+		if i := rowOf[di]; i >= 0 {
+			copy(out, survivors[dist[i]].Data)
+			continue
+		}
+		if err := gf256.LagrangeCoeffs(sc.xs, byte(di+1), sc.coeffs); err != nil {
+			return err
+		}
+		for j := range out {
+			out[j] = 0
+		}
+		for i, si := range dist {
+			gf256.MulSliceAdd(out, survivors[si].Data, sc.coeffs[i])
+		}
+	}
+	return nil
+}
+
+// DecodeInto is the destination-buffer form of Decode: it reconstructs the
+// original data from any k surviving shards into dst, returning the number
+// of bytes written (k times the shard length). dst must be at least that
+// long and must not alias survivor data. Shard selection matches Decode:
+// first k distinct indices win.
+func (c *Code) DecodeInto(survivors []Shard, dst []byte) (int, error) {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	shardLen, err := c.selectSurvivors(survivors, sc, true)
+	if err != nil {
+		return 0, err
+	}
+	need := c.k * shardLen
+	if len(dst) < need {
+		return 0, fmt.Errorf("rs: dst holds %d bytes, need %d", len(dst), need)
+	}
+	if err := c.lagrangeRows(dst[:need], survivors, sc.dist, shardLen, sc); err != nil {
+		return 0, err
+	}
+	return need, nil
+}

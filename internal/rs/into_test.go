@@ -1,0 +1,221 @@
+package rs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// dirty returns a buffer of capacity c deliberately filled with garbage,
+// sliced to an arbitrary shorter length — destination reuse must overwrite
+// every byte the API contract covers.
+func dirty(c int) []byte {
+	b := make([]byte, c)
+	for i := range b {
+		b[i] = 0xDB
+	}
+	return b[:c/2]
+}
+
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	c, err := New(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := goldenData(4*33, 0x11)
+	want, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destination with a mix of nil, undersized, and oversized dirty
+	// shard buffers.
+	dst := make([][]byte, 10)
+	for i := range dst {
+		switch i % 3 {
+		case 0:
+			dst[i] = nil
+		case 1:
+			dst[i] = dirty(10)
+		default:
+			dst[i] = dirty(100)
+		}
+	}
+	if err := c.EncodeInto(data, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bytes.Equal(dst[i], want[i]) {
+			t.Fatalf("shard %d differs between Encode and EncodeInto", i)
+		}
+	}
+}
+
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	c, err := New(5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := goldenData(5*17, 0x22)
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parity-heavy survivor set, reversed, with duplicates.
+	surv := []Shard{
+		{Index: 11, Data: shards[11]},
+		{Index: 2, Data: shards[2]},
+		{Index: 11, Data: shards[11]},
+		{Index: 9, Data: shards[9]},
+		{Index: 7, Data: shards[7]},
+		{Index: 0, Data: shards[0]},
+		{Index: 3, Data: shards[3]},
+	}
+	want, err := c.Decode(surv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, data) {
+		t.Fatal("Decode did not round-trip")
+	}
+	dst := make([]byte, len(want)+7)
+	for i := range dst {
+		dst[i] = 0xDB
+	}
+	n, err := c.DecodeInto(surv, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) || !bytes.Equal(dst[:n], want) {
+		t.Fatalf("DecodeInto differs from Decode (n=%d)", n)
+	}
+	for i := n; i < len(dst); i++ {
+		if dst[i] != 0xDB {
+			t.Fatalf("DecodeInto wrote past its return length at %d", i)
+		}
+	}
+}
+
+func TestIntoErrors(t *testing.T) {
+	c, err := New(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := goldenData(9, 0)
+	if err := c.EncodeInto(data, make([][]byte, 5)); err == nil {
+		t.Error("EncodeInto accepted a short destination slice")
+	}
+	if err := c.EncodeInto(data[:7], make([][]byte, 6)); err == nil {
+		t.Error("EncodeInto accepted a non-multiple data length")
+	}
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surv := []Shard{{0, shards[0]}, {1, shards[1]}, {2, shards[2]}}
+	if _, err := c.DecodeInto(surv, make([]byte, 8)); err == nil {
+		t.Error("DecodeInto accepted a too-short dst")
+	}
+	if _, err := c.DecodeInto(surv[:2], make([]byte, 9)); err == nil {
+		t.Error("DecodeInto accepted too few shards")
+	}
+	if _, err := c.DecodeInto([]Shard{{0, shards[0]}, {6, shards[1]}, {2, shards[2]}}, make([]byte, 9)); err == nil {
+		t.Error("DecodeInto accepted an out-of-range index")
+	}
+}
+
+// Steady-state allocation contract: with warm pools and preallocated
+// destinations, the Into paths allocate nothing.
+func TestIntoNoAllocsSteadyState(t *testing.T) {
+	c, err := New(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := goldenData(4*32, 0x33)
+	shards := make([][]byte, 10)
+	if err := c.EncodeInto(data, shards); err != nil {
+		t.Fatal(err)
+	}
+	surv := []Shard{
+		{Index: 9, Data: shards[9]},
+		{Index: 8, Data: shards[8]},
+		{Index: 1, Data: shards[1]},
+		{Index: 5, Data: shards[5]},
+	}
+	dst := make([]byte, len(data))
+	if n := testing.AllocsPerRun(200, func() {
+		if err := c.EncodeInto(data, shards); err != nil {
+			t.Fatal(err)
+		}
+	}); n >= 1 {
+		t.Errorf("EncodeInto steady state allocates %v times per call", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := c.DecodeInto(surv, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); n >= 1 {
+		t.Errorf("DecodeInto steady state allocates %v times per call", n)
+	}
+}
+
+// FuzzEncodeDecodeInto cross-checks the destination-buffer paths against
+// the allocating wrappers on fuzz-chosen code shapes, payloads, and
+// survivor patterns: both must emit identical bytes (the wrappers ARE the
+// Into paths plus an allocation, and the golden files pin the wrappers to
+// the pre-kernel implementation).
+func FuzzEncodeDecodeInto(f *testing.F) {
+	f.Add(uint8(3), uint8(6), uint16(0xBEEF), []byte("0123456789abcdef"))
+	f.Add(uint8(0), uint8(0), uint16(0), []byte{})
+	f.Add(uint8(15), uint8(200), uint16(0x1234), []byte("x"))
+	f.Fuzz(func(t *testing.T, kb, nb uint8, pick uint16, payload []byte) {
+		k := int(kb)%24 + 1
+		n := k + int(nb)%24
+		c, err := New(k, n)
+		if err != nil {
+			t.Skip()
+		}
+		if len(payload) == 0 {
+			payload = []byte{0xA7}
+		}
+		data, _ := Pad(payload, k)
+		want, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([][]byte, n)
+		for i := range dst {
+			if i%2 == 0 {
+				dst[i] = dirty(len(data)/k + int(pick)%8)
+			}
+		}
+		if err := c.EncodeInto(data, dst); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !bytes.Equal(dst[i], want[i]) {
+				t.Fatalf("shard %d differs between Encode and EncodeInto", i)
+			}
+		}
+
+		// Survivor selection: rotate through indices starting at
+		// pick%n, stepping by a pick-derived odd stride to mix data and
+		// parity shards, and include one duplicate.
+		stride := int(pick>>4)%n | 1
+		surv := make([]Shard, 0, k+1)
+		for i := 0; len(surv) < k; i++ {
+			idx := (int(pick) + i*stride) % n
+			surv = append(surv, Shard{Index: idx, Data: want[idx]})
+		}
+		surv = append(surv, surv[0])
+		wantData, wantErr := c.Decode(surv)
+		got := make([]byte, k*(len(data)/k))
+		gotN, gotErr := c.DecodeInto(surv, got)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("Decode err=%v, DecodeInto err=%v", wantErr, gotErr)
+		}
+		if wantErr == nil {
+			if gotN != len(wantData) || !bytes.Equal(got[:gotN], wantData) {
+				t.Fatal("DecodeInto output differs from Decode")
+			}
+		}
+	})
+}

@@ -20,8 +20,6 @@ package rs
 import (
 	"errors"
 	"fmt"
-
-	"lemonade/internal/gf256"
 )
 
 // MaxShards is the maximum total number of shards (field size limit).
@@ -60,33 +58,9 @@ func (c *Code) N() int { return c.n }
 // slice has n shards of len(data)/k bytes each; the first k are the data
 // itself (systematic code).
 func (c *Code) Encode(data []byte) ([][]byte, error) {
-	if len(data) == 0 || len(data)%c.k != 0 {
-		return nil, fmt.Errorf("rs: data length %d is not a positive multiple of k=%d", len(data), c.k)
-	}
-	shardLen := len(data) / c.k
 	shards := make([][]byte, c.n)
-	for i := 0; i < c.k; i++ {
-		shards[i] = append([]byte(nil), data[i*shardLen:(i+1)*shardLen]...)
-	}
-	for i := c.k; i < c.n; i++ {
-		shards[i] = make([]byte, shardLen)
-	}
-	xs := make([]byte, c.k)
-	for i := range xs {
-		xs[i] = byte(i + 1)
-	}
-	ys := make([]byte, c.k)
-	for col := 0; col < shardLen; col++ {
-		for i := 0; i < c.k; i++ {
-			ys[i] = shards[i][col]
-		}
-		for i := c.k; i < c.n; i++ {
-			v, err := gf256.Interpolate(xs, ys, byte(i+1))
-			if err != nil {
-				return nil, err
-			}
-			shards[i][col] = v
-		}
+	if err := c.EncodeInto(data, shards); err != nil {
+		return nil, err
 	}
 	return shards, nil
 }
@@ -98,51 +72,20 @@ type Shard struct {
 }
 
 // Decode reconstructs the original data from any k surviving shards.
-// Duplicate indices are ignored; shards must agree on length.
+// Duplicate indices are ignored; shards must agree on length. It is the
+// allocating wrapper around DecodeInto; the first survivor's length sizes
+// the destination, which DecodeInto's consistency check then holds every
+// used shard to.
 func (c *Code) Decode(survivors []Shard) ([]byte, error) {
-	distinct := make([]Shard, 0, c.k)
-	seen := map[int]bool{}
-	for _, s := range survivors {
-		if s.Index < 0 || s.Index >= c.n {
-			return nil, fmt.Errorf("rs: shard index %d out of range [0,%d)", s.Index, c.n)
-		}
-		if seen[s.Index] {
-			continue
-		}
-		seen[s.Index] = true
-		distinct = append(distinct, s)
-		if len(distinct) == c.k {
-			break
-		}
+	var dst []byte
+	if len(survivors) > 0 {
+		dst = make([]byte, c.k*len(survivors[0].Data))
 	}
-	if len(distinct) < c.k {
-		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrTooFewShards, len(distinct), c.k)
+	n, err := c.DecodeInto(survivors, dst)
+	if err != nil {
+		return nil, err
 	}
-	shardLen := len(distinct[0].Data)
-	for _, s := range distinct {
-		if len(s.Data) != shardLen {
-			return nil, errors.New("rs: shards have inconsistent lengths")
-		}
-	}
-	xs := make([]byte, c.k)
-	for i, s := range distinct {
-		xs[i] = byte(s.Index + 1)
-	}
-	ys := make([]byte, c.k)
-	data := make([]byte, c.k*shardLen)
-	for col := 0; col < shardLen; col++ {
-		for i, s := range distinct {
-			ys[i] = s.Data[col]
-		}
-		for di := 0; di < c.k; di++ {
-			v, err := gf256.Interpolate(xs, ys, byte(di+1))
-			if err != nil {
-				return nil, err
-			}
-			data[di*shardLen+col] = v
-		}
-	}
-	return data, nil
+	return dst[:n], nil
 }
 
 // Pad returns data padded with zeros to a multiple of k, plus the original

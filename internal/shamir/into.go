@@ -1,0 +1,170 @@
+package shamir
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lemonade/internal/gf256"
+	"lemonade/internal/rng"
+)
+
+// scratch is the per-call working set of SplitInto/CombineInto: the random
+// coefficient rows for a split, and the survivor bookkeeping for a combine.
+// Instances cycle through scratchPool; every field is length-set and fully
+// written before it is read, so whether a call gets a recycled or a fresh
+// instance never influences output bytes.
+type scratch struct {
+	arena  []byte
+	rows   [][]byte
+	xs     []byte
+	coeffs []byte
+	dist   []int
+}
+
+// scratchPool recycles scratch across calls. The New field is the
+// deterministic fallback lemonvet's nodeterminism pass insists on: a pool
+// miss constructs a zero-value scratch whose buffers are grown on demand,
+// making Get-hit and Get-miss behaviorally identical.
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// growBytes returns b resized to n bytes, reusing its backing array when
+// the capacity allows. Contents are unspecified; callers overwrite fully.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
+}
+
+func growInts(b []int, n int) []int {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]int, n)
+}
+
+// rowBuf carves rows slices of width bytes each out of the arena.
+func (s *scratch) rowBuf(rows, width int) [][]byte {
+	s.arena = growBytes(s.arena, rows*width)
+	if cap(s.rows) < rows {
+		s.rows = make([][]byte, rows)
+	}
+	rs := s.rows[:rows]
+	for i := range rs {
+		rs[i] = s.arena[i*width : (i+1)*width]
+	}
+	return rs
+}
+
+// SplitInto is the destination-buffer form of Split: it encodes secret into
+// shares, which must have length n. Share Data arrays are reused when they
+// have capacity and reallocated otherwise; X coordinates are (re)assigned
+// to 1..n. It draws from r in exactly Split's order — one coefficient per
+// (secret byte, degree) pair, degree-major within each byte — so Split and
+// SplitInto emit bit-identical shares from equal RNG states.
+func SplitInto(secret []byte, shares []Share, k, n int, r *rng.RNG) error {
+	if k < 1 {
+		return fmt.Errorf("shamir: threshold k must be >= 1, got %d", k)
+	}
+	if n < k {
+		return fmt.Errorf("shamir: n (%d) must be >= k (%d)", n, k)
+	}
+	if n > MaxShares {
+		return fmt.Errorf("shamir: n must be <= %d, got %d", MaxShares, n)
+	}
+	if len(secret) == 0 {
+		return errors.New("shamir: empty secret")
+	}
+	if len(shares) != n {
+		return fmt.Errorf("shamir: destination holds %d shares, need n=%d", len(shares), n)
+	}
+	for i := range shares {
+		shares[i].X = byte(i + 1)
+		shares[i].Data = growBytes(shares[i].Data, len(secret))
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	// Random coefficients land in per-degree rows (rows[j-1][b] is the
+	// degree-j coefficient of secret byte b) so each share is produced by
+	// k-1 MulSliceAdd passes instead of a per-byte Horner loop. The
+	// power-sum Σ c_j·x^j it computes equals Horner's evaluation exactly —
+	// field arithmetic has no rounding to reorder.
+	rows := sc.rowBuf(k-1, len(secret))
+	for b := range secret {
+		for j := 1; j < k; j++ {
+			rows[j-1][b] = byte(r.Intn(256))
+		}
+	}
+	for i := range shares {
+		d := shares[i].Data
+		copy(d, secret)
+		x := shares[i].X
+		pw := x
+		for j := 0; j < k-1; j++ {
+			gf256.MulSliceAdd(d, rows[j], pw)
+			pw = gf256.Mul(pw, x)
+		}
+	}
+	return nil
+}
+
+// CombineInto reconstructs the secret from at least k distinct shares into
+// dst, returning the number of bytes written (the shares' data length).
+// dst must be at least that long and must not alias any share's Data.
+// Share selection matches Combine: the first k distinct X win, later
+// duplicates are ignored, x = 0 is rejected on sight.
+func CombineInto(shares []Share, k int, dst []byte) (int, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("shamir: threshold k must be >= 1, got %d", k)
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	dist := growInts(sc.dist, k)[:0]
+	var seen [MaxShares + 1]bool
+	for si := range shares {
+		x := shares[si].X
+		if x == 0 {
+			return 0, errors.New("shamir: share with x=0 is invalid")
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		dist = append(dist, si)
+		if len(dist) == k {
+			break
+		}
+	}
+	sc.dist = dist
+	if len(dist) < k {
+		return 0, fmt.Errorf("%w: have %d distinct, need %d", ErrTooFewShares, len(dist), k)
+	}
+	length := len(shares[dist[0]].Data)
+	for _, si := range dist {
+		if len(shares[si].Data) != length {
+			return 0, ErrInconsistent
+		}
+	}
+	if len(dst) < length {
+		return 0, fmt.Errorf("shamir: dst holds %d bytes, need %d", len(dst), length)
+	}
+	sc.xs = growBytes(sc.xs, k)
+	sc.coeffs = growBytes(sc.coeffs, k)
+	for i, si := range dist {
+		sc.xs[i] = shares[si].X
+	}
+	// The secret is q(0) = Σ_i L_i(0)·share_i — k scalar Lagrange weights,
+	// then one MulSliceAdd sweep per share.
+	if err := gf256.LagrangeCoeffs(sc.xs, 0, sc.coeffs); err != nil {
+		return 0, err
+	}
+	out := dst[:length]
+	for i := range out {
+		out[i] = 0
+	}
+	for i, si := range dist {
+		gf256.MulSliceAdd(out, shares[si].Data, sc.coeffs[i])
+	}
+	return length, nil
+}

@@ -13,9 +13,7 @@ package shamir
 
 import (
 	"errors"
-	"fmt"
 
-	"lemonade/internal/gf256"
 	"lemonade/internal/rng"
 )
 
@@ -47,32 +45,14 @@ var (
 // Split encodes secret into n shares with threshold k. Every byte of the
 // secret is embedded as the constant term of an independent random
 // polynomial of degree k-1 (Eq 7 of the paper), evaluated at x = 1..n.
+// It is the allocating wrapper around SplitInto.
 func Split(secret []byte, k, n int, r *rng.RNG) ([]Share, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("shamir: threshold k must be >= 1, got %d", k)
+	var shares []Share
+	if k >= 1 && n >= k && n <= MaxShares {
+		shares = make([]Share, n)
 	}
-	if n < k {
-		return nil, fmt.Errorf("shamir: n (%d) must be >= k (%d)", n, k)
-	}
-	if n > MaxShares {
-		return nil, fmt.Errorf("shamir: n must be <= %d, got %d", MaxShares, n)
-	}
-	if len(secret) == 0 {
-		return nil, errors.New("shamir: empty secret")
-	}
-	shares := make([]Share, n)
-	for i := range shares {
-		shares[i] = Share{X: byte(i + 1), Data: make([]byte, len(secret))}
-	}
-	coeffs := make(gf256.Polynomial, k)
-	for b, s := range secret {
-		coeffs[0] = s
-		for j := 1; j < k; j++ {
-			coeffs[j] = byte(r.Intn(256))
-		}
-		for i := range shares {
-			shares[i].Data[b] = coeffs.Eval(shares[i].X)
-		}
+	if err := SplitInto(secret, shares, k, n, r); err != nil {
+		return nil, err
 	}
 	return shares, nil
 }
@@ -80,50 +60,17 @@ func Split(secret []byte, k, n int, r *rng.RNG) ([]Share, error) {
 // Combine reconstructs the secret from at least k distinct shares.
 // Extra shares beyond k are ignored (the first k distinct ones are used),
 // mirroring a receiver that stops reading components once enough paths
-// succeeded.
+// succeeded. It is the allocating wrapper around CombineInto; the first
+// share's length sizes the destination, which CombineInto's consistency
+// check then holds every used share to.
 func Combine(shares []Share, k int) ([]byte, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("shamir: threshold k must be >= 1, got %d", k)
+	var dst []byte
+	if len(shares) > 0 {
+		dst = make([]byte, len(shares[0].Data))
 	}
-	distinct := make([]Share, 0, k)
-	seen := map[byte]bool{}
-	for _, s := range shares {
-		if s.X == 0 {
-			return nil, errors.New("shamir: share with x=0 is invalid")
-		}
-		if seen[s.X] {
-			continue
-		}
-		seen[s.X] = true
-		distinct = append(distinct, s)
-		if len(distinct) == k {
-			break
-		}
+	n, err := CombineInto(shares, k, dst)
+	if err != nil {
+		return nil, err
 	}
-	if len(distinct) < k {
-		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrTooFewShares, len(distinct), k)
-	}
-	length := len(distinct[0].Data)
-	for _, s := range distinct {
-		if len(s.Data) != length {
-			return nil, ErrInconsistent
-		}
-	}
-	xs := make([]byte, k)
-	for i, s := range distinct {
-		xs[i] = s.X
-	}
-	secret := make([]byte, length)
-	ys := make([]byte, k)
-	for b := 0; b < length; b++ {
-		for i, s := range distinct {
-			ys[i] = s.Data[b]
-		}
-		v, err := gf256.Interpolate(xs, ys, 0)
-		if err != nil {
-			return nil, err
-		}
-		secret[b] = v
-	}
-	return secret, nil
+	return dst[:n], nil
 }

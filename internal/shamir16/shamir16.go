@@ -9,9 +9,7 @@ package shamir16
 
 import (
 	"errors"
-	"fmt"
 
-	"lemonade/internal/gf16"
 	"lemonade/internal/rng"
 )
 
@@ -32,85 +30,35 @@ var (
 	ErrInconsistent = errors.New("shamir16: shares have inconsistent shapes")
 )
 
-// Split encodes secret into n shares with threshold k.
+// Split encodes secret into n shares with threshold k. It is the
+// allocating wrapper around SplitInto.
 func Split(secret []byte, k, n int, r *rng.RNG) ([]Share, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("shamir16: threshold k must be >= 1, got %d", k)
+	var shares []Share
+	if k >= 1 && n >= k && n <= MaxShares {
+		shares = make([]Share, n)
 	}
-	if n < k {
-		return nil, fmt.Errorf("shamir16: n (%d) must be >= k (%d)", n, k)
-	}
-	if n > MaxShares {
-		return nil, fmt.Errorf("shamir16: n must be <= %d, got %d", MaxShares, n)
-	}
-	if len(secret) == 0 {
-		return nil, errors.New("shamir16: empty secret")
-	}
-	words, padded := toWords(secret)
-	shares := make([]Share, n)
-	for i := range shares {
-		shares[i] = Share{X: uint16(i + 1), Data: make([]uint16, len(words)), Padded: padded}
-	}
-	coeffs := make(gf16.Polynomial, k)
-	for w, s := range words {
-		coeffs[0] = s
-		for j := 1; j < k; j++ {
-			coeffs[j] = uint16(r.Intn(1 << 16))
-		}
-		for i := range shares {
-			shares[i].Data[w] = coeffs.Eval(shares[i].X)
-		}
+	if err := SplitInto(secret, shares, k, n, r); err != nil {
+		return nil, err
 	}
 	return shares, nil
 }
 
-// Combine reconstructs the secret from at least k distinct shares.
+// Combine reconstructs the secret from at least k distinct shares. It is
+// the allocating wrapper around CombineInto; the first share's word count
+// sizes the destination, which the consistency check then holds every
+// used share to.
 func Combine(shares []Share, k int) ([]byte, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("shamir16: threshold k must be >= 1, got %d", k)
+	var dst []byte
+	if len(shares) > 0 {
+		dst = make([]byte, 2*len(shares[0].Data))
+	} else {
+		dst = []byte{}
 	}
-	distinct := make([]Share, 0, k)
-	seen := map[uint16]bool{}
-	for _, s := range shares {
-		if s.X == 0 {
-			return nil, errors.New("shamir16: share with x=0 is invalid")
-		}
-		if seen[s.X] {
-			continue
-		}
-		seen[s.X] = true
-		distinct = append(distinct, s)
-		if len(distinct) == k {
-			break
-		}
+	n, err := CombineInto(shares, k, dst)
+	if err != nil {
+		return nil, err
 	}
-	if len(distinct) < k {
-		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrTooFewShares, len(distinct), k)
-	}
-	words := len(distinct[0].Data)
-	padded := distinct[0].Padded
-	for _, s := range distinct {
-		if len(s.Data) != words || s.Padded != padded {
-			return nil, ErrInconsistent
-		}
-	}
-	xs := make([]uint16, k)
-	for i, s := range distinct {
-		xs[i] = s.X
-	}
-	out := make([]uint16, words)
-	ys := make([]uint16, k)
-	for w := 0; w < words; w++ {
-		for i, s := range distinct {
-			ys[i] = s.Data[w]
-		}
-		v, err := gf16.Interpolate(xs, ys, 0)
-		if err != nil {
-			return nil, err
-		}
-		out[w] = v
-	}
-	return fromWords(out, padded), nil
+	return dst[:n], nil
 }
 
 // toWords packs bytes big-endian into 16-bit words, padding odd lengths.

@@ -152,13 +152,21 @@ func (d Dist) Sample(r *rng.RNG) float64 {
 	return d.Alpha * math.Pow(-math.Log(u), 1/d.Beta)
 }
 
-// SampleN draws n independent lifetimes.
+// SampleN draws n independent lifetimes. It is the allocating wrapper
+// around SampleNInto.
 func (d Dist) SampleN(r *rng.RNG, n int) []float64 {
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = d.Sample(r)
+	return d.SampleNInto(make([]float64, n), r)
+}
+
+// SampleNInto fills dst with len(dst) independent lifetimes and returns
+// it — the destination-buffer form of SampleN for simulation loops that
+// hold one sample arena per goroutine. Draw order matches SampleN, so for
+// equal RNG states the two fill identical values.
+func (d Dist) SampleNInto(dst []float64, r *rng.RNG) []float64 {
+	for i := range dst {
+		dst[i] = d.Sample(r)
 	}
-	return out
+	return dst
 }
 
 // SampleCycles draws a lifetime and floors it to the whole number of

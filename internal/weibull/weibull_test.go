@@ -418,3 +418,22 @@ func TestMeanResidualLife(t *testing.T) {
 		t.Errorf("exponential MRL = %g, want 10", mrl)
 	}
 }
+
+// TestSampleNIntoMatchesSampleN pins the destination-buffer sampler to the
+// allocating one: equal RNG states must yield identical draws, and the
+// fill itself must not allocate.
+func TestSampleNIntoMatchesSampleN(t *testing.T) {
+	d := MustNew(14, 8)
+	want := d.SampleN(rng.New(5), 257)
+	dst := make([]float64, 257)
+	got := d.SampleNInto(dst, rng.New(5))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d differs: SampleNInto %g, SampleN %g", i, got[i], want[i])
+		}
+	}
+	r := rng.New(6)
+	if a := testing.AllocsPerRun(100, func() { d.SampleNInto(dst, r) }); a != 0 {
+		t.Fatalf("SampleNInto allocates %.1f times per call, want 0", a)
+	}
+}
