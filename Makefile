@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: check lint vet-fixtures race bench test build fmt smoke crash chaos bench-json bench-compare fuzz-smoke
+.PHONY: check lint vet-fixtures race bench test build fmt smoke crash chaos attack bench-json bench-compare fuzz-smoke
 
 ## check: everything CI runs — format, vet, lemonvet, build, tests, race, smoke
-check: lint build test race smoke crash chaos
+check: lint build test race smoke crash chaos attack
 
 ## lint: gofmt (fail on diff), go vet, and the lemonvet static-analysis
 ## suite (all nine passes; -strict-suppress also fails on stale allows)
@@ -30,7 +30,7 @@ test:
 ## race: race detector over the concurrency-sensitive packages, then the
 ## whole module in short mode (matches the CI race matrix entry)
 race:
-	$(GO) test -race ./internal/montecarlo/... ./internal/targeting/... ./internal/core/... ./internal/server/... ./internal/registry/... ./internal/cache/... ./internal/wal/... ./internal/fault/... ./internal/resilience/... ./internal/analysis/ ./api/...
+	$(GO) test -race ./internal/montecarlo/... ./internal/targeting/... ./internal/core/... ./internal/server/... ./internal/registry/... ./internal/cache/... ./internal/wal/... ./internal/fault/... ./internal/resilience/... ./internal/analysis/ ./internal/attack/... ./internal/nems/... ./api/...
 	$(GO) test -race -short ./...
 
 ## smoke: end-to-end daemon test (build, provision, lockout, metrics, drain)
@@ -57,6 +57,7 @@ bench-compare:
 ## codec (the CI smoke; `go test -fuzz` for a long local session)
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzWALFrameDecode' -fuzztime 30s ./internal/wal/
+	$(GO) test -run '^$$' -fuzz 'FuzzWearRecordDecode' -fuzztime 15s ./internal/wal/
 	$(GO) test -run '^$$' -fuzz 'FuzzShamirReconstruct' -fuzztime 15s ./internal/shamir/
 	$(GO) test -run '^$$' -fuzz 'FuzzRSDecode' -fuzztime 15s ./internal/rs/
 
@@ -68,3 +69,9 @@ crash:
 ## bit-identical recovery)
 chaos:
 	./scripts/chaos.sh
+
+## attack: adversarial wearout attacker racing legitimate clients through
+## chaos faults (no key leak, reveals within the leveled budget, wear
+## metrics live)
+attack:
+	./scripts/chaos.sh attack

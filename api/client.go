@@ -211,6 +211,17 @@ func (c *Client) Access(ctx context.Context, id string, req AccessRequest) (*Acc
 	return &out, nil
 }
 
+// Stress applies one adversarial stress burst: pulses × indices
+// wearout-consuming actuations with no reconstruction attempt. The
+// response never carries key material.
+func (c *Client) Stress(ctx context.Context, id string, req StressRequest) (*StressResponse, error) {
+	var out StressResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/architectures/"+url.PathEscape(id)+"/stress", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // List pages through the fleet in deterministic ID order. An empty
 // afterID starts from the beginning; limit <= 0 lets the server choose.
 //

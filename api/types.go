@@ -39,10 +39,22 @@ type DesignResponse struct {
 
 // ProvisionRequest fabricates an architecture. The seed is mandatory in
 // spirit — omitting it means seed 0, which is still fully deterministic.
+//
+// Setting Spares or RemapEpoch provisions the wear-leveled variant: each
+// serial copy is fabricated with Spares extra switches behind a
+// programmable remap table, and the daemon rotates assignments onto the
+// least-worn switches every RemapEpoch operations (immediately when an
+// assigned switch dies). Both zero provisions the plain architecture,
+// whose wire encoding is unchanged.
 type ProvisionRequest struct {
 	Spec      SpecRequest `json:"spec"`
 	SecretHex string      `json:"secret_hex"`
 	Seed      uint64      `json:"seed"`
+	// Spares is the spare-switch complement per copy (0 = unleveled).
+	Spares int `json:"spares,omitempty"`
+	// RemapEpoch is the rotation schedule in operations; 0 with Spares set
+	// lets the server pick its default epoch.
+	RemapEpoch uint64 `json:"remap_epoch,omitempty"`
 }
 
 // ProvisionResponse identifies the provisioned architecture.
@@ -51,6 +63,30 @@ type ProvisionResponse struct {
 	Seed   uint64         `json:"seed"`
 	Cached bool           `json:"design_cached"`
 	Design DesignResponse `json:"design"`
+	// Spares and RemapEpoch echo the wear-leveling variant actually
+	// provisioned (defaulting applied); both absent for plain
+	// architectures.
+	Spares     int    `json:"spares,omitempty"`
+	RemapEpoch uint64 `json:"remap_epoch,omitempty"`
+}
+
+// StressRequest parameterizes one adversarial stress burst: Pulses
+// actuations of each listed share index under the given environment.
+// Stress consumes wearout exactly like an access but never attempts
+// reconstruction — the response carries no key material by construction.
+type StressRequest struct {
+	TempCelsius float64 `json:"temp_celsius,omitempty"` // 0 = room temperature
+	Indices     []int   `json:"indices"`                // share indices to actuate, each in [0, n)
+	Pulses      int     `json:"pulses,omitempty"`       // actuations per index (0 = 1)
+}
+
+// StressResponse reports one applied stress burst. It deliberately has
+// no secret field: stress wears the hardware without revealing anything.
+type StressResponse struct {
+	Conducted int    `json:"conducted"` // actuations that conducted (still-working switches)
+	Pulses    int    `json:"pulses"`    // pulses applied per index (after defaulting)
+	Stressed  uint64 `json:"stressed"`  // lifetime stress pulses against this architecture
+	Remaps    uint64 `json:"remaps"`    // wear-leveling rotations performed so far
 }
 
 // AccessRequest parameterizes one access; the zero value means room
@@ -67,15 +103,28 @@ type AccessResponse struct {
 	Copy       int    `json:"copy"`       // copy index that served this access
 }
 
-// StatusResponse reports an architecture's wearout state.
+// WearLevelingStatus is the wear-leveling block of a status report, only
+// present for architectures provisioned with spares.
+type WearLevelingStatus struct {
+	Spares          int     `json:"spares"`           // spare complement per copy
+	RemapEpoch      uint64  `json:"remap_epoch"`      // rotation schedule in operations
+	Remaps          uint64  `json:"remaps"`           // rotations performed
+	SparesRemaining int     `json:"spares_remaining"` // usable unassigned switches, summed over copies
+	WearSkew        float64 `json:"wear_skew"`        // max−min wear over the active copy's serviceable pool
+	Stressed        uint64  `json:"stressed"`         // lifetime stress pulses absorbed
+}
+
+// StatusResponse reports an architecture's wearout state. WearLeveling
+// is nil for plain architectures, keeping their encoding unchanged.
 type StatusResponse struct {
-	ID              string         `json:"id"`
-	Alive           bool           `json:"alive"`
-	Attempts        uint64         `json:"attempts"`
-	Successful      uint64         `json:"successful"`
-	CurrentCopy     int            `json:"current_copy"`
-	ExhaustedCopies int            `json:"exhausted_copies"`
-	Design          DesignResponse `json:"design"`
+	ID              string              `json:"id"`
+	Alive           bool                `json:"alive"`
+	Attempts        uint64              `json:"attempts"`
+	Successful      uint64              `json:"successful"`
+	CurrentCopy     int                 `json:"current_copy"`
+	ExhaustedCopies int                 `json:"exhausted_copies"`
+	Design          DesignResponse      `json:"design"`
+	WearLeveling    *WearLevelingStatus `json:"wear_leveling,omitempty"`
 }
 
 // ArchitectureSummary is one row of the fleet listing.

@@ -46,7 +46,8 @@ func isWearMutator(info *types.Info, call *ast.CallExpr) (string, bool) {
 	switch {
 	case pkgPath == "core" || strings.HasSuffix(pkgPath, "/core"):
 		switch fn.Name() {
-		case "Access", "AccessContext", "Restore":
+		case "Access", "AccessContext", "Restore",
+			"Stress", "StressContext", "Retire", "ApplyRemap":
 			mutating = true
 		}
 	case pkgPath == "nems" || strings.HasSuffix(pkgPath, "/nems"):

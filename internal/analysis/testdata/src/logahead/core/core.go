@@ -28,3 +28,18 @@ func (a *Architecture) Access() (int, error) {
 func (a *Architecture) Restore(remaining int) {
 	a.Remaining = remaining
 }
+
+// Stress consumes wear without revealing anything (adversarial traffic).
+func (a *Architecture) Stress(pulses int) (int, error) {
+	if a.Remaining < pulses {
+		return 0, ErrExhausted
+	}
+	a.Remaining -= pulses
+	return pulses, nil
+}
+
+// Retire removes a physical switch from wear-leveling service.
+func (a *Architecture) Retire(copy, physical int) error { return nil }
+
+// ApplyRemap installs a wear-leveling remap table.
+func (a *Architecture) ApplyRemap(copy int, assign []int) error { return nil }

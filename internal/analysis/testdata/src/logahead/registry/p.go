@@ -105,3 +105,52 @@ func (e *Entry) BadRestore(n int) {
 func (e *Entry) Replay() {
 	_, _ = e.arch.Access() //lemonvet:allow logahead fixture example: record already durable in the log
 }
+
+// BadStress serves adversarial wear traffic with nothing logged: stress
+// consumes wearout exactly like an access, so the same barrier applies.
+func (e *Entry) BadStress(pulses int) (int, error) {
+	return e.arch.Stress(pulses) // want logahead
+}
+
+// OKStress is the canonical stress shape: append, wait, fire.
+func (e *Entry) OKStress(id string, pulses int) (int, error) {
+	tkt, err := e.store.Append([]string{id})
+	if err != nil {
+		return 0, err
+	}
+	if werr := tkt.Wait(); werr != nil {
+		return 0, werr
+	}
+	defer tkt.Done()
+	return e.arch.Stress(pulses)
+}
+
+// BadRemap installs a remap table and retires switches without the plan
+// ever being appended.
+func (e *Entry) BadRemap(assign []int) error {
+	if err := e.arch.Retire(0, assign[0]); err != nil { // want logahead
+		return err
+	}
+	return e.arch.ApplyRemap(0, assign) // want logahead
+}
+
+// OKMaintain is the wear-leveling maintenance shape: the whole plan
+// (retirements + remap) goes through one atomic append, and every
+// mutation — including those inside the range loop — happens after the
+// checked commit-ticket wait.
+func (e *Entry) OKMaintain(id string, retire, assign []int) error {
+	tkt, err := e.store.Append([]string{id})
+	if err != nil {
+		return err
+	}
+	if werr := tkt.Wait(); werr != nil {
+		return werr
+	}
+	defer tkt.Done()
+	for _, p := range retire {
+		if err := e.arch.Retire(0, p); err != nil {
+			return err
+		}
+	}
+	return e.arch.ApplyRemap(0, assign)
+}

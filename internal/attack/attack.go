@@ -13,6 +13,7 @@
 package attack
 
 import (
+	"context"
 	"errors"
 
 	"lemonade/internal/connection"
@@ -32,8 +33,11 @@ type BruteForceOutcome struct {
 
 // BruteForce fabricates a device whose user picked a passcode according to
 // the guessability curve, then lets a popularity-ordered attacker guess
-// until the hardware locks or the passcode falls.
-func BruteForce(design dse.Design, curve *password.GuessCurve, r *rng.RNG) (BruteForceOutcome, error) {
+// until the hardware locks, the passcode falls, or the caller's context
+// ends. The guess loop is otherwise unbounded — strong passcodes on large
+// budgets take millions of iterations — so cancellation is the caller's
+// only early exit; a ctx.Err() return reports the attempts made so far.
+func BruteForce(ctx context.Context, design dse.Design, curve *password.GuessCurve, r *rng.RNG) (BruteForceOutcome, error) {
 	rank := uint64(curve.SampleRank(r.Derive("user")))
 	pass := password.PasswordString(rank)
 	dev, err := connection.NewDevice(design, pass, []byte("user data"), r.Derive("fab"))
@@ -42,6 +46,10 @@ func BruteForce(design dse.Design, curve *password.GuessCurve, r *rng.RNG) (Brut
 	}
 	out := BruteForceOutcome{UserRank: rank}
 	for guess := uint64(1); ; guess++ {
+		if err := ctx.Err(); err != nil {
+			out.Attempts = guess - 1
+			return out, err
+		}
 		_, err := dev.Unlock(password.PasswordString(guess), nems.RoomTemp)
 		switch {
 		case err == nil:

@@ -1,6 +1,8 @@
 package attack
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"lemonade/internal/dse"
@@ -46,7 +48,7 @@ func TestBruteForceRaceEndsEitherWay(t *testing.T) {
 	curve := weakCurve(t)
 	cracked, locked := 0, 0
 	for seed := uint64(0); seed < 20; seed++ {
-		out, err := BruteForce(design, curve, rng.New(seed))
+		out, err := BruteForce(context.Background(), design, curve, rng.New(seed))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,6 +71,44 @@ func TestBruteForceRaceEndsEitherWay(t *testing.T) {
 	}
 	if locked == 0 {
 		t.Error("strong ranks should produce some lockouts")
+	}
+}
+
+// TestBruteForceHonorsContext: the guess loop is unbounded by design —
+// cancellation must end the race promptly, reporting the attempts made
+// and the context's own error.
+func TestBruteForceHonorsContext(t *testing.T) {
+	design := smallDesign(t, 60)
+	// A pre-cancelled context stops before the first guess.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := BruteForce(ctx, design, weakCurve(t), rng.New(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out.Attempts != 0 {
+		t.Errorf("cancelled race reported %d attempts, want 0", out.Attempts)
+	}
+	// A curve whose mass sits beyond any feasible guess count would spin
+	// forever; cancelling from another goroutine must break the loop.
+	strong, err := password.NewCurve([]password.Anchor{
+		{Guesses: 1e15, Prob: 0.5},
+		{Guesses: 1e18, Prob: 0.999},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan BruteForceOutcome, 1)
+	go func() {
+		out, _ := BruteForce(ctx2, design, strong, rng.New(2))
+		done <- out
+	}()
+	cancel2()
+	out = <-done
+	// The race ended; whatever progress it made is reported faithfully.
+	if out.Cracked {
+		t.Error("cancelled race against an uncrackable curve reports a crack")
 	}
 }
 

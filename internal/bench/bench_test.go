@@ -41,6 +41,7 @@ func TestSuiteCoversHotPaths(t *testing.T) {
 		"wal/snapshot_recovery",
 		"http/access",
 		"access/saturated",
+		"access/leveled",
 	}
 	got := make(map[string]Result, len(rep.Results))
 	for _, r := range rep.Results {

@@ -68,6 +68,7 @@ func Suite() []Case {
 		{Name: "wal/snapshot_recovery", Setup: setupWALSnapshotRecovery},
 		{Name: "http/access", Setup: setupHTTPAccess},
 		{Name: "access/saturated", Setup: setupAccessSaturated},
+		{Name: "access/leveled", Setup: setupAccessLeveled},
 	}
 }
 
@@ -634,6 +635,71 @@ func setupAccessSaturated(env *Env) (func() ([]byte, error), func(), error) {
 			fmt.Fprintf(&out, "arch=%s\n", ids[i])
 			out.Write(transcripts[i].Bytes())
 		}
+		return out.Bytes(), nil
+	}
+	return run, nil, nil
+}
+
+// setupAccessLeveled measures the wear-leveled access path in process:
+// each iteration builds one spares-4 architecture and drives it to
+// lockout through alternating targeted hot stress bursts and accesses,
+// so the remap maintenance (PendingRemap scan + bank rotation) rides
+// every round exactly as it does in the daemon. The checksum covers
+// every outcome class, every revealed secret, and the final wear
+// counters, so `bench compare` gates both the rotation cost and the
+// bit-exact leveled trajectory.
+func setupAccessLeveled(env *Env) (func() ([]byte, error), func(), error) {
+	design, err := dse.Explore(smallSpec())
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := env.Ctx
+	seed := env.Seed
+	secret := []byte("lemonbench secret 0123456789abcd")
+	run := func() ([]byte, error) {
+		arch, err := core.BuildLeveled(design, secret,
+			core.Leveling{Spares: 4, Epoch: 8}, rng.New(seed))
+		if err != nil {
+			return nil, err
+		}
+		reg := registry.New(1)
+		e, err := reg.Provision(arch, seed, secret)
+		if err != nil {
+			return nil, err
+		}
+		var out bytes.Buffer
+		exhausted := false
+		for i := 0; i < 200 && !exhausted; i++ {
+			if _, err := e.Stress(ctx, nems.Environment{TempCelsius: 400},
+				[]int{0, 1, 2}, 1); err != nil {
+				// The last copy can die on a transient access, so the
+				// following stress — not the next access — may be the
+				// first call to observe lockout.
+				if errors.Is(err, core.ErrExhausted) {
+					fmt.Fprintf(&out, "stress-exhausted\n")
+					exhausted = true
+					break
+				}
+				return nil, err
+			}
+			got, err := e.Access(ctx, nems.RoomTemp)
+			switch {
+			case err == nil:
+				fmt.Fprintf(&out, "ok %x\n", got)
+			case errors.Is(err, core.ErrTransient):
+				fmt.Fprintf(&out, "transient\n")
+			case errors.Is(err, core.ErrExhausted):
+				fmt.Fprintf(&out, "exhausted\n")
+				exhausted = true
+			default:
+				return nil, err
+			}
+		}
+		if !exhausted {
+			return nil, fmt.Errorf("leveled architecture survived 200 stressed rounds")
+		}
+		fmt.Fprintf(&out, "remaps=%d spares=%d skew=%.17g stressed=%d\n",
+			arch.Remaps(), arch.SparesRemaining(), arch.WearSkew(), arch.Stressed())
 		return out.Bytes(), nil
 	}
 	return run, nil, nil

@@ -105,6 +105,12 @@ type Architecture struct {
 	// checkpoint the exact stream position: any future draw (noise models,
 	// re-keying) then replays bit-identically after recovery.
 	r *rng.RNG
+
+	// Wear-leveling state; leveling is nil for the unleveled variant.
+	leveling *Leveling
+	stressed uint64 // stress pulses served (targeted attack traffic)
+	opsSince uint64 // wear-consuming ops since the last remap rotation
+	remaps   uint64 // rotations applied over the architecture's lifetime
 }
 
 // SetObserver installs a callback invoked synchronously after every access
@@ -186,16 +192,43 @@ func (d *wideDecoder) combine(conducting []int) ([]byte, error) {
 	return out[:n], nil
 }
 
-// archCopy is one serially-used copy: n switches, each guarding one
-// component share.
+// archCopy is one serially-used copy: n logical slots, each guarding one
+// component share. Unleveled, slot i IS switches[i]. Leveled, switches
+// holds the whole physical pool (primaries + spares) and bank routes each
+// logical slot onto its currently assigned physical switch.
 type archCopy struct {
 	switches   []*nems.Switch
+	bank       *nems.Bank // nil = unleveled: slot i fires switches[i]
 	dec        decoder
 	k          int
 	conducting []int // scratch, reused across accesses under the architecture lock
 }
 
+// slots returns the copy's logical width (the share count n).
+func (c *archCopy) slots() int {
+	if c.bank != nil {
+		return c.bank.Slots()
+	}
+	return len(c.switches)
+}
+
+// actuate fires logical slot i, through the remap table if present.
+func (c *archCopy) actuate(i int, env nems.Environment) error {
+	if c.bank != nil {
+		return c.bank.Actuate(i, env)
+	}
+	return c.switches[i].Actuate(env)
+}
+
+// alive reports whether the copy could still serve an access. Unleveled
+// that means at least k switches still conduct. Leveled it is the bank's
+// service potential — at least k usable physicals — because a rotation can
+// move spares under dead slots before the next access, so the copy is not
+// dead merely because the current mapping is.
 func (c *archCopy) alive() bool {
+	if c.bank != nil {
+		return c.bank.Usable() >= c.k
+	}
 	working := 0
 	for _, sw := range c.switches {
 		if sw.Working() {
@@ -208,15 +241,15 @@ func (c *archCopy) alive() bool {
 	return false
 }
 
-// access actuates every switch (physically the whole parallel structure
-// fires on each access) and returns the recovered secret (nil on failure)
-// plus how many switches conducted. A non-nil error distinguishes a decode
-// failure (enough switches conducted, reconstruction failed) from plain
-// wearout below threshold.
+// access actuates every logical slot (physically the whole parallel
+// structure fires on each access) and returns the recovered secret (nil on
+// failure) plus how many switches conducted. A non-nil error distinguishes
+// a decode failure (enough switches conducted, reconstruction failed) from
+// plain wearout below threshold.
 func (c *archCopy) access(env nems.Environment) ([]byte, int, error) {
 	conducting := c.conducting[:0]
-	for i, sw := range c.switches {
-		if sw.Actuate(env) == nil {
+	for i, n := 0, c.slots(); i < n; i++ {
+		if c.actuate(i, env) == nil {
 			conducting = append(conducting, i)
 		}
 	}
@@ -236,6 +269,14 @@ func (c *archCopy) access(env nems.Environment) ([]byte, int, error) {
 // devices and over GF(2^16) beyond that, supporting the paper's widest
 // (low-β) structures up to 65,535 devices per copy.
 func Build(design dse.Design, secret []byte, r *rng.RNG) (*Architecture, error) {
+	return build(design, secret, nil, r)
+}
+
+// build is the shared fabrication path. A non-nil lv fabricates lv.Spares
+// extra physical switches per copy and mounts a wear-leveling bank over
+// the pool; nil fabricates the plain unleveled structure, bit-identical to
+// every build before leveling existed.
+func build(design dse.Design, secret []byte, lv *Leveling, r *rng.RNG) (*Architecture, error) {
 	if len(secret) == 0 {
 		return nil, errors.New("core: empty secret")
 	}
@@ -270,11 +311,22 @@ func Build(design dse.Design, secret []byte, r *rng.RNG) (*Architecture, error) 
 		}
 		dec = &wideDecoder{shares: shares, k: design.K, got: make([]shamir16.Share, 0, design.K)}
 	}
-	a := &Architecture{design: design, copies: make([]*archCopy, design.Copies), r: r}
+	a := &Architecture{design: design, copies: make([]*archCopy, design.Copies), r: r, leveling: lv}
+	phys := design.N
+	if lv != nil {
+		phys += lv.Spares
+	}
 	for ci := range a.copies {
-		c := &archCopy{switches: make([]*nems.Switch, design.N), dec: dec, k: design.K}
+		c := &archCopy{switches: make([]*nems.Switch, phys), dec: dec, k: design.K}
 		for i := range c.switches {
 			c.switches[i] = nems.Fabricate(design.Spec.Dist, r)
+		}
+		if lv != nil {
+			b, err := nems.NewBank(c.switches, design.N)
+			if err != nil {
+				return nil, fmt.Errorf("core: building bank: %w", err)
+			}
+			c.bank = b
 		}
 		a.copies[ci] = c
 	}
@@ -302,6 +354,9 @@ func (a *Architecture) AccessContext(ctx context.Context, env nems.Environment) 
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.total++
+	if a.leveling != nil {
+		a.opsSince++
+	}
 	for a.cur < len(a.copies) {
 		c := a.copies[a.cur]
 		if !c.alive() {
@@ -310,10 +365,14 @@ func (a *Architecture) AccessContext(ctx context.Context, env nems.Environment) 
 		}
 		secret, conducting, decErr := c.access(env)
 		if secret == nil {
-			// The active copy cannot serve: either it degraded below
-			// threshold during this access (wearout is monotone, it
-			// cannot recover) or its share state failed to decode.
-			// Either way the next copy takes over on retry.
+			// The active copy could not serve this access: it degraded
+			// below threshold mid-access or its share state failed to
+			// decode. Unleveled wearout is monotone, so the next copy
+			// takes over on retry; a leveled copy with spare potential
+			// stays active — the next rotation moves spares under the
+			// dead slots. Decode failure retires the copy either way:
+			// the shares themselves are corrupt, and remapping switches
+			// cannot repair share state.
 			outcome := AccessTransient
 			err := error(ErrTransient)
 			if decErr != nil {
@@ -321,7 +380,9 @@ func (a *Architecture) AccessContext(ctx context.Context, env nems.Environment) 
 				err = decErr
 			}
 			a.emit(AccessEvent{Attempt: a.total, Copy: a.cur, Conducting: conducting, Outcome: outcome})
-			a.cur++
+			if decErr != nil || !c.alive() {
+				a.cur++
+			}
 			return nil, err
 		}
 		a.ok++
@@ -367,8 +428,15 @@ func (a *Architecture) CurrentCopy() int {
 	return a.cur
 }
 
-// TotalDevices returns the switch count of the fabricated hardware.
-func (a *Architecture) TotalDevices() int { return a.design.N * a.design.Copies }
+// TotalDevices returns the switch count of the fabricated hardware,
+// including any wear-leveling spares.
+func (a *Architecture) TotalDevices() int {
+	n := a.design.N
+	if a.leveling != nil {
+		n += a.leveling.Spares
+	}
+	return n * a.design.Copies
+}
 
 // ExhaustedCopies returns how many copies have fully degraded.
 func (a *Architecture) ExhaustedCopies() int {

@@ -21,6 +21,18 @@ type State struct {
 	Successful    uint64         `json:"successful"`
 	RNG           [4]uint64      `json:"rng"`
 	Copies        [][]nems.State `json:"copies"`
+
+	// Adversarial-wearout and wear-leveling state. Every field is
+	// omitempty so the serialized form of a pre-leveling unleveled
+	// architecture is byte-identical to what it always was. Stressed can
+	// be set on either variant (stress traffic targets both); the
+	// remaining fields exist only on the leveled variant, where Assign
+	// and Retired are per-copy (remap table, retired physical indices).
+	Stressed      uint64  `json:"stressed,omitempty"`
+	OpsSinceRemap uint64  `json:"ops_since_remap,omitempty"`
+	Remaps        uint64  `json:"remaps,omitempty"`
+	Assign        [][]int `json:"assign,omitempty"`
+	Retired       [][]int `json:"retired,omitempty"`
 }
 
 // State captures the architecture's mutable state under its lock. The
@@ -42,6 +54,23 @@ func (a *Architecture) State() State {
 			sw[i] = s.State()
 		}
 		st.Copies[ci] = sw
+	}
+	st.Stressed = a.stressed
+	if a.leveling != nil {
+		st.OpsSinceRemap = a.opsSince
+		st.Remaps = a.remaps
+		st.Assign = make([][]int, len(a.copies))
+		st.Retired = make([][]int, len(a.copies))
+		for ci, c := range a.copies {
+			st.Assign[ci] = c.bank.Assign()
+			retired := make([]int, 0)
+			for p := 0; p < c.bank.Physical(); p++ {
+				if c.bank.Retired(p) {
+					retired = append(retired, p)
+				}
+			}
+			st.Retired[ci] = retired
+		}
 	}
 	return st
 }
@@ -75,6 +104,39 @@ func (a *Architecture) Restore(st State) error {
 		return fmt.Errorf("core: restore: %d successes exceed %d attempts",
 			st.Successful, st.TotalAttempts)
 	}
+	if a.leveling == nil {
+		if st.Assign != nil || st.Retired != nil || st.OpsSinceRemap != 0 || st.Remaps != 0 {
+			return fmt.Errorf("core: restore: leveled state onto an unleveled architecture")
+		}
+	} else {
+		if len(st.Assign) != len(a.copies) {
+			return fmt.Errorf("core: restore: state has %d remap tables, architecture has %d copies",
+				len(st.Assign), len(a.copies))
+		}
+		if len(st.Retired) != len(a.copies) {
+			return fmt.Errorf("core: restore: state has %d retirement sets, architecture has %d copies",
+				len(st.Retired), len(a.copies))
+		}
+	}
+	// Validate the leveling payload against scratch banks before mutating
+	// anything: Restore must be all-or-nothing, and the shape checks above
+	// do not cover assignment width/range/distinctness.
+	if a.leveling != nil {
+		for ci := range st.Assign {
+			scratch, err := nems.NewBank(a.copies[ci].switches, a.design.N)
+			if err != nil {
+				return fmt.Errorf("core: restore: copy %d: %w", ci, err)
+			}
+			if err := scratch.SetAssign(st.Assign[ci]); err != nil {
+				return fmt.Errorf("core: restore: copy %d: %w", ci, err)
+			}
+			for _, p := range st.Retired[ci] {
+				if err := scratch.Retire(p); err != nil {
+					return fmt.Errorf("core: restore: copy %d: %w", ci, err)
+				}
+			}
+		}
+	}
 	a.cur = st.CurrentCopy
 	a.total = st.TotalAttempts
 	a.ok = st.Successful
@@ -82,6 +144,22 @@ func (a *Architecture) Restore(st State) error {
 	for ci, sw := range st.Copies {
 		for i, s := range sw {
 			a.copies[ci].switches[i].RestoreState(s)
+		}
+	}
+	a.stressed = st.Stressed
+	if a.leveling != nil {
+		a.opsSince = st.OpsSinceRemap
+		a.remaps = st.Remaps
+		for ci := range st.Assign {
+			b := a.copies[ci].bank
+			if err := b.SetAssign(st.Assign[ci]); err != nil {
+				return fmt.Errorf("core: restore: copy %d: %w", ci, err)
+			}
+			for _, p := range st.Retired[ci] {
+				if err := b.Retire(p); err != nil {
+					return fmt.Errorf("core: restore: copy %d: %w", ci, err)
+				}
+			}
 		}
 	}
 	return nil

@@ -151,6 +151,55 @@ func TestInvasiveAttack(t *testing.T) {
 	}
 }
 
+func TestWearLevelingDefense(t *testing.T) {
+	tab := WearLevelingDefense()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 spare levels, got %d: %v", len(tab.Rows), tab.Rows)
+	}
+	parse := func(row []string) (reveals, window float64, remaps, skew float64) {
+		for i, dst := range map[int]*float64{1: &reveals, 4: &window, 5: &remaps, 6: &skew} {
+			if row[i] == "-" {
+				*dst = -1
+				continue
+			}
+			if _, err := sscan(row[i], dst); err != nil {
+				t.Fatalf("row %v col %d: %v", row, i, err)
+			}
+		}
+		return
+	}
+	baseReveals, baseWindow, baseRemaps, baseSkew := parse(tab.Rows[0])
+	if tab.Rows[0][0] != "0" {
+		t.Fatalf("first row should be unleveled: %v", tab.Rows[0])
+	}
+	if baseRemaps != 0 {
+		t.Errorf("unleveled row reports %g remaps", baseRemaps)
+	}
+	// The acceptance invariants: every leveled variant holds min-use at
+	// least as high as the attacked unleveled device, with strictly
+	// tighter peak wear skew and rotations actually performed.
+	for _, row := range tab.Rows[1:] {
+		reveals, window, remaps, skew := parse(row)
+		if reveals < baseReveals {
+			t.Errorf("spares=%s: min-use %g under attack below unleveled %g", row[0], reveals, baseReveals)
+		}
+		if skew >= baseSkew {
+			t.Errorf("spares=%s: peak skew %g not strictly tighter than unleveled %g", row[0], skew, baseSkew)
+		}
+		if remaps == 0 {
+			t.Errorf("spares=%s: defense never rotated", row[0])
+		}
+		if window >= 0 && baseWindow >= 0 && window < baseWindow {
+			t.Errorf("spares=%s: warning window %g narrower than unleveled %g", row[0], window, baseWindow)
+		}
+	}
+	// The experiment is deterministic: regenerating yields the identical
+	// table, bit for bit.
+	if again := WearLevelingDefense(); again.Render() != tab.Render() {
+		t.Error("Extension E4 is not bit-identical across regenerations")
+	}
+}
+
 func TestDefenseComparison(t *testing.T) {
 	tab := DefenseComparison()
 	if len(tab.Rows) != 4 {

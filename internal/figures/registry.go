@@ -53,5 +53,6 @@ func Exhibits() []Exhibit {
 		{"Extension E1", func() []Renderable { return one(FabricationTradeoff()) }},
 		{"Extension E2", func() []Renderable { return one(InvasiveAttack()) }},
 		{"Extension E3", func() []Renderable { return one(DefenseComparison()) }},
+		{"Extension E4", func() []Renderable { return one(WearLevelingDefense()) }},
 	}
 }

@@ -154,6 +154,13 @@ func (s *Switch) RestoreState(st State) {
 // Working reports whether the switch can still conduct.
 func (s *Switch) Working() bool { return !s.failed }
 
+// Wear returns the accumulated (environment-accelerated) actuation cycles.
+// This is observable state, not a leak of the hidden lifetime: the
+// controller served every actuation and knows each one's environment, so
+// it could recompute this sum from its own request history. The
+// wear-leveling planner ranks switches by it.
+func (s *Switch) Wear() float64 { return s.wear }
+
 // Actuations returns how many times Actuate has been called.
 func (s *Switch) Actuations() uint64 { return s.actuated }
 

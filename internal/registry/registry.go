@@ -76,6 +76,11 @@ type ProvisionRecord struct {
 	Seed   uint64     `json:"seed"`
 	Secret []byte     `json:"secret"`
 	Design dse.Design `json:"design"`
+	// Wear-leveling configuration; both zero for the unleveled variant, so
+	// pre-leveling records decode (and re-encode) unchanged. A leveled
+	// architecture rebuilds via core.BuildLeveled with these parameters.
+	Spares     int    `json:"spares,omitempty"`
+	RemapEpoch uint64 `json:"remap_epoch,omitempty"`
 }
 
 // AccessRecord is the durable intent to fire one access. The environment
@@ -86,12 +91,48 @@ type AccessRecord struct {
 	TempCelsius float64 `json:"temp_celsius"`
 }
 
+// StressRecord is the durable intent to serve one adversarial stress
+// burst: Pulses actuations of each targeted logical share index under the
+// recorded environment. Stress consumes wearout without revealing key
+// bytes, but it is wear all the same — it must be logged ahead exactly
+// like an access, or a crash would refund the attacker's damage.
+type StressRecord struct {
+	ID          string  `json:"id"`
+	TempCelsius float64 `json:"temp_celsius"`
+	Indices     []int   `json:"indices"`
+	Pulses      int     `json:"pulses"`
+}
+
+// RetireRecord durably removes one physical switch of a copy from
+// wear-leveling service. Replay is idempotent (retiring twice is a no-op).
+type RetireRecord struct {
+	ID       string `json:"id"`
+	Copy     int    `json:"copy"`
+	Physical int    `json:"physical"`
+}
+
+// RemapRecord durably installs a complete remap assignment on a copy. The
+// record carries the full table, not a delta: the planning decision is
+// advisory and may race concurrent wear, but the recorded effect replays
+// verbatim, so live apply order (= turn order = log order) and recovery
+// produce bit-identical tables.
+type RemapRecord struct {
+	ID     string `json:"id"`
+	Copy   int    `json:"copy"`
+	Assign []int  `json:"assign"`
+}
+
 // Record is one registry mutation submitted to a Store: exactly one of
-// Provision or Access is set. Batching is first-class — a Store may frame
-// many Records (from many callers) into a single durable write.
+// the pointer fields is set. Batching is first-class — a Store may frame
+// many Records (from many callers) into a single durable write, and the
+// wear-leveling maintenance path relies on it to commit a retire+remap
+// plan atomically.
 type Record struct {
 	Provision *ProvisionRecord `json:"p,omitempty"`
 	Access    *AccessRecord    `json:"a,omitempty"`
+	Stress    *StressRecord    `json:"s,omitempty"`
+	Remap     *RemapRecord     `json:"r,omitempty"`
+	Retire    *RetireRecord    `json:"x,omitempty"`
 }
 
 // Ticket is the durability handle returned by Store.Append. The records
@@ -151,6 +192,7 @@ type Entry struct {
 	Secret []byte
 
 	store Store
+	reg   *Registry // owning registry; carries the remap observer
 	// seqMu orders append submission within the entry: holding it across
 	// the Store.Append call and the turn claim makes the WAL's
 	// per-architecture record order equal the turn order — the property
@@ -187,7 +229,20 @@ type Entry struct {
 // Decoupling the ticket wait from seqMu is what lets independent
 // requests pipeline: request B's record is encoded and staged while
 // request A's group is still inside its fsync.
+//
+// After the access completes, wear-leveling maintenance runs: if the
+// rotation schedule calls for a remap, the plan is appended (log-ahead,
+// one atomic batch) and applied under its own turn. Maintenance failures
+// never affect the access result — they surface through the registry's
+// remap observer.
 func (e *Entry) Access(ctx context.Context, env nems.Environment) ([]byte, error) {
+	secret, err := e.accessLogged(ctx, env)
+	e.maintainRemap()
+	return secret, err
+}
+
+// accessLogged is the log-ahead access pipeline described on Access.
+func (e *Entry) accessLogged(ctx context.Context, env nems.Environment) ([]byte, error) {
 	e.seqMu.Lock()
 	if err := ctx.Err(); err != nil {
 		e.seqMu.Unlock()
@@ -219,6 +274,127 @@ func (e *Entry) Access(ctx context.Context, env nems.Environment) ([]byte, error
 	defer e.endTurn()
 	defer tkt.Done()
 	return e.Arch.Access(env)
+}
+
+// Stress durably records then serves one adversarial stress burst against
+// the entry's architecture: pulses actuations of each targeted share
+// index under env. It follows the exact log-ahead pipeline of Access —
+// stress consumes wearout, so a crash must replay it, never refund it —
+// and, like Access, it triggers wear-leveling maintenance afterwards. The
+// returned count is how many actuations conducted; no key bytes are ever
+// derived on this path.
+func (e *Entry) Stress(ctx context.Context, env nems.Environment, indices []int, pulses int) (int, error) {
+	conducted, err := e.stressLogged(ctx, env, indices, pulses)
+	e.maintainRemap()
+	return conducted, err
+}
+
+// stressLogged is the log-ahead stress pipeline; see Access for the
+// stage-by-stage rationale.
+func (e *Entry) stressLogged(ctx context.Context, env nems.Environment, indices []int, pulses int) (int, error) {
+	e.seqMu.Lock()
+	if err := ctx.Err(); err != nil {
+		e.seqMu.Unlock()
+		return 0, err
+	}
+	dup := make([]int, len(indices))
+	copy(dup, indices)
+	tkt, err := e.store.Append([]Record{{Stress: &StressRecord{
+		ID: e.ID, TempCelsius: env.TempCelsius, Indices: dup, Pulses: pulses,
+	}}})
+	if err != nil {
+		e.seqMu.Unlock()
+		return 0, fmt.Errorf("%w: %w", ErrStore, err)
+	}
+	turn := e.nextTurn
+	e.nextTurn++
+	e.seqMu.Unlock()
+
+	if werr := tkt.Wait(); werr != nil {
+		e.skipTurn(turn)
+		return 0, fmt.Errorf("%w: %w", ErrStore, werr)
+	}
+	e.beginTurn(turn)
+	defer e.endTurn()
+	defer tkt.Done()
+	return e.Arch.Stress(env, indices, pulses)
+}
+
+// RemapEvent reports one wear-leveling maintenance attempt to the
+// registry's remap observer. Err is nil when the plan was durably
+// recorded and applied.
+type RemapEvent struct {
+	ID   string
+	Plan core.RemapPlan
+	Err  error
+}
+
+// maintainRemap runs the wear-leveling schedule after a wear-consuming
+// op: if the architecture reports a pending rotation, the full plan
+// (retirements, then the complete new assignment) is appended to the
+// store as one atomic batch, and applied under its own turn once the
+// commit ticket resolves — so the durable record order equals the live
+// apply order, and recovery replays the rotation bit-identically.
+//
+// The plan decision itself is advisory: it may be computed against state
+// that concurrent ops immediately age further. That is safe, because the
+// record carries the decision's full effect, not its inputs. Failures are
+// reported to the remap observer and otherwise swallowed — maintenance
+// must never turn a served access into an error after the fact.
+func (e *Entry) maintainRemap() {
+	plan, ok := e.Arch.PendingRemap()
+	if !ok {
+		return
+	}
+	recs := make([]Record, 0, len(plan.Retire)+1)
+	for _, p := range plan.Retire {
+		recs = append(recs, Record{Retire: &RetireRecord{ID: e.ID, Copy: plan.Copy, Physical: p}})
+	}
+	recs = append(recs, Record{Remap: &RemapRecord{ID: e.ID, Copy: plan.Copy, Assign: plan.Assign}})
+
+	e.seqMu.Lock()
+	tkt, err := e.store.Append(recs)
+	if err != nil {
+		e.seqMu.Unlock()
+		e.emitRemap(RemapEvent{ID: e.ID, Plan: plan, Err: fmt.Errorf("%w: %w", ErrStore, err)})
+		return
+	}
+	turn := e.nextTurn
+	e.nextTurn++
+	e.seqMu.Unlock()
+
+	if werr := tkt.Wait(); werr != nil {
+		e.skipTurn(turn)
+		e.emitRemap(RemapEvent{ID: e.ID, Plan: plan, Err: fmt.Errorf("%w: %w", ErrStore, werr)})
+		return
+	}
+	e.beginTurn(turn)
+	defer e.endTurn()
+	defer tkt.Done()
+	var applyErr error
+	for _, p := range plan.Retire {
+		if err := e.Arch.Retire(plan.Copy, p); err != nil {
+			applyErr = err
+			break
+		}
+	}
+	if applyErr == nil {
+		applyErr = e.Arch.ApplyRemap(plan.Copy, plan.Assign)
+	}
+	e.emitRemap(RemapEvent{ID: e.ID, Plan: plan, Err: applyErr})
+}
+
+// emitRemap delivers ev to the registry's remap observer, if any.
+func (e *Entry) emitRemap(ev RemapEvent) {
+	if e.reg == nil {
+		return
+	}
+	e.reg.remapMu.RLock()
+	fn := e.reg.remapObs
+	e.reg.remapMu.RUnlock()
+	if fn != nil {
+		fn(ev)
+	}
 }
 
 // beginTurn blocks until every earlier turn has applied (or been
@@ -290,6 +466,19 @@ type Registry struct {
 	shards []shard
 	seq    atomic.Uint64
 	store  Store
+
+	remapMu  sync.RWMutex
+	remapObs func(RemapEvent) // guarded by remapMu
+}
+
+// SetRemapObserver installs a callback invoked after every wear-leveling
+// maintenance attempt (successful or failed) on any entry. A nil observer
+// disables it. The callback may run concurrently from many entries and
+// must not call back into the entry that emitted it.
+func (r *Registry) SetRemapObserver(fn func(RemapEvent)) {
+	r.remapMu.Lock()
+	defer r.remapMu.Unlock()
+	r.remapObs = fn
 }
 
 // New returns a registry with the given stripe count (0 → DefaultShards)
@@ -345,9 +534,12 @@ func (r *Registry) Provision(arch *core.Architecture, seed uint64, secret []byte
 	id := fmt.Sprintf("arch-%06d", r.seq.Add(1))
 	dup := make([]byte, len(secret))
 	copy(dup, secret)
-	tkt, err := r.store.Append([]Record{{Provision: &ProvisionRecord{
-		ID: id, Seed: seed, Secret: dup, Design: arch.Design(),
-	}}})
+	rec := &ProvisionRecord{ID: id, Seed: seed, Secret: dup, Design: arch.Design()}
+	if lv, ok := arch.Leveling(); ok {
+		rec.Spares = lv.Spares
+		rec.RemapEpoch = lv.Epoch
+	}
+	tkt, err := r.store.Append([]Record{{Provision: rec}})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrStore, err)
 	}
@@ -379,7 +571,7 @@ func (r *Registry) Restore(id string, arch *core.Architecture, seed uint64, secr
 }
 
 func (r *Registry) insert(id string, arch *core.Architecture, seed uint64, secret []byte) *Entry {
-	e := &Entry{ID: id, Arch: arch, Seed: seed, Secret: secret, store: r.store}
+	e := &Entry{ID: id, Arch: arch, Seed: seed, Secret: secret, store: r.store, reg: r}
 	e.applyCond.L = &e.applyMu
 	arch.SetObserver(e.observe)
 	s := r.shardFor(id)

@@ -144,8 +144,13 @@ type recordingStore struct {
 	mu         sync.Mutex
 	provisions []ProvisionRecord
 	accesses   []AccessRecord
-	failNext   error // next Append returns this error
-	failWait   error // next ticket's Wait returns this error
+	stresses   []StressRecord
+	remaps     []RemapRecord
+	retires    []RetireRecord
+	batches    [][]Record // every successful Append call, in order
+	failNext   error      // next Append returns this error
+	failSkip   int        // appends to let through before failNext/failWait applies
+	failWait   error      // next ticket's Wait returns this error
 	doneCalls  int
 }
 
@@ -165,15 +170,19 @@ func (t recordedTicket) Done() {
 func (s *recordingStore) Append(recs []Record) (Ticket, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.failNext != nil {
-		err := s.failNext
-		s.failNext = nil
-		return nil, err
-	}
-	if s.failWait != nil {
-		err := s.failWait
-		s.failWait = nil
-		return recordedTicket{s: s, err: err}, nil
+	if s.failSkip > 0 {
+		s.failSkip--
+	} else {
+		if s.failNext != nil {
+			err := s.failNext
+			s.failNext = nil
+			return nil, err
+		}
+		if s.failWait != nil {
+			err := s.failWait
+			s.failWait = nil
+			return recordedTicket{s: s, err: err}, nil
+		}
 	}
 	for _, rec := range recs {
 		if rec.Provision != nil {
@@ -182,7 +191,17 @@ func (s *recordingStore) Append(recs []Record) (Ticket, error) {
 		if rec.Access != nil {
 			s.accesses = append(s.accesses, *rec.Access)
 		}
+		if rec.Stress != nil {
+			s.stresses = append(s.stresses, *rec.Stress)
+		}
+		if rec.Remap != nil {
+			s.remaps = append(s.remaps, *rec.Remap)
+		}
+		if rec.Retire != nil {
+			s.retires = append(s.retires, *rec.Retire)
+		}
 	}
+	s.batches = append(s.batches, append([]Record(nil), recs...))
 	return recordedTicket{s: s}, nil
 }
 

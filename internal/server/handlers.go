@@ -39,6 +39,19 @@ func (s *Server) refuseDegraded(w http.ResponseWriter) bool {
 // 128–256-bit keys, so 4 KiB is already generous.
 const maxSecretBytes = 4096
 
+// Wear-leveling provisioning bounds: maxSpares caps the per-copy spare
+// complement (fabrication cost scales with it), defaultRemapEpoch is the
+// rotation schedule when the client asks for spares without one.
+const (
+	maxSpares         = 4096
+	defaultRemapEpoch = 16
+)
+
+// maxStressPulses bounds one stress burst so a single request cannot pin
+// a handler on millions of actuations; campaigns issue many requests,
+// which is what the per-request metrics and the shedder are for.
+const maxStressPulses = 10000
+
 // defaultListLimit pages the fleet listing when the client does not ask
 // for a size; maxListLimit bounds what it may ask for.
 const (
@@ -83,7 +96,27 @@ func (s *Server) handleProvision(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	arch, err := core.Build(design, secret, rng.New(req.Seed))
+	var lv *core.Leveling
+	if req.Spares != 0 || req.RemapEpoch != 0 {
+		if req.Spares < 0 || req.Spares > maxSpares {
+			s.writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error: fmt.Sprintf("spares must be 0..%d, got %d", maxSpares, req.Spares),
+				Field: "spares",
+			})
+			return
+		}
+		epoch := req.RemapEpoch
+		if epoch == 0 {
+			epoch = defaultRemapEpoch
+		}
+		lv = &core.Leveling{Spares: req.Spares, Epoch: epoch}
+	}
+	var arch *core.Architecture
+	if lv != nil {
+		arch, err = core.BuildLeveled(design, secret, *lv, rng.New(req.Seed))
+	} else {
+		arch, err = core.Build(design, secret, rng.New(req.Seed))
+	}
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -95,12 +128,17 @@ func (s *Server) handleProvision(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mProvisioned.Inc()
 	s.gLive.Set(int64(s.reg.Len()))
-	s.writeJSON(w, http.StatusCreated, ProvisionResponse{
+	resp := ProvisionResponse{
 		ID:     e.ID,
 		Seed:   e.Seed,
 		Cached: cached,
 		Design: designResponse(design),
-	})
+	}
+	if lv != nil {
+		resp.Spares, resp.RemapEpoch = lv.Spares, lv.Epoch
+		s.updateWearGauges(e)
+	}
+	s.writeJSON(w, http.StatusCreated, resp)
 }
 
 // handleStatus reports wearout state without consuming an access.
@@ -111,7 +149,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	total, okCount := e.Arch.Accesses()
-	s.writeJSON(w, http.StatusOK, StatusResponse{
+	resp := StatusResponse{
 		ID:              e.ID,
 		Alive:           e.Arch.Alive(),
 		Attempts:        total,
@@ -119,7 +157,18 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		CurrentCopy:     e.Arch.CurrentCopy(),
 		ExhaustedCopies: e.Arch.ExhaustedCopies(),
 		Design:          designResponse(e.Arch.Design()),
-	})
+	}
+	if lv, ok := e.Arch.Leveling(); ok {
+		resp.WearLeveling = &WearLevelingStatus{
+			Spares:          lv.Spares,
+			RemapEpoch:      lv.Epoch,
+			Remaps:          e.Arch.Remaps(),
+			SparesRemaining: e.Arch.SparesRemaining(),
+			WearSkew:        e.Arch.WearSkew(),
+			Stressed:        e.Arch.Stressed(),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleAccess performs one real, wearout-consuming traversal of the
@@ -189,6 +238,84 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	default: // store failure or context cancellation — no wearout consumed
 		s.writeError(w, err)
 	}
+}
+
+// handleStress applies one adversarial stress burst: Pulses actuations
+// of each listed share index under the request environment, through the
+// registry's log-ahead path (the stress record is durable before any
+// switch fires, so recovery replays the wear exactly). Stress shares the
+// access path's resilience envelope — it consumes real wearout — but
+// never attempts reconstruction, so the response carries no key bytes.
+func (s *Server) handleStress(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDegraded(w) {
+		return
+	}
+	e, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown architecture"})
+		return
+	}
+	var req StressRequest
+	if err := decodeJSON(r, &req, false); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if len(req.Indices) == 0 {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "indices must name at least one share", Field: "indices"})
+		return
+	}
+	n := e.Arch.Design().N
+	for _, idx := range req.Indices {
+		if idx < 0 || idx >= n {
+			s.writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error: fmt.Sprintf("index %d out of range [0, %d)", idx, n),
+				Field: "indices",
+			})
+			return
+		}
+	}
+	pulses := req.Pulses
+	if pulses == 0 {
+		pulses = 1
+	}
+	if pulses < 0 || pulses > maxStressPulses {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("pulses must be 1..%d, got %d", maxStressPulses, req.Pulses),
+			Field: "pulses",
+		})
+		return
+	}
+	env := nems.RoomTemp
+	if req.TempCelsius != 0 {
+		env = nems.Environment{TempCelsius: req.TempCelsius}
+	}
+	ctx := r.Context()
+	if s.accessTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.accessTimeout)
+		defer cancel()
+	}
+	if s.shedder != nil {
+		release, err := s.shedder.Acquire(ctx)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		defer release()
+	}
+	conducted, err := e.Stress(ctx, env, req.Indices, pulses)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.mStressPulses.Add(uint64(pulses))
+	s.updateWearGauges(e)
+	s.writeJSON(w, http.StatusOK, StressResponse{
+		Conducted: conducted,
+		Pulses:    pulses,
+		Stressed:  e.Arch.Stressed(),
+		Remaps:    e.Arch.Remaps(),
+	})
 }
 
 // handleList pages through the fleet in deterministic ascending ID

@@ -115,6 +115,10 @@ type Server struct {
 	// could not record them (the log-ahead rule failing closed).
 	mEncodeFailures *metrics.Counter
 	mStoreFailures  *metrics.Counter
+	// Adversarial wearout and the wear-leveling defense.
+	mStressPulses  *metrics.Counter
+	mRemaps        *metrics.Counter
+	mRemapFailures *metrics.Counter
 }
 
 // New builds a Server from cfg.
@@ -160,12 +164,31 @@ func New(cfg Config) *Server {
 		gInflight:       m.Gauge("lemonaded_inflight_requests", "", "HTTP requests currently being served"),
 		mEncodeFailures: m.Counter("lemonaded_encode_failures_total", "", "responses that failed to marshal (server bug)"),
 		mStoreFailures:  m.Counter("lemonaded_store_failures_total", "", "operations refused because the durable store failed (failed closed)"),
+		mStressPulses:   m.Counter("lemonaded_stress_pulses_total", "", "adversarial stress pulses applied across the fleet"),
+		mRemaps:         m.Counter("lemonaded_wearout_remaps_total", "", "wear-leveling rotations durably applied"),
+		mRemapFailures:  m.Counter("lemonaded_wearout_remap_failures_total", "", "wear-leveling rotations refused because the durable store failed"),
 	}
+	// Wear-leveling maintenance happens inside the registry's access path;
+	// the observer is how its outcomes reach operators. Success refreshes
+	// the per-architecture wear gauges; failure is a store fault that did
+	// NOT fail the triggering operation (the rotation retries after the
+	// next one), so it gets its own counter.
+	reg.SetRemapObserver(func(ev registry.RemapEvent) {
+		if ev.Err != nil {
+			s.mRemapFailures.Inc()
+			return
+		}
+		s.mRemaps.Inc()
+		if e, ok := s.reg.Get(ev.ID); ok {
+			s.updateWearGauges(e)
+		}
+	})
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/architectures", "provision", s.handleProvision)
 	s.route("GET /v1/architectures", "list", s.handleList)
 	s.route("GET /v1/architectures/{id}", "status", s.handleStatus)
 	s.route("POST /v1/architectures/{id}/access", "access", s.handleAccess)
+	s.route("POST /v1/architectures/{id}/stress", "stress", s.handleStress)
 	s.route("GET /v1/architectures/{id}/events", "events", s.handleEvents)
 	s.route("POST /v1/dse/explore", "explore", s.handleExplore)
 	s.route("POST /v1/dse/frontier", "frontier", s.handleFrontier)
@@ -196,6 +219,22 @@ func (s *Server) Metrics() *metrics.Registry { return s.met }
 // Registry exposes the architecture registry, for the daemon's snapshot
 // loop (a snapshot captures the registry through the store's barrier).
 func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// updateWearGauges refreshes the per-architecture wear-leveling gauges:
+// remaining spare switches and wear skew (max−min wear over the active
+// copy's serviceable pool, in milli-units because gauges are integral).
+// Only leveled architectures export them; plain ones have no rotation
+// story to observe.
+func (s *Server) updateWearGauges(e *registry.Entry) {
+	if _, ok := e.Arch.Leveling(); !ok {
+		return
+	}
+	label := `arch="` + e.ID + `"`
+	s.met.Gauge("lemonaded_spares_remaining", label,
+		"usable unassigned spare switches, by architecture").Set(int64(e.Arch.SparesRemaining()))
+	s.met.Gauge("lemonaded_wear_skew_millis", label,
+		"wear skew (max-min wear over the serviceable pool, x1000), by architecture").Set(int64(e.Arch.WearSkew() * 1000))
+}
 
 // route mounts an instrumented handler: per-route request counter and
 // latency histogram, per-code response counter, global in-flight gauge.

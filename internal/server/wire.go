@@ -29,7 +29,10 @@ type (
 	ProvisionResponse   = api.ProvisionResponse
 	AccessRequest       = api.AccessRequest
 	AccessResponse      = api.AccessResponse
+	StressRequest       = api.StressRequest
+	StressResponse      = api.StressResponse
 	StatusResponse      = api.StatusResponse
+	WearLevelingStatus  = api.WearLevelingStatus
 	ArchitectureSummary = api.ArchitectureSummary
 	ListResponse        = api.ListResponse
 	EventsResponse      = api.EventsResponse

@@ -73,17 +73,31 @@ func fuzzRecoverable(data []byte) bool {
 			return nil
 		}
 		var r record
-		if json.Unmarshal(payload, &r) != nil || r.Provision == nil {
+		if json.Unmarshal(payload, &r) != nil {
+			return nil
+		}
+		// A stress frame replays pulses × indices actuations; bound the
+		// product so one lucky CRC-preserving mutation cannot buy minutes
+		// of spinning on a structurally boring input.
+		if r.Stress != nil {
+			if int64(r.Stress.Pulses)*int64(max(len(r.Stress.Indices), 1)) > 1<<12 {
+				ok = false
+			}
+			return nil
+		}
+		if r.Provision == nil {
 			return nil
 		}
 		// Each provision frame rebuilds real hardware on replay, at a cost
 		// of roughly secret × N × K field operations; bound every factor
-		// and the number of rebuilds so one exec stays in the milliseconds
-		// (Build with N=4096, K=512 and a 512-byte secret takes seconds).
+		// (including the wear-leveling spare complement, which fabricates
+		// extra switches per copy) and the number of rebuilds so one exec
+		// stays in the milliseconds (Build with N=4096, K=512 and a
+		// 512-byte secret takes seconds).
 		provisions++
 		d := r.Provision.Design
 		if provisions > 4 || d.N < 0 || d.Copies < 0 || d.K > 1<<6 ||
-			int64(d.N)*int64(max(d.Copies, 1)) > 1<<10 ||
+			(int64(d.N)+int64(max(r.Provision.Spares, 0)))*int64(max(d.Copies, 1)) > 1<<11 ||
 			len(r.Provision.Secret) > 1<<7 {
 			ok = false
 		}

@@ -51,9 +51,12 @@ type Config struct {
 
 // record is the JSON payload of one WAL frame.
 type record struct {
-	Type      string                    `json:"t"` // "provision" | "access"
+	Type      string                    `json:"t"` // "provision" | "access" | "stress" | "remap" | "retire"
 	Provision *registry.ProvisionRecord `json:"p,omitempty"`
 	Access    *registry.AccessRecord    `json:"a,omitempty"`
+	Stress    *registry.StressRecord    `json:"s,omitempty"`
+	Remap     *registry.RemapRecord     `json:"r,omitempty"`
+	Retire    *registry.RetireRecord    `json:"x,omitempty"`
 }
 
 // snapshotArch is one architecture inside a snapshot: the provisioning
@@ -65,6 +68,11 @@ type snapshotArch struct {
 	Secret []byte     `json:"secret"`
 	Design dse.Design `json:"design"`
 	State  core.State `json:"state"`
+	// Spares and RemapEpoch pin the wear-leveling variant; both zero means
+	// the architecture is unleveled (and, per omitempty, pre-leveling
+	// snapshots keep their exact wire encoding).
+	Spares     int    `json:"spares,omitempty"`
+	RemapEpoch uint64 `json:"remap_epoch,omitempty"`
 }
 
 // snapshotFile is the single framed payload of a snap-*.snap file.
@@ -83,8 +91,17 @@ type RecoveryStats struct {
 	SnapshotArchitectures    int
 	ReplayedProvisions       int
 	ReplayedAccesses         int
+	ReplayedStresses         int
+	ReplayedRetires          int
+	ReplayedRemaps           int
 	TornBytesTruncated       int64
 	Segments                 int // segments replayed
+}
+
+// ReplayedRecords is the total record count the recovery replayed.
+func (st RecoveryStats) ReplayedRecords() int {
+	return st.ReplayedProvisions + st.ReplayedAccesses + st.ReplayedStresses +
+		st.ReplayedRetires + st.ReplayedRemaps
 }
 
 // DiskStore is the disk-backed registry.Store: an append-only segmented
@@ -140,28 +157,37 @@ type DiskStore struct {
 
 	snapCh chan struct{}
 
-	mAppendProv *metrics.Counter
-	mAppendAcc  *metrics.Counter
-	mAppendErrs *metrics.Counter
-	hFsync      *metrics.Histogram
-	hBatchSize  *metrics.Histogram
-	mGroupSyncs *metrics.Counter
-	mReplayProv *metrics.Counter
-	mReplayAcc  *metrics.Counter
-	mSnapshots  *metrics.Counter
-	mTornTrunc  *metrics.Counter
-	gSnapUnix   *metrics.Gauge
-	gRecovered  *metrics.Gauge
+	mAppendProv   *metrics.Counter
+	mAppendAcc    *metrics.Counter
+	mAppendStress *metrics.Counter
+	mAppendRemap  *metrics.Counter
+	mAppendRetire *metrics.Counter
+	mAppendErrs   *metrics.Counter
+	hFsync        *metrics.Histogram
+	hBatchSize    *metrics.Histogram
+	mGroupSyncs   *metrics.Counter
+	mReplayProv   *metrics.Counter
+	mReplayAcc    *metrics.Counter
+	mReplayStress *metrics.Counter
+	mReplayRemap  *metrics.Counter
+	mReplayRetire *metrics.Counter
+	mSnapshots    *metrics.Counter
+	mTornTrunc    *metrics.Counter
+	gSnapUnix     *metrics.Gauge
+	gRecovered    *metrics.Gauge
 }
 
 // commitReq is one Append staged for the committer: its records already
 // framed, its ticket waiting for the group's fsync.
 type commitReq struct {
-	frames []byte
-	nRecs  int
-	nProv  uint64
-	nAcc   uint64
-	tkt    *groupTicket
+	frames  []byte
+	nRecs   int
+	nProv   uint64
+	nAcc    uint64
+	nStress uint64
+	nRemap  uint64
+	nRetire uint64
+	tkt     *groupTicket
 }
 
 // GroupError is the failure every ticket of one commit group resolves
@@ -274,18 +300,24 @@ func Open(cfg Config) (*DiskStore, error) {
 		committerDone: make(chan struct{}),
 		snapCh:        make(chan struct{}, 1),
 
-		mAppendProv: m.Counter("lemonaded_wal_appends_total", `type="provision"`, "durable WAL appends by record type"),
-		mAppendAcc:  m.Counter("lemonaded_wal_appends_total", `type="access"`, "durable WAL appends by record type"),
-		mAppendErrs: m.Counter("lemonaded_wal_append_failures_total", "", "WAL appends that failed (each is a failed-closed operation)"),
-		hFsync:      m.Histogram("lemonaded_wal_fsync_seconds", "", "fsync latency of WAL commits", nil),
-		hBatchSize:  m.Histogram("lemonaded_wal_batch_size", "", "records per group-commit write", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
-		mGroupSyncs: m.Counter("lemonaded_wal_group_fsyncs_total", "", "group-commit fsyncs issued (each covers a whole batch)"),
-		mReplayProv: m.Counter("lemonaded_wal_replayed_records_total", `type="provision"`, "records replayed during recovery"),
-		mReplayAcc:  m.Counter("lemonaded_wal_replayed_records_total", `type="access"`, "records replayed during recovery"),
-		mSnapshots:  m.Counter("lemonaded_wal_snapshots_total", "", "snapshots written"),
-		mTornTrunc:  m.Counter("lemonaded_wal_torn_tail_truncations_total", "", "torn WAL tails truncated during recovery"),
-		gSnapUnix:   m.Gauge("lemonaded_wal_last_snapshot_unix_seconds", "", "creation time of the newest snapshot (snapshot age = now minus this)"),
-		gRecovered:  m.Gauge("lemonaded_wal_recovered_architectures", "", "architectures reconstructed by the last recovery"),
+		mAppendProv:   m.Counter("lemonaded_wal_appends_total", `type="provision"`, "durable WAL appends by record type"),
+		mAppendAcc:    m.Counter("lemonaded_wal_appends_total", `type="access"`, "durable WAL appends by record type"),
+		mAppendStress: m.Counter("lemonaded_wal_appends_total", `type="stress"`, "durable WAL appends by record type"),
+		mAppendRemap:  m.Counter("lemonaded_wal_appends_total", `type="remap"`, "durable WAL appends by record type"),
+		mAppendRetire: m.Counter("lemonaded_wal_appends_total", `type="retire"`, "durable WAL appends by record type"),
+		mAppendErrs:   m.Counter("lemonaded_wal_append_failures_total", "", "WAL appends that failed (each is a failed-closed operation)"),
+		hFsync:        m.Histogram("lemonaded_wal_fsync_seconds", "", "fsync latency of WAL commits", nil),
+		hBatchSize:    m.Histogram("lemonaded_wal_batch_size", "", "records per group-commit write", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		mGroupSyncs:   m.Counter("lemonaded_wal_group_fsyncs_total", "", "group-commit fsyncs issued (each covers a whole batch)"),
+		mReplayProv:   m.Counter("lemonaded_wal_replayed_records_total", `type="provision"`, "records replayed during recovery"),
+		mReplayAcc:    m.Counter("lemonaded_wal_replayed_records_total", `type="access"`, "records replayed during recovery"),
+		mReplayStress: m.Counter("lemonaded_wal_replayed_records_total", `type="stress"`, "records replayed during recovery"),
+		mReplayRemap:  m.Counter("lemonaded_wal_replayed_records_total", `type="remap"`, "records replayed during recovery"),
+		mReplayRetire: m.Counter("lemonaded_wal_replayed_records_total", `type="retire"`, "records replayed during recovery"),
+		mSnapshots:    m.Counter("lemonaded_wal_snapshots_total", "", "snapshots written"),
+		mTornTrunc:    m.Counter("lemonaded_wal_torn_tail_truncations_total", "", "torn WAL tails truncated during recovery"),
+		gSnapUnix:     m.Gauge("lemonaded_wal_last_snapshot_unix_seconds", "", "creation time of the newest snapshot (snapshot age = now minus this)"),
+		gRecovered:    m.Gauge("lemonaded_wal_recovered_architectures", "", "architectures reconstructed by the last recovery"),
 	}
 	s.qCond.L = &s.qMu
 	go s.committer()
@@ -326,10 +358,17 @@ func (s *DiskStore) Append(recs []registry.Record) (registry.Ticket, error) {
 		}
 		req.frames = appendFrame(req.frames, payload)
 		req.nRecs++
-		if r.Provision != nil {
+		switch {
+		case r.Provision != nil:
 			req.nProv++
-		} else {
+		case r.Access != nil:
 			req.nAcc++
+		case r.Stress != nil:
+			req.nStress++
+		case r.Remap != nil:
+			req.nRemap++
+		case r.Retire != nil:
+			req.nRetire++
 		}
 	}
 	if req.nRecs == 0 {
@@ -368,17 +407,38 @@ func (s *DiskStore) Append(recs []registry.Record) (registry.Ticket, error) {
 }
 
 // walRecord converts a registry.Record into the WAL's framed form,
-// rejecting shapes that would not survive replay.
+// rejecting shapes that would not survive replay: exactly one variant
+// must be set.
 func walRecord(rec *registry.Record) (record, error) {
-	switch {
-	case rec.Provision != nil && rec.Access != nil:
-		return record{}, errors.New("wal: record sets both provision and access")
-	case rec.Provision != nil:
-		return record{Type: "provision", Provision: rec.Provision}, nil
-	case rec.Access != nil:
-		return record{Type: "access", Access: rec.Access}, nil
-	default:
+	set := 0
+	var out record
+	if rec.Provision != nil {
+		set++
+		out = record{Type: "provision", Provision: rec.Provision}
+	}
+	if rec.Access != nil {
+		set++
+		out = record{Type: "access", Access: rec.Access}
+	}
+	if rec.Stress != nil {
+		set++
+		out = record{Type: "stress", Stress: rec.Stress}
+	}
+	if rec.Remap != nil {
+		set++
+		out = record{Type: "remap", Remap: rec.Remap}
+	}
+	if rec.Retire != nil {
+		set++
+		out = record{Type: "retire", Retire: rec.Retire}
+	}
+	switch set {
+	case 0:
 		return record{}, errors.New("wal: empty record")
+	case 1:
+		return out, nil
+	default:
+		return record{}, errors.New("wal: record sets more than one variant")
 	}
 }
 
@@ -517,6 +577,9 @@ func (s *DiskStore) commitGroup(batch []*commitReq) {
 	for _, req := range batch {
 		s.mAppendProv.Add(req.nProv)
 		s.mAppendAcc.Add(req.nAcc)
+		s.mAppendStress.Add(req.nStress)
+		s.mAppendRemap.Add(req.nRemap)
+		s.mAppendRetire.Add(req.nRetire)
 		req.tkt.resolve(nil)
 	}
 	if over {
@@ -738,7 +801,7 @@ func (s *DiskStore) Recover(reg *registry.Registry) (RecoveryStats, error) {
 		}
 		s.cur, s.curSeq, s.curOff = f, last, fi.Size()
 	}
-	s.recsSince = stats.ReplayedProvisions + stats.ReplayedAccesses
+	s.recsSince = stats.ReplayedRecords()
 	s.recovered = true
 	s.gRecovered.Set(int64(reg.Len()))
 	return stats, nil
@@ -782,12 +845,22 @@ func (s *DiskStore) loadSnapshot(epoch uint64) (*snapshotFile, error) {
 	return snap, nil
 }
 
+// rebuildArch deterministically refabricates an architecture from its
+// provisioning parameters, choosing the wear-leveled variant when the
+// durable record pinned one.
+func rebuildArch(design dse.Design, secret []byte, seed uint64, spares int, epoch uint64) (*core.Architecture, error) {
+	if spares > 0 || epoch > 0 {
+		return core.BuildLeveled(design, secret, core.Leveling{Spares: spares, Epoch: epoch}, rng.New(seed))
+	}
+	return core.Build(design, secret, rng.New(seed))
+}
+
 // restoreSnapshot rebuilds every architecture in snap and registers it
 // under its original ID.
 func restoreSnapshot(reg *registry.Registry, snap *snapshotFile) error {
 	for i := range snap.Archs {
 		a := &snap.Archs[i]
-		arch, err := core.Build(a.Design, a.Secret, rng.New(a.Seed))
+		arch, err := rebuildArch(a.Design, a.Secret, a.Seed, a.Spares, a.RemapEpoch)
 		if err != nil {
 			return fmt.Errorf("wal: snapshot arch %s: rebuild: %w", a.ID, err)
 		}
@@ -859,7 +932,7 @@ func (s *DiskStore) applyRecord(reg *registry.Registry, file string, idx int, pa
 				Reason: "provision record without payload"}
 		}
 		p := r.Provision
-		arch, err := core.Build(p.Design, p.Secret, rng.New(p.Seed))
+		arch, err := rebuildArch(p.Design, p.Secret, p.Seed, p.Spares, p.RemapEpoch)
 		if err != nil {
 			return fmt.Errorf("wal: %s record %d: rebuilding %s: %w", file, idx, p.ID, err)
 		}
@@ -886,6 +959,66 @@ func (s *DiskStore) applyRecord(reg *registry.Registry, file string, idx int, pa
 		_, _ = e.Arch.Access(nems.Environment{TempCelsius: r.Access.TempCelsius})
 		s.mReplayAcc.Inc()
 		stats.ReplayedAccesses++
+		return nil
+	case "stress":
+		if r.Stress == nil {
+			return &CorruptionError{File: file, Record: idx, Offset: -1,
+				Reason: "stress record without payload"}
+		}
+		e, ok := reg.Get(r.Stress.ID)
+		if !ok {
+			return &CorruptionError{File: file, Record: idx, Offset: -1,
+				Reason: fmt.Sprintf("stress record for unknown architecture %s", r.Stress.ID)}
+		}
+		// Outcome discarded for the same reason as access replay: the wear
+		// the pulses inflict is fully determined by the state.
+		//lemonvet:allow logahead replay applies a record already durable in the log; appending again would double-count
+		_, _ = e.Arch.Stress(nems.Environment{TempCelsius: r.Stress.TempCelsius}, r.Stress.Indices, r.Stress.Pulses)
+		s.mReplayStress.Inc()
+		stats.ReplayedStresses++
+		return nil
+	case "retire":
+		if r.Retire == nil {
+			return &CorruptionError{File: file, Record: idx, Offset: -1,
+				Reason: "retire record without payload"}
+		}
+		e, ok := reg.Get(r.Retire.ID)
+		if !ok {
+			return &CorruptionError{File: file, Record: idx, Offset: -1,
+				Reason: fmt.Sprintf("retire record for unknown architecture %s", r.Retire.ID)}
+		}
+		// A retire that no longer validates (wrong copy/physical for the
+		// rebuilt hardware) is corruption: the live path only logged plans it
+		// applied, so a mismatch means the history doesn't fit the state.
+		//lemonvet:allow logahead replay applies a record already durable in the log; appending again would double-count
+		if err := e.Arch.Retire(r.Retire.Copy, r.Retire.Physical); err != nil {
+			return &CorruptionError{File: file, Record: idx, Offset: -1,
+				Reason: fmt.Sprintf("retire record does not apply to %s: %v", r.Retire.ID, err)}
+		}
+		s.mReplayRetire.Inc()
+		stats.ReplayedRetires++
+		return nil
+	case "remap":
+		if r.Remap == nil {
+			return &CorruptionError{File: file, Record: idx, Offset: -1,
+				Reason: "remap record without payload"}
+		}
+		e, ok := reg.Get(r.Remap.ID)
+		if !ok {
+			return &CorruptionError{File: file, Record: idx, Offset: -1,
+				Reason: fmt.Sprintf("remap record for unknown architecture %s", r.Remap.ID)}
+		}
+		// The record carries the FULL assignment the live path installed —
+		// the remap decision was advisory, the recorded effect replays
+		// verbatim, so recovery agrees bit-for-bit even if the planning
+		// heuristic changes between versions.
+		//lemonvet:allow logahead replay applies a record already durable in the log; appending again would double-count
+		if err := e.Arch.ApplyRemap(r.Remap.Copy, r.Remap.Assign); err != nil {
+			return &CorruptionError{File: file, Record: idx, Offset: -1,
+				Reason: fmt.Sprintf("remap record does not apply to %s: %v", r.Remap.ID, err)}
+		}
+		s.mReplayRemap.Inc()
+		stats.ReplayedRemaps++
 		return nil
 	default:
 		return &CorruptionError{File: file, Record: idx, Offset: -1,
@@ -931,10 +1064,15 @@ func (s *DiskStore) Snapshot(reg *registry.Registry) error {
 	// each architecture's state agrees exactly with its log prefix.
 	snap := snapshotFile{Format: 1, Epoch: newSeq, CreatedUnixNanos: s.now()}
 	reg.Range(func(e *registry.Entry) bool {
-		snap.Archs = append(snap.Archs, snapshotArch{
+		sa := snapshotArch{
 			ID: e.ID, Seed: e.Seed, Secret: e.Secret,
 			Design: e.Arch.Design(), State: e.Arch.State(),
-		})
+		}
+		if lv, ok := e.Arch.Leveling(); ok {
+			sa.Spares = lv.Spares
+			sa.RemapEpoch = lv.Epoch
+		}
+		snap.Archs = append(snap.Archs, sa)
 		return true
 	})
 	sort.Slice(snap.Archs, func(i, j int) bool { return snapLess(snap.Archs[i].ID, snap.Archs[j].ID) })

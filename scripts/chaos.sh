@@ -17,8 +17,17 @@
 #      architecture's status must come back byte-identical and the
 #      lockout must still hold (once dead, always dead).
 #
+# `chaos.sh attack` runs the ATTACK phase instead: a wear-leveled
+# architecture serves legitimate clients while a concurrent stress
+# attacker (hot/cold cycled bursts on targeted shares) races them, with
+# chaos faults still injected. The invariants: no attacker-visible
+# response ever carries key bytes, total reveals stay within the design
+# budget, and the wear-leveling metrics are live in /metrics.
+#
 # Run from the repo root; CI runs this exact script.
 set -euo pipefail
+
+mode="${1:-chaos}"
 
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
@@ -63,6 +72,93 @@ access_n() {
     echo "$ok $locked"
 }
 
+# provision_arch JSON_EXTRA — provision under chaos with retries; sets $id.
+provision_arch() {
+    id=""
+    for _ in $(seq 1 20); do
+        prov=$(curl -s -X POST "$base/v1/architectures" -d "{
+            \"spec\": {\"alpha\": 6, \"beta\": 8, \"lab\": 30, \"kfrac\": 0.1, \"continuous_t\": true},
+            \"secret_hex\": \"$secret\",
+            \"seed\": 42$1
+        }")
+        id=$(echo "$prov" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+        [ -n "$id" ] && break
+        sleep 0.2
+    done
+    [ -n "$id" ] || { echo "chaos: provision never succeeded under chaos"; exit 1; }
+}
+
+secret="00112233445566778899aabbccddeeff"
+
+if [ "$mode" = attack ]; then
+    # Seeds whose fault schedule lets the daemon boot (seed 4's first
+    # injected fault lands on segment creation and kills startup).
+    for seed in 5 6; do
+        # ---- Attack phase: stress attacker races users through chaos. ----
+        start_daemon -chaos "seed=$seed,density=0.02"
+        echo "chaos: seed $seed attack phase on $base"
+        spares=4
+        provision_arch ", \"spares\": $spares, \"remap_epoch\": 8"
+        status=$(curl -sf "$base/v1/architectures/$id")
+        max=$(echo "$status" | sed -n 's/.*"max_allowed_accesses": \([0-9]*\).*/\1/p')
+        n=$(echo "$status" | sed -n 's/.*"n": \([0-9]*\).*/\1/p')
+        copies=$(echo "$status" | sed -n 's/.*"copies": \([0-9]*\).*/\1/p')
+        [ -n "$max" ] && [ -n "$n" ] && [ -n "$copies" ] ||
+            { echo "chaos: incomplete design in status: $status"; exit 1; }
+        # The wear-leveled budget: spares extend each copy's physical pool
+        # from n to n+spares switches, so the designed access ceiling
+        # scales by (n+spares)/n, plus one access of slack per copy.
+        budget=$(((max * (n + spares) + n - 1) / n + copies))
+
+        # The attacker: 120 deterministic hot/cold bursts concentrated on
+        # shares 0–2. Any response carrying the secret is a leak; 500/503
+        # are chaos weather; 410 means the attack killed the device.
+        leakfile="$workdir/leak-$seed"
+        (
+            for i in $(seq 1 120); do
+                t=400
+                [ $(((i / 4) % 2)) = 1 ] && t=-40
+                resp=$(curl -s -X POST "$base/v1/architectures/$id/stress" \
+                    -d "{\"temp_celsius\": $t, \"indices\": [0, 1, 2], \"pulses\": 2}")
+                case "$resp" in
+                    *"$secret"*) echo "burst $i leaked key bytes: $resp" >"$leakfile"; exit 0 ;;
+                    *'"error": "core: architecture exhausted'*) exit 0 ;;
+                esac
+            done
+        ) &
+        attacker=$!
+        read -r s locked <<<"$(access_n 300)"
+        wait "$attacker"
+        [ ! -f "$leakfile" ] || { echo "chaos: FAIL — $(cat "$leakfile")"; exit 1; }
+        [ "$locked" = 1 ] || { echo "chaos: attacked device never locked out"; exit 1; }
+        if [ "$s" -gt "$budget" ]; then
+            echo "chaos: FAIL — seed $seed attack minted budget: $s > leveled budget $budget"
+            exit 1
+        fi
+        echo "chaos: seed $seed: reveals within budget under attack ($s <= $budget)"
+
+        # The wear-observability contract: stress, remap, spare, and skew
+        # metrics must be live on the scrape.
+        metrics=$(curl -sf "$base/metrics")
+        for metric in lemonaded_stress_pulses_total \
+            lemonaded_wearout_remaps_total \
+            "lemonaded_spares_remaining{arch=\"$id\"}" \
+            "lemonaded_wear_skew_millis{arch=\"$id\"}"; do
+            case "$metrics" in
+                *"$metric"*) ;;
+                *) echo "chaos: FAIL — /metrics missing $metric"; exit 1 ;;
+            esac
+        done
+        echo "chaos: seed $seed: wear metrics present"
+
+        kill -TERM "$pid"
+        wait "$pid" || { echo "chaos: daemon exited nonzero"; exit 1; }
+        echo "chaos: seed $seed attack PASS"
+    done
+    echo "chaos: attack PASS"
+    exit 0
+fi
+
 for seed in 1 2 3; do
     # ---- Phase 1: serve through a faulty disk, then die mid-flight. ----
     start_daemon -chaos "seed=$seed,density=0.02"
@@ -71,18 +167,7 @@ for seed in 1 2 3; do
         echo "chaos: daemon did not announce chaos mode"; exit 1
     }
     # Provisioning itself may hit an injected fault (500/503); retry.
-    id=""
-    for _ in $(seq 1 20); do
-        prov=$(curl -s -X POST "$base/v1/architectures" -d '{
-            "spec": {"alpha": 6, "beta": 8, "lab": 30, "kfrac": 0.1, "continuous_t": true},
-            "secret_hex": "00112233445566778899aabbccddeeff",
-            "seed": 42
-        }')
-        id=$(echo "$prov" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
-        [ -n "$id" ] && break
-        sleep 0.2
-    done
-    [ -n "$id" ] || { echo "chaos: provision never succeeded under chaos"; exit 1; }
+    provision_arch ''
     max=$(curl -sf "$base/v1/architectures/$id" |
         sed -n 's/.*"max_allowed_accesses": \([0-9]*\).*/\1/p')
     [ -n "$max" ] || { echo "chaos: no max_allowed_accesses in status"; exit 1; }
