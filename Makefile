@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: check lint vet-fixtures race bench test build fmt smoke crash chaos attack bench-json bench-compare fuzz-smoke
+.PHONY: check lint vet-fixtures race bench test build fmt smoke crash chaos attack cluster bench-json bench-compare fuzz-smoke
 
 ## check: everything CI runs — format, vet, lemonvet, build, tests, race, smoke
-check: lint build test race smoke crash chaos attack
+check: lint build test race smoke crash chaos attack cluster
 
 ## lint: gofmt (fail on diff), go vet, and the lemonvet static-analysis
 ## suite (all nine passes; -strict-suppress also fails on stale allows)
@@ -30,7 +30,7 @@ test:
 ## race: race detector over the concurrency-sensitive packages, then the
 ## whole module in short mode (matches the CI race matrix entry)
 race:
-	$(GO) test -race ./internal/montecarlo/... ./internal/targeting/... ./internal/core/... ./internal/server/... ./internal/registry/... ./internal/cache/... ./internal/wal/... ./internal/fault/... ./internal/resilience/... ./internal/analysis/ ./internal/attack/... ./internal/nems/... ./api/...
+	$(GO) test -race ./internal/montecarlo/... ./internal/targeting/... ./internal/core/... ./internal/server/... ./internal/registry/... ./internal/cache/... ./internal/wal/... ./internal/fault/... ./internal/resilience/... ./internal/analysis/ ./internal/attack/... ./internal/nems/... ./internal/cluster/... ./api/...
 	$(GO) test -race -short ./...
 
 ## smoke: end-to-end daemon test (build, provision, lockout, metrics, drain)
@@ -75,3 +75,9 @@ chaos:
 ## metrics live)
 attack:
 	./scripts/chaos.sh attack
+
+## cluster: 3-node consistent-hash cluster driven to the global lockout
+## with a whole node killed mid-load (reveals within the cluster ceiling,
+## lockout durable across the node's restart)
+cluster:
+	./scripts/chaos.sh cluster

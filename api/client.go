@@ -285,6 +285,38 @@ func (c *Client) Frontier(ctx context.Context, req SpecRequest, limit int) (*Fro
 	return &out, nil
 }
 
+// ClusterShare provisions one Shamir share onto this node. The node
+// verifies ownership against its ring and refuses misrouted shares with
+// 421 Misdirected Request; a share ID already provisioned is 409.
+func (c *Client) ClusterShare(ctx context.Context, req ClusterShareRequest) (*ClusterShareResponse, error) {
+	var out ClusterShareResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/cluster/shares", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ClusterAccess performs one wearout-consuming access against the
+// architecture guarding one share on this node. The response carries
+// that single share's payload, never the cluster secret.
+func (c *Client) ClusterAccess(ctx context.Context, req ClusterAccessRequest) (*ClusterAccessResponse, error) {
+	var out ClusterAccessResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/cluster/access", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ClusterRing fetches the node's placement configuration, for verifying
+// that a client and its nodes agree on ring membership and seed.
+func (c *Client) ClusterRing(ctx context.Context) (*RingResponse, error) {
+	var out RingResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster/ring", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Healthy checks the liveness endpoint.
 func (c *Client) Healthy(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)

@@ -174,6 +174,61 @@ type FrontierResponse struct {
 	Designs []DesignResponse `json:"designs"`
 }
 
+// ClusterShareRequest provisions one Shamir share of a cluster-level
+// architecture onto the node that owns it. The receiving node verifies
+// ownership against its ring — ClusterID placed with ShareTotal owners
+// must put ShareIndex on this node, or the request is refused with 421
+// Misdirected Request — and then fabricates a limited-use architecture
+// from Spec whose protected secret is the encoded share payload.
+type ClusterShareRequest struct {
+	ClusterID  string      `json:"cluster_id"`
+	ShareIndex int         `json:"share_index"`
+	ShareTotal int         `json:"share_total"`
+	Spec       SpecRequest `json:"spec"`
+	// ShareHex is the hex-encoded share payload (one X byte followed by
+	// the share data) that the node's architecture will guard.
+	ShareHex string `json:"share_hex"`
+	Seed     uint64 `json:"seed"`
+}
+
+// ClusterShareResponse identifies one provisioned share.
+type ClusterShareResponse struct {
+	ID     string         `json:"id"`   // the node-local share ID (cluster_id + "@s" + index)
+	Node   string         `json:"node"` // the answering node's name
+	Seed   uint64         `json:"seed"`
+	Design DesignResponse `json:"design"`
+}
+
+// ClusterAccessRequest asks the owning node for one wearout-consuming
+// access against the architecture guarding a single share. ShareTotal
+// rides along so the node can re-derive placement and refuse misrouted
+// requests without any peer traffic.
+type ClusterAccessRequest struct {
+	ClusterID   string  `json:"cluster_id"`
+	ShareIndex  int     `json:"share_index"`
+	ShareTotal  int     `json:"share_total"`
+	TempCelsius float64 `json:"temp_celsius,omitempty"`
+}
+
+// ClusterAccessResponse reports one successful share access. It carries
+// one share's payload only — never the cluster secret, which no single
+// node can reconstruct.
+type ClusterAccessResponse struct {
+	Node       string `json:"node"`
+	ShareHex   string `json:"share_hex"`
+	Attempts   uint64 `json:"attempts"`
+	Successful uint64 `json:"successful"`
+}
+
+// RingResponse answers GET /v1/cluster/ring: the node's view of the
+// placement configuration. Two nodes (or a node and a client) agree on
+// placement iff they agree on Seed and Nodes.
+type RingResponse struct {
+	Self  string   `json:"self"`
+	Seed  uint64   `json:"seed"`
+	Nodes []string `json:"nodes"` // canonical (sorted) ring membership
+}
+
 // ErrorResponse is the uniform error body.
 type ErrorResponse struct {
 	Error string `json:"error"`

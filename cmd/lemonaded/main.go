@@ -25,12 +25,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"lemonade/api"
+	"lemonade/internal/cluster"
 	"lemonade/internal/fault"
 	"lemonade/internal/metrics"
 	"lemonade/internal/registry"
@@ -73,7 +75,9 @@ serve   [-addr host:port] [-addr-file path] [-shards n] [-cache n] [-drain-timeo
         [-data-dir path] [-snapshot-interval d] [-snapshot-records n]
         [-breaker-threshold n] [-breaker-cooldown d] [-access-timeout d]
         [-max-concurrent-access n] [-access-queue n]
+        [-node-name name -ring-nodes name=url,... [-ring-seed n]]
 loadgen -base URL [-workers n] [-seed n] [-alpha a] [-beta b] [-lab n] [-kfrac f]
+loadgen -cluster name=url,... [-ring-seed n] [-share-k k] [-share-n n] [-workers n] ...
 bench   [-seed n] [-n reps] [-warmup reps] [-filter substr] [-json] [-out file]
 bench   compare OLD.json NEW.json [-threshold f] [-sigma f] [-floor-us n]
 `)
@@ -95,11 +99,34 @@ func runServe(args []string) error {
 	accessTimeout := fs.Duration("access-timeout", 10*time.Second, "per-request deadline on the access path (0 = none)")
 	maxAccess := fs.Int("max-concurrent-access", 256, "concurrent accesses before requests queue")
 	accessQueue := fs.Int("access-queue", 1024, "queued accesses before requests are shed with 503")
+	nodeName := fs.String("node-name", "", "this node's name in the cluster ring (enables cluster mode)")
+	ringNodes := fs.String("ring-nodes", "", "cluster membership as name=url,name=url,... (with -node-name)")
+	ringSeed := fs.Uint64("ring-seed", 42, "placement ring seed; must match every node and client")
 	// Deliberately absent from usage(): chaos mode exists for
 	// scripts/chaos.sh and fault-injection experiments, not operators.
 	chaos := fs.String("chaos", "", "inject deterministic storage faults: seed=N[,ops=N][,density=F] (requires -data-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Cluster identity: the ring is configuration, not discovery — every
+	// node and every client must be handed the same (members, seed) pair
+	// or provisions are refused as misrouted (421).
+	var clusterNode *cluster.Node
+	if *nodeName != "" || *ringNodes != "" {
+		if *nodeName == "" || *ringNodes == "" {
+			return fmt.Errorf("cluster mode needs both -node-name and -ring-nodes")
+		}
+		members, err := parseNodeList(*ringNodes)
+		if err != nil {
+			return err
+		}
+		clusterNode, err = cluster.NewNode(cluster.Config{Self: *nodeName, Nodes: members, Seed: *ringSeed})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lemonaded: cluster node %q in a %d-node ring (seed %d)\n",
+			*nodeName, clusterNode.Ring().Size(), *ringSeed)
 	}
 
 	// The daemon is the composition root: the wall clock enters here
@@ -178,6 +205,7 @@ func runServe(args []string) error {
 			Metrics:       met,
 		}),
 		AccessTimeout: *accessTimeout,
+		Cluster:       clusterNode,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -270,8 +298,22 @@ func runLoadgen(args []string) error {
 	lab := fs.Int("lab", 30, "lower access bound")
 	kfrac := fs.Float64("kfrac", 0.1, "encoding fraction (0 = unencoded)")
 	secretHex := fs.String("secret", "00112233445566778899aabbccddeeff", "secret to protect (hex)")
+	clusterNodes := fs.String("cluster", "", "drive a cluster instead: membership as name=url,name=url,...")
+	ringSeed := fs.Uint64("ring-seed", 42, "placement ring seed (with -cluster); must match the nodes")
+	shareK := fs.Int("share-k", 2, "Shamir threshold: shares needed per access (with -cluster)")
+	shareN := fs.Int("share-n", 0, "Shamir share count (0 = one per cluster node; with -cluster)")
+	hedge := fs.Duration("hedge", 0, "hedge delay before consulting spare owners (0 = off; with -cluster)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *clusterNodes != "" {
+		return runClusterLoadgen(clusterLoadgenConfig{
+			nodes: *clusterNodes, ringSeed: *ringSeed,
+			shareK: *shareK, shareN: *shareN, hedge: *hedge,
+			workers: *workers, seed: *seed, secretHex: *secretHex,
+			spec: api.SpecRequest{Alpha: *alpha, Beta: *beta, LAB: *lab, KFrac: *kfrac, ContinuousT: true},
+		})
 	}
 
 	client, err := api.NewClient(*base, api.WithTimeout(30*time.Second))
@@ -328,4 +370,134 @@ func runLoadgen(args []string) error {
 	}
 	fmt.Println("within designed window: budget invariant held under concurrency")
 	return nil
+}
+
+// clusterLoadgenConfig carries the -cluster mode parameters.
+type clusterLoadgenConfig struct {
+	nodes     string
+	ringSeed  uint64
+	shareK    int
+	shareN    int
+	hedge     time.Duration
+	workers   int
+	seed      uint64
+	secretHex string
+	spec      api.SpecRequest
+}
+
+// runClusterLoadgen provisions one k-of-n cluster architecture across
+// the ring and races workers against it until the global lockout,
+// verifying the cluster-wide budget ceiling with no coordinator on the
+// read path: reveals ≤ ⌈n·M/k⌉ where M is one share's hardware budget
+// (+ the per-copy overrun slack).
+func runClusterLoadgen(cfg clusterLoadgenConfig) error {
+	members, err := parseNodeList(cfg.nodes)
+	if err != nil {
+		return err
+	}
+	if cfg.shareN == 0 {
+		cfg.shareN = len(members)
+	}
+	opts := []api.ClusterOption{api.WithClusterNodeOptions(api.WithTimeout(30 * time.Second))}
+	if cfg.hedge > 0 {
+		opts = append(opts, api.WithHedgeDelay(cfg.hedge))
+	}
+	cc, err := api.NewClusterClient(members, cfg.ringSeed, opts...)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	prov, err := cc.Provision(ctx, api.ClusterProvision{
+		Spec: cfg.spec, SecretHex: cfg.secretHex, Seed: cfg.seed,
+		ShareK: cfg.shareK, ShareN: cfg.shareN,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster provision: %w", err)
+	}
+	fmt.Printf("provisioned %s: %d-of-%d shares on %v (ring seed %d)\n",
+		prov.ClusterID, prov.ShareK, prov.ShareN, prov.Owners, cfg.ringSeed)
+
+	// One share's design gives the per-share hardware budget M; the
+	// cluster-wide ceiling is ⌈n·M/k⌉ since every reveal consumes at
+	// least k share successes from a pool of n·M (plus per-copy overrun
+	// slack, same convention as the single-node window check).
+	sts, err := cc.ShareStatuses(ctx, prov.ClusterID)
+	if err != nil {
+		return err
+	}
+	var design *api.DesignResponse
+	for _, st := range sts {
+		if st != nil {
+			design = &st.Design
+			break
+		}
+	}
+	if design == nil {
+		return fmt.Errorf("no share owner reachable for status")
+	}
+	perShare := design.MaxAllowedAccesses + 2*design.Copies
+	ceiling := (cfg.shareN*perShare + cfg.shareK - 1) / cfg.shareK
+	fmt.Printf("per-share budget %d, global ceiling %d reveals\n", perShare, ceiling)
+
+	var reveals, transients, decodeFails atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				res, err := cc.Access(ctx, prov.ClusterID, api.AccessRequest{})
+				switch {
+				case err == nil:
+					if res.SecretHex != cfg.secretHex {
+						fmt.Fprintf(os.Stderr, "lemonaded: WRONG SECRET reconstructed\n")
+						return
+					}
+					reveals.Add(1)
+				case api.IsTransient(err):
+					transients.Add(1)
+				case api.IsExhausted(err):
+					return
+				default:
+					decodeFails.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("global lockout after %d reveals (%d transients, %d decode failures) across %d workers in %v\n",
+		reveals.Load(), transients.Load(), decodeFails.Load(), cfg.workers, elapsed.Round(time.Millisecond))
+	if n := int(reveals.Load()); n > ceiling {
+		return fmt.Errorf("GLOBAL BUDGET OVERRUN: %d reveals > ceiling %d", n, ceiling)
+	} else if n == 0 {
+		return fmt.Errorf("no reveals before lockout — cluster misconfigured?")
+	}
+	fmt.Println("within global ceiling: cluster budget invariant held with no coordinator")
+	return nil
+}
+
+// parseNodeList parses "name=url,name=url,..." cluster membership.
+func parseNodeList(s string) (map[string]string, error) {
+	members := map[string]string{}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(kv, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad ring member %q (want name=url)", kv)
+		}
+		if _, dup := members[name]; dup {
+			return nil, fmt.Errorf("duplicate ring member %q", name)
+		}
+		members[name] = url
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("empty ring member list")
+	}
+	return members, nil
 }

@@ -1,0 +1,104 @@
+package cluster_test
+
+import (
+	"strings"
+	"testing"
+
+	"lemonade/internal/cluster"
+)
+
+func TestShareIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		clusterID string
+		idx       int
+	}{
+		{"arch-000001", 0},
+		{"arch-000042", 7},
+		{"arch-999999", 254},
+		{"weird@s5name", 3}, // '@s' inside the cluster ID must survive (LastIndex)
+	}
+	for _, tc := range cases {
+		id := cluster.ShareID(tc.clusterID, tc.idx)
+		gotCluster, gotIdx, ok := cluster.ParseShareID(id)
+		if !ok || gotCluster != tc.clusterID || gotIdx != tc.idx {
+			t.Fatalf("ParseShareID(ShareID(%q, %d)) = (%q, %d, %v)", tc.clusterID, tc.idx, gotCluster, gotIdx, ok)
+		}
+		if strings.ContainsAny(id, "#?/% ") {
+			t.Fatalf("share ID %q is not URL-path-safe", id)
+		}
+	}
+	for _, bad := range []string{"arch-000001", "@s1", "a@s", "a@sx", "a@s-1", ""} {
+		if _, _, ok := cluster.ParseShareID(bad); ok {
+			t.Fatalf("ParseShareID(%q) accepted a non-share ID", bad)
+		}
+	}
+}
+
+func TestEncodeDecodeShare(t *testing.T) {
+	payload := cluster.EncodeShare(7, []byte{1, 2, 3})
+	x, data, err := cluster.DecodeShare(payload)
+	if err != nil || x != 7 || len(data) != 3 || data[0] != 1 || data[2] != 3 {
+		t.Fatalf("round trip = (%d, %v, %v)", x, data, err)
+	}
+	for _, short := range [][]byte{nil, {}, {9}} {
+		if _, _, err := cluster.DecodeShare(short); err == nil {
+			t.Fatalf("DecodeShare(%v) accepted a truncated payload", short)
+		}
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	urls := map[string]string{"a": "http://a", "b": "http://b", "c": "http://c"}
+	if _, err := cluster.NewNode(cluster.Config{Self: "zz", Nodes: urls, Seed: 1}); err == nil {
+		t.Fatal("self outside the ring accepted")
+	}
+	if _, err := cluster.NewNode(cluster.Config{Nodes: map[string]string{"a": ""}, Seed: 1}); err == nil {
+		t.Fatal("node without URL accepted")
+	}
+	n, err := cluster.NewNode(cluster.Config{Self: "a", Nodes: urls, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Self() != "a" || n.URL("b") != "http://b" || n.URL("zz") != "" {
+		t.Fatalf("identity accessors wrong: self=%q url(b)=%q", n.Self(), n.URL("b"))
+	}
+	// A pure client (empty Self) owns nothing but may still place.
+	c, err := cluster.NewNode(cluster.Config{Nodes: urls, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owns, err := c.Owns("arch-000001", 0, 3)
+	if err != nil || owns {
+		t.Fatalf("pure client Owns = (%v, %v), want (false, nil)", owns, err)
+	}
+}
+
+func TestOwnsMatchesRing(t *testing.T) {
+	urls := map[string]string{"a": "http://a", "b": "http://b", "c": "http://c"}
+	const total = 3
+	for _, self := range []string{"a", "b", "c"} {
+		n, err := cluster.NewNode(cluster.Config{Self: self, Nodes: urls, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners, err := n.Ring().Owners("arch-000007", total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx := 0; idx < total; idx++ {
+			owns, err := n.Owns("arch-000007", idx, total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if owns != (owners[idx] == self) {
+				t.Fatalf("self %s idx %d: Owns = %v, owners = %v", self, idx, owns, owners)
+			}
+		}
+		if _, err := n.Owns("arch-000007", total, total); err == nil {
+			t.Fatal("out-of-range share index accepted")
+		}
+		if _, err := n.Owns("arch-000007", 0, 99); err == nil {
+			t.Fatal("share_total beyond ring size accepted")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lemonade/internal/cluster"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenPlacement is the checked-in form of the seed-42 placement
+// table. Any change to the ring's hash, tie-break, or sort rule shows
+// up as a diff here — and a diff means every existing cluster's shares
+// are suddenly "misrouted", so it must be a conscious, migration-bearing
+// decision, not a refactor accident.
+type goldenPlacement struct {
+	Seed        uint64              `json:"seed"`
+	Nodes       []string            `json:"nodes"`
+	Owners      int                 `json:"owners"`
+	Assignments map[string][]string `json:"assignments"`
+}
+
+// TestGoldenRingPlacement pins the placement of the first 24 minted
+// arch IDs on the canonical 5-node seed-42 ring against
+// testdata/ring_seed42.json. Regenerate with -update (and justify the
+// diff in review).
+func TestGoldenRingPlacement(t *testing.T) {
+	const seed, owners, keys = 42, 3, 24
+	nodes := fiveNodes()
+	ring, err := cluster.NewRing(nodes, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenPlacement{
+		Seed:        seed,
+		Nodes:       ring.Nodes(),
+		Owners:      owners,
+		Assignments: make(map[string][]string, keys),
+	}
+	for i := 1; i <= keys; i++ {
+		key := fmt.Sprintf("arch-%06d", i)
+		own, err := ring.Owners(key, owners)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Assignments[key] = own
+	}
+
+	path := filepath.Join("testdata", "ring_seed42.json")
+	if *update {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	var want goldenPlacement
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("golden file is not JSON: %v", err)
+	}
+	if want.Seed != got.Seed || want.Owners != got.Owners {
+		t.Fatalf("golden header mismatch: got seed=%d owners=%d, want seed=%d owners=%d",
+			got.Seed, got.Owners, want.Seed, want.Owners)
+	}
+	if len(want.Assignments) != len(got.Assignments) {
+		t.Fatalf("golden has %d assignments, computed %d", len(want.Assignments), len(got.Assignments))
+	}
+	for key, w := range want.Assignments {
+		g, ok := got.Assignments[key]
+		if !ok {
+			t.Fatalf("golden key %s not computed", key)
+		}
+		if len(g) != len(w) {
+			t.Fatalf("%s: got %v, want %v", key, g, w)
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("%s: placement drifted: got %v, want %v — changing the hash strands every deployed share", key, g, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"lemonade/api"
+	"lemonade/internal/cluster"
+	"lemonade/internal/core"
+	"lemonade/internal/dse"
+	"lemonade/internal/rng"
+)
+
+// TestClusterErrorTaxonomy is the cluster-level mirror of
+// internal/server's taxonomy test: one failure mode per row, each
+// staged end-to-end against a live 3-node cluster, asserting the
+// status code, the taxonomy label in the message, and retryability.
+// The rows run in order because the last one kills a node.
+func TestClusterErrorTaxonomy(t *testing.T) {
+	h := startCluster(t, t.TempDir(), 3, 42, nil)
+	cc := h.client(t)
+
+	provision := func(t *testing.T) *api.ClusterProvisionResult {
+		t.Helper()
+		prov, err := cc.Provision(context.Background(), api.ClusterProvision{
+			Spec: clusterSpec, SecretHex: clusterSecretHex, Seed: 7, ShareK: 3, ShareN: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prov
+	}
+
+	rows := []struct {
+		name      string
+		stage     func(t *testing.T, prov *api.ClusterProvisionResult)
+		status    int
+		label     string
+		retryable bool
+	}{
+		{
+			// An owner answers but cannot serve its share (here: the share
+			// record is simply gone — a 404, standing in for degraded
+			// stores, shedding, replays). Not permanent: retry.
+			name: "share refused -> 503 quorum unreachable",
+			stage: func(t *testing.T, prov *api.ClusterProvisionResult) {
+				n := h.nodes[prov.Owners[1]]
+				if !n.reg.Remove(cluster.ShareID(prov.ClusterID, 1)) {
+					t.Fatal("share to remove not found")
+				}
+			},
+			status:    http.StatusServiceUnavailable,
+			label:     "quorum unreachable",
+			retryable: true,
+		},
+		{
+			// An owner conducts but returns a share that cannot combine
+			// (wrong width): permanent per-share damage, the client must
+			// say "decode failed", not retry forever.
+			name: "garbled share -> 422 decode failed",
+			stage: func(t *testing.T, prov *api.ClusterProvisionResult) {
+				n := h.nodes[prov.Owners[2]]
+				id := cluster.ShareID(prov.ClusterID, 2)
+				if !n.reg.Remove(id) {
+					t.Fatal("share to garble not found")
+				}
+				d, err := dse.Explore(shareSpec())
+				if err != nil {
+					t.Fatal(err)
+				}
+				garbled := cluster.EncodeShare(3, []byte{0xde, 0xad}) // 2 bytes, secret is 16
+				arch, err := core.Build(d, garbled, rng.New(99))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := n.reg.ProvisionShare(id, arch, 99, garbled); err != nil {
+					t.Fatal(err)
+				}
+			},
+			status: http.StatusUnprocessableEntity,
+			label:  "decode failed",
+		},
+		{
+			// Every share's hardware budget is spent: the cluster-level
+			// lockout. Permanent — 410, never retryable.
+			name: "all shares spent -> 410 budget exhausted",
+			stage: func(t *testing.T, prov *api.ClusterProvisionResult) {
+				for i := 0; i < shareBudget(t)*4; i++ {
+					if _, err := cc.Access(context.Background(), prov.ClusterID, api.AccessRequest{}); api.IsExhausted(err) {
+						return
+					}
+				}
+				t.Fatal("never reached lockout")
+			},
+			status: http.StatusGone,
+			label:  "budget exhausted",
+		},
+		{
+			// A node is unreachable at the transport level: classically
+			// transient, and distinct from "reachable but refusing".
+			name: "node unreachable -> 503 owner down",
+			stage: func(t *testing.T, prov *api.ClusterProvisionResult) {
+				h.nodes[prov.Owners[0]].kill()
+			},
+			status:    http.StatusServiceUnavailable,
+			label:     "owner down",
+			retryable: true,
+		},
+	}
+
+	for _, row := range rows {
+		t.Run(row.name, func(t *testing.T) {
+			prov := provision(t)
+			row.stage(t, prov)
+			_, err := cc.Access(context.Background(), prov.ClusterID, api.AccessRequest{})
+			if err == nil {
+				t.Fatal("staged failure still revealed the secret")
+			}
+			var ae *api.Error
+			if !errors.As(err, &ae) {
+				t.Fatalf("error %v is not an *api.Error", err)
+			}
+			if ae.StatusCode != row.status {
+				t.Fatalf("status = %d, want %d (%v)", ae.StatusCode, row.status, err)
+			}
+			if !strings.Contains(ae.Message, row.label) {
+				t.Fatalf("message %q missing taxonomy label %q", ae.Message, row.label)
+			}
+			if ae.Retry != row.retryable {
+				t.Fatalf("retryable = %v, want %v (%v)", ae.Retry, row.retryable, err)
+			}
+		})
+	}
+}

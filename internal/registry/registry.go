@@ -68,6 +68,11 @@ const EventRingSize = 128
 // implementation.
 var ErrStore = errors.New("registry: durable store append failed")
 
+// ErrExists reports a caller-named provision (ProvisionShare) whose ID is
+// already registered. Minted IDs never collide; only the cluster share
+// path, where the ID is derived from placement, can race itself.
+var ErrExists = errors.New("registry: id already provisioned")
+
 // ProvisionRecord is the durable description of one provisioned
 // architecture: everything needed to rebuild the identical simulated
 // hardware (core.Build is deterministic in these three inputs).
@@ -467,6 +472,14 @@ type Registry struct {
 	seq    atomic.Uint64
 	store  Store
 
+	// provMu serializes caller-named provisions (ProvisionShare) across
+	// the exists-check, the durable append and the insert: without it two
+	// racing provisions of the same share ID could both log a
+	// ProvisionRecord, and recovery — which refuses duplicate IDs — would
+	// fail on a log the live process accepted. Minted-ID provisions don't
+	// take it; their IDs are unique by construction.
+	provMu sync.Mutex
+
 	remapMu  sync.RWMutex
 	remapObs func(RemapEvent) // guarded by remapMu
 }
@@ -532,6 +545,32 @@ func idNum(id string) (uint64, bool) {
 // IDs are not.
 func (r *Registry) Provision(arch *core.Architecture, seed uint64, secret []byte) (*Entry, error) {
 	id := fmt.Sprintf("arch-%06d", r.seq.Add(1))
+	return r.provisionLogged(id, arch, seed, secret)
+}
+
+// ProvisionShare durably records then stores an architecture under a
+// caller-supplied ID — the cluster share path, where the ID encodes the
+// placement (cluster.ShareID) instead of being minted here. IDs outside
+// the minted arch-%06d namespace leave the ID counter untouched; a
+// duplicate ID fails with ErrExists before anything is logged.
+func (r *Registry) ProvisionShare(id string, arch *core.Architecture, seed uint64, secret []byte) (*Entry, error) {
+	if id == "" {
+		return nil, fmt.Errorf("registry: empty share id")
+	}
+	r.provMu.Lock()
+	defer r.provMu.Unlock()
+	if _, ok := r.Get(id); ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	return r.provisionLogged(id, arch, seed, secret)
+}
+
+// provisionLogged is the shared log-ahead tail of Provision and
+// ProvisionShare: append the provisioning record, cross the commit
+// barrier, then make the architecture visible. If staging or the commit
+// fails, the architecture is not registered (fail closed); a burned
+// minted ID leaves an acceptable gap in the sequence.
+func (r *Registry) provisionLogged(id string, arch *core.Architecture, seed uint64, secret []byte) (*Entry, error) {
 	dup := make([]byte, len(secret))
 	copy(dup, secret)
 	rec := &ProvisionRecord{ID: id, Seed: seed, Secret: dup, Design: arch.Design()}

@@ -1,0 +1,91 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lemonade/internal/core"
+)
+
+// TestProvisionShare covers the share-scoped provisioning path: caller
+// IDs outside the minted namespace, duplicate refusal, and independence
+// from the mint counter.
+func TestProvisionShare(t *testing.T) {
+	r := New(0)
+
+	e, err := r.ProvisionShare("arch-000007@s2", buildArch(t, 1), 1, []byte("share"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "arch-000007@s2" {
+		t.Fatalf("share entry ID = %q", e.ID)
+	}
+	if got, ok := r.Get("arch-000007@s2"); !ok || got != e {
+		t.Fatal("share entry not retrievable under its ID")
+	}
+
+	// Duplicates are refused with the typed sentinel (a second WAL
+	// provision record for one ID would poison recovery).
+	if _, err := r.ProvisionShare("arch-000007@s2", buildArch(t, 2), 2, []byte("other")); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate ProvisionShare err = %v, want ErrExists", err)
+	}
+	if got, _ := r.Get("arch-000007@s2"); got != e {
+		t.Fatal("losing duplicate displaced the original entry")
+	}
+
+	// An empty ID is a caller bug, not a mint request.
+	if _, err := r.ProvisionShare("", buildArch(t, 3), 3, []byte("x")); err == nil {
+		t.Fatal("empty share ID accepted")
+	}
+
+	// Share provisioning must not advance the mint counter: the next
+	// minted architecture is still arch-000001.
+	minted := mustProvision(t, r, buildArch(t, 4), 4)
+	if minted.ID != "arch-000001" {
+		t.Fatalf("mint after share provision = %q, want arch-000001", minted.ID)
+	}
+}
+
+// TestProvisionShareConcurrentDuplicates races N goroutines onto one
+// share ID: exactly one must win, the rest must all see ErrExists, and
+// the registry must hold exactly one entry afterward.
+func TestProvisionShareConcurrentDuplicates(t *testing.T) {
+	r := New(0)
+	const racers = 16
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		wins   int
+		exists int
+	)
+	built := make([]*core.Architecture, racers) // build outside the race; Build is the slow part
+	for i := range built {
+		built[i] = buildArch(t, uint64(i+1))
+	}
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := r.ProvisionShare("arch-000001@s0", built[i], uint64(i), []byte(fmt.Sprintf("s%d", i)))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				wins++
+			case errors.Is(err, ErrExists):
+				exists++
+			default:
+				t.Errorf("racer %d: unexpected error %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if wins != 1 || exists != racers-1 {
+		t.Fatalf("wins=%d exists=%d, want exactly 1 winner of %d", wins, exists, racers)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("registry holds %d entries, want 1", r.Len())
+	}
+}

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"lemonade/internal/cluster"
+)
+
+// clusterTestServer mounts a Server with a 3-node ring identity. Only
+// this node is real — peer URLs point nowhere, which is fine because
+// the share endpoints never call out (no read-path coordinator).
+func clusterTestServer(t *testing.T, self string) (*Server, *httptest.Server) {
+	t.Helper()
+	node, err := cluster.NewNode(cluster.Config{
+		Self: self,
+		Nodes: map[string]string{
+			"n0": "http://unused-n0", "n1": "http://unused-n1", "n2": "http://unused-n2",
+		},
+		Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks atomic.Int64
+	s := New(Config{NowNanos: func() int64 { return ticks.Add(1_000_000) }, Cluster: node})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// shareOn returns which share index of clusterID the given node fronts
+// on the canonical test ring, or -1 if it owns none of the n shares.
+func shareOn(t *testing.T, self, clusterID string, n int) int {
+	t.Helper()
+	ring, err := cluster.NewRing([]string{"n0", "n1", "n2"}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners, err := ring.Owners(clusterID, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range owners {
+		if o == self {
+			return i
+		}
+	}
+	return -1
+}
+
+func clusterShareReq(clusterID string, idx int) ClusterShareRequest {
+	return ClusterShareRequest{
+		ClusterID:  clusterID,
+		ShareIndex: idx,
+		ShareTotal: 3,
+		Spec:       goldenSpec,
+		ShareHex:   goldenSecretHex, // any well-formed payload; servers don't decode shares
+		Seed:       7,
+	}
+}
+
+// TestClusterShareRoundTrip provisions this node's share of a 3-of-3
+// split and accesses it until lockout: the per-share architecture is an
+// ordinary limited-use architecture under a share-scoped ID.
+func TestClusterShareRoundTrip(t *testing.T) {
+	const self, clusterID = "n0", "arch-000001"
+	_, ts := clusterTestServer(t, self)
+	idx := shareOn(t, self, clusterID, 3)
+	if idx < 0 {
+		t.Fatalf("node %s owns no share of %s on the test ring", self, clusterID)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/cluster/shares", clusterShareReq(clusterID, idx))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("provision: %d %s", resp.StatusCode, body)
+	}
+	var pr ClusterShareResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.ID != cluster.ShareID(clusterID, idx) || pr.Node != self {
+		t.Fatalf("share response = %+v", pr)
+	}
+
+	reveals := 0
+	for i := 0; i < pr.Design.MaxAllowedAccesses*4; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/cluster/access", ClusterAccessRequest{
+			ClusterID: clusterID, ShareIndex: idx, ShareTotal: 3,
+		})
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var ar ClusterAccessResponse
+			if err := json.Unmarshal(body, &ar); err != nil {
+				t.Fatal(err)
+			}
+			if ar.ShareHex != goldenSecretHex || ar.Node != self {
+				t.Fatalf("access returned %+v", ar)
+			}
+			reveals++
+		case http.StatusGone:
+			if reveals == 0 {
+				t.Fatal("share exhausted before serving once")
+			}
+			return
+		case http.StatusServiceUnavailable, http.StatusUnprocessableEntity:
+			// transient hardware noise / decode failure: no reveal, continue
+		default:
+			t.Fatalf("access: %d %s", resp.StatusCode, body)
+		}
+	}
+	t.Fatal("share never locked out")
+}
+
+// TestClusterShareMisroute pins the 421 guard: a share posted to (or
+// read from) a node the ring does not name as its owner is refused as
+// misdirected — ring disagreement must fail loudly, not scatter shares.
+func TestClusterShareMisroute(t *testing.T) {
+	const self, clusterID = "n0", "arch-000001"
+	_, ts := clusterTestServer(t, self)
+	owned := shareOn(t, self, clusterID, 3)
+	wrong := (owned + 1) % 3 // some index this node does not front
+
+	resp, body := postJSON(t, ts.URL+"/v1/cluster/shares", clusterShareReq(clusterID, wrong))
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("misrouted provision: %d %s, want 421", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/cluster/access", ClusterAccessRequest{
+		ClusterID: clusterID, ShareIndex: wrong, ShareTotal: 3,
+	})
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("misrouted access: %d %s, want 421", resp.StatusCode, body)
+	}
+}
+
+// TestClusterShareDuplicate pins the 409 guard: re-provisioning an
+// existing share ID must be refused (a second WAL provision record for
+// the same ID would poison recovery).
+func TestClusterShareDuplicate(t *testing.T) {
+	const self, clusterID = "n0", "arch-000001"
+	_, ts := clusterTestServer(t, self)
+	idx := shareOn(t, self, clusterID, 3)
+
+	if resp, body := postJSON(t, ts.URL+"/v1/cluster/shares", clusterShareReq(clusterID, idx)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first provision: %d %s", resp.StatusCode, body)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/cluster/shares", clusterShareReq(clusterID, idx))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate provision: %d %s, want 409", resp.StatusCode, body)
+	}
+}
+
+// TestClusterAccessUnknownShare: accessing a share that was never
+// provisioned here is 404 — the placement is right, the share is not.
+func TestClusterAccessUnknownShare(t *testing.T) {
+	const self, clusterID = "n0", "arch-000001"
+	_, ts := clusterTestServer(t, self)
+	idx := shareOn(t, self, clusterID, 3)
+	resp, body := postJSON(t, ts.URL+"/v1/cluster/access", ClusterAccessRequest{
+		ClusterID: clusterID, ShareIndex: idx, ShareTotal: 3,
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown share access: %d %s, want 404", resp.StatusCode, body)
+	}
+}
+
+// TestClusterShareValidation sweeps the 400 guards on both endpoints.
+func TestClusterShareValidation(t *testing.T) {
+	const self = "n0"
+	_, ts := clusterTestServer(t, self)
+	bad := []ClusterShareRequest{
+		func() ClusterShareRequest { r := clusterShareReq("", 0); return r }(),                               // empty cluster ID
+		func() ClusterShareRequest { r := clusterShareReq("arch-000001", 0); r.ShareTotal = 0; return r }(),  // zero total
+		func() ClusterShareRequest { r := clusterShareReq("arch-000001", 0); r.ShareTotal = 99; return r }(), // total > ring
+		func() ClusterShareRequest { r := clusterShareReq("arch-000001", 3); return r }(),                    // index out of range
+		func() ClusterShareRequest { r := clusterShareReq("arch-000001", -1); return r }(),                   // negative index
+	}
+	for i, req := range bad {
+		if resp, body := postJSON(t, ts.URL+"/v1/cluster/shares", req); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad request %d: %d %s, want 400", i, resp.StatusCode, body)
+		}
+	}
+	// Well-placed but garbage payload: hex error is 400 too.
+	idx := shareOn(t, self, "arch-000001", 3)
+	r := clusterShareReq("arch-000001", idx)
+	r.ShareHex = "zz"
+	if resp, body := postJSON(t, ts.URL+"/v1/cluster/shares", r); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage share_hex: %d %s, want 400", resp.StatusCode, body)
+	}
+}
+
+// TestClusterRingEndpoint: every node publishes its identity and
+// placement inputs so operators can diff rings across a fleet.
+func TestClusterRingEndpoint(t *testing.T) {
+	_, ts := clusterTestServer(t, "n1")
+	resp, body := getJSON(t, ts.URL+"/v1/cluster/ring")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ring: %d %s", resp.StatusCode, body)
+	}
+	var rr RingResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Self != "n1" || rr.Seed != 42 || len(rr.Nodes) != 3 {
+		t.Fatalf("ring response = %+v", rr)
+	}
+}
+
+// TestClusterRoutesAbsentOutsideClusterMode: a single-node lemonaded
+// must not expose cluster endpoints at all.
+func TestClusterRoutesAbsentOutsideClusterMode(t *testing.T) {
+	_, ts := testServer(t)
+	for _, probe := range []struct{ method, path string }{
+		{"POST", "/v1/cluster/shares"},
+		{"POST", "/v1/cluster/access"},
+		{"GET", "/v1/cluster/ring"},
+	} {
+		req, err := http.NewRequest(probe.method, ts.URL+probe.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s on a non-cluster server: %d, want 404", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+}
+
+// hexLen guards the test fixture itself: the golden payload must be
+// decodable or the roundtrip test tests nothing.
+func TestClusterFixtureSane(t *testing.T) {
+	if _, err := hex.DecodeString(goldenSecretHex); err != nil {
+		t.Fatal(err)
+	}
+	if shareOn(t, "n0", "arch-000001", 3) < 0 {
+		t.Fatal("n0 owns nothing of arch-000001; pick a different fixture ID")
+	}
+}

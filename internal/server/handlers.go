@@ -196,47 +196,65 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	if req.TempCelsius != 0 {
 		env = nems.Environment{TempCelsius: req.TempCelsius}
 	}
-	// The resilience envelope: a per-request deadline bounds how long a
-	// slow store can pin this handler, and the shedder bounds how many
-	// handlers a slow store can pin at once. Both refuse before any
-	// wearout is consumed, so shedding is always safe to retry.
-	ctx := r.Context()
+	ctx, done, ok := s.accessEnvelope(w, r)
+	if !ok {
+		return
+	}
+	defer done()
+	secret, err := e.Access(ctx, env)
+	total, okCount := e.Arch.Accesses()
+	s.countAccessOutcome(err)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, AccessResponse{
+		SecretHex:  hex.EncodeToString(secret),
+		Attempts:   total,
+		Successful: okCount,
+		Copy:       e.Arch.CurrentCopy(),
+	})
+}
+
+// accessEnvelope applies the access path's resilience envelope: a
+// per-request deadline bounds how long a slow store can pin this
+// handler, and the shedder bounds how many handlers a slow store can
+// pin at once. Both refuse before any wearout is consumed, so shedding
+// is always safe to retry. On ok the caller must defer done(); on !ok
+// the refusal has already been written.
+func (s *Server) accessEnvelope(w http.ResponseWriter, r *http.Request) (ctx context.Context, done func(), ok bool) {
+	ctx = r.Context()
+	cancel := context.CancelFunc(func() {})
 	if s.accessTimeout > 0 {
-		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.accessTimeout)
-		defer cancel()
 	}
 	if s.shedder != nil {
 		release, err := s.shedder.Acquire(ctx)
 		if err != nil {
+			cancel()
 			s.writeError(w, err)
-			return
+			return nil, nil, false
 		}
-		defer release()
+		return ctx, func() { release(); cancel() }, true
 	}
-	secret, err := e.Access(ctx, env)
-	total, okCount := e.Arch.Accesses()
+	return ctx, cancel, true
+}
+
+// countAccessOutcome bumps the per-outcome access counters (and the
+// headline lockout counter) for one completed hardware access. Store
+// failures and context cancellations consume no wearout and count
+// nowhere.
+func (s *Server) countAccessOutcome(err error) {
 	switch {
 	case err == nil:
 		s.mAccessSuccess.Inc()
-		s.writeJSON(w, http.StatusOK, AccessResponse{
-			SecretHex:  hex.EncodeToString(secret),
-			Attempts:   total,
-			Successful: okCount,
-			Copy:       e.Arch.CurrentCopy(),
-		})
 	case errors.Is(err, core.ErrExhausted):
 		s.mAccessExh.Inc()
 		s.mLockouts.Inc()
-		s.writeError(w, err)
 	case errors.Is(err, core.ErrDecodeFailed):
 		s.mAccessDecode.Inc()
-		s.writeError(w, err)
 	case errors.Is(err, core.ErrTransient):
 		s.mAccessTrans.Inc()
-		s.writeError(w, err)
-	default: // store failure or context cancellation — no wearout consumed
-		s.writeError(w, err)
 	}
 }
 
@@ -289,20 +307,11 @@ func (s *Server) handleStress(w http.ResponseWriter, r *http.Request) {
 	if req.TempCelsius != 0 {
 		env = nems.Environment{TempCelsius: req.TempCelsius}
 	}
-	ctx := r.Context()
-	if s.accessTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.accessTimeout)
-		defer cancel()
+	ctx, done, ok := s.accessEnvelope(w, r)
+	if !ok {
+		return
 	}
-	if s.shedder != nil {
-		release, err := s.shedder.Acquire(ctx)
-		if err != nil {
-			s.writeError(w, err)
-			return
-		}
-		defer release()
-	}
+	defer done()
 	conducted, err := e.Stress(ctx, env, req.Indices, pulses)
 	if err != nil {
 		s.writeError(w, err)

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"lemonade/internal/cache"
+	"lemonade/internal/cluster"
 	"lemonade/internal/dse"
 	"lemonade/internal/metrics"
 	"lemonade/internal/registry"
@@ -79,6 +80,11 @@ type Config struct {
 	// access path (queue wait included) so a slow store bounds latency
 	// instead of pinning handlers forever.
 	AccessTimeout time.Duration
+	// Cluster, when non-nil, is this node's cluster identity — its name,
+	// the placement ring, and the peer table. Setting it mounts the
+	// cluster share endpoints (provision/access/ring); nil serves a
+	// single-node lemonade with those routes absent.
+	Cluster *cluster.Node
 }
 
 // Server is the lemonaded HTTP service. Create with New; it is an
@@ -94,6 +100,7 @@ type Server struct {
 	breaker       *resilience.Breaker
 	shedder       *resilience.Shedder
 	accessTimeout time.Duration
+	cluster       *cluster.Node // nil outside cluster mode
 
 	// Access outcomes, by terminal classification of one hardware access.
 	mAccessSuccess *metrics.Counter
@@ -151,6 +158,7 @@ func New(cfg Config) *Server {
 		breaker:       cfg.Breaker,
 		shedder:       cfg.Shedder,
 		accessTimeout: cfg.AccessTimeout,
+		cluster:       cfg.Cluster,
 
 		mAccessSuccess:  m.Counter("lemonaded_accesses_total", `outcome="success"`, "hardware accesses by outcome"),
 		mAccessTrans:    m.Counter("lemonaded_accesses_total", `outcome="transient"`, "hardware accesses by outcome"),
@@ -192,6 +200,11 @@ func New(cfg Config) *Server {
 	s.route("GET /v1/architectures/{id}/events", "events", s.handleEvents)
 	s.route("POST /v1/dse/explore", "explore", s.handleExplore)
 	s.route("POST /v1/dse/frontier", "frontier", s.handleFrontier)
+	if s.cluster != nil {
+		s.route("POST /v1/cluster/shares", "cluster_share", s.handleClusterShare)
+		s.route("POST /v1/cluster/access", "cluster_access", s.handleClusterAccess)
+		s.route("GET /v1/cluster/ring", "cluster_ring", s.handleClusterRing)
+	}
 	s.mux.Handle("GET /metrics", m)
 	// healthz reports "degraded" with 200 while the breaker is open —
 	// the process is alive and serving reads, and an orchestrator that

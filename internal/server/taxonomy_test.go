@@ -85,6 +85,11 @@ func TestErrorTaxonomy(t *testing.T) {
 			status: http.StatusConflict,
 		},
 		{
+			name:   "duplicate share provision -> 409 Conflict",
+			err:    fmt.Errorf("%w: %q", registry.ErrExists, "arch-000001@s0"),
+			status: http.StatusConflict,
+		},
+		{
 			name:   "breaker open -> 503 with cooldown Retry-After",
 			err:    fmt.Errorf("appending: %w", resilience.ErrOpen),
 			status: http.StatusServiceUnavailable, retry: true, retryAfter: "*",

@@ -39,6 +39,12 @@ type (
 	ExploreResponse     = api.ExploreResponse
 	FrontierResponse    = api.FrontierResponse
 	ErrorResponse       = api.ErrorResponse
+
+	ClusterShareRequest   = api.ClusterShareRequest
+	ClusterShareResponse  = api.ClusterShareResponse
+	ClusterAccessRequest  = api.ClusterAccessRequest
+	ClusterAccessResponse = api.ClusterAccessResponse
+	RingResponse          = api.RingResponse
 )
 
 // specFromWire converts the wire form to a validated dse.Spec, applying
@@ -123,6 +129,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 //	core.ErrExhausted   → 410 Gone — the budget is spent, forever
 //	core.ErrDecodeFailed→ 422 — conducted but unreconstructable
 //	dse.ErrInfeasible   → 409 — spec conflicts with device physics
+//	registry.ErrExists  → 409 — share ID already provisioned
 //	resilience.ErrOpen  → 503 + Retry-After — breaker open, degraded mode
 //	resilience.ErrShed  → 503 + Retry-After — access queue full, shed
 //	registry.ErrStore   → 500 — durability failed, access refused closed
@@ -140,6 +147,8 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, core.ErrDecodeFailed):
 		s.writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
 	case errors.Is(err, dse.ErrInfeasible):
+		s.writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, registry.ErrExists):
 		s.writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
 	// The resilience refusals come before ErrStore: an append the breaker
 	// refused wraps both sentinels, and it is a fast, retryable 503 — not

@@ -24,6 +24,13 @@
 # response ever carries key bytes, total reveals stay within the design
 # budget, and the wear-leveling metrics are live in /metrics.
 #
+# `chaos.sh cluster` runs the CLUSTER phase: three durable nodes form a
+# consistent-hash ring, a 2-of-3 share-split architecture is driven to
+# the global lockout while one whole node is killed dead mid-load, and
+# the reveals must stay within the cluster-wide ceiling ⌈n·M/k⌉ with no
+# coordinator anywhere. The killed node then restarts on its battered
+# directory and the cluster-level lockout must still hold.
+#
 # Run from the repo root; CI runs this exact script.
 set -euo pipefail
 
@@ -31,7 +38,9 @@ mode="${1:-chaos}"
 
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
-trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+pid=""
+allpids=""
+trap 'kill -9 $allpids $pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/lemonaded" ./cmd/lemonaded
 
@@ -156,6 +165,84 @@ if [ "$mode" = attack ]; then
         echo "chaos: seed $seed attack PASS"
     done
     echo "chaos: attack PASS"
+    exit 0
+fi
+
+if [ "$mode" = cluster ]; then
+    ring="n0=ring,n1=ring,n2=ring" # nodes only need names+seed; they never dial peers
+    # start_node NAME — boot one durable cluster member; appends to $allpids
+    # and records its base URL in $workdir/url-NAME.
+    start_node() {
+        local name=$1
+        rm -f "$workdir/addr-$name"
+        "$workdir/lemonaded" serve -addr 127.0.0.1:0 -addr-file "$workdir/addr-$name" \
+            -data-dir "$workdir/cluster-$name" -snapshot-records 8 \
+            -node-name "$name" -ring-nodes "$ring" -ring-seed 42 \
+            >>"$workdir/log-$name" 2>&1 &
+        eval "pid_$name=$!"
+        allpids="$allpids $!"
+        for _ in $(seq 1 50); do
+            [ -s "$workdir/addr-$name" ] && break
+            sleep 0.1
+        done
+        [ -s "$workdir/addr-$name" ] || { echo "chaos: node $name never bound"; tail "$workdir/log-$name"; exit 1; }
+        echo "http://$(cat "$workdir/addr-$name")" >"$workdir/url-$name"
+    }
+
+    for name in n0 n1 n2; do start_node "$name"; done
+    members="n0=$(cat "$workdir/url-n0"),n1=$(cat "$workdir/url-n1"),n2=$(cat "$workdir/url-n2")"
+    echo "chaos: cluster up: $members"
+
+    # Every node must publish a consistent ring identity.
+    for name in n0 n1 n2; do
+        curl -sf "$(cat "$workdir/url-$name")/v1/cluster/ring" | grep -q "\"self\": \"$name\"" ||
+            { echo "chaos: node $name ring endpoint broken"; exit 1; }
+    done
+
+    # Drive a 2-of-3 split to the global lockout; the loadgen itself
+    # fails nonzero on a budget overrun or a wrong reconstructed secret.
+    "$workdir/lemonaded" loadgen -cluster "$members" -ring-seed 42 \
+        -share-k 2 -share-n 3 -workers 4 >"$workdir/loadgen-out" 2>&1 &
+    lg=$!
+    allpids="$allpids $lg"
+
+    # The moment load starts flowing, kill a whole node dead. k=2 of 3
+    # means the survivors keep serving; the dead node's share is wasted
+    # budget, never minted budget.
+    for _ in $(seq 1 100); do
+        grep -q 'per-share budget' "$workdir/loadgen-out" && break
+        sleep 0.1
+    done
+    kill -9 "$pid_n1" 2>/dev/null || true
+    echo "chaos: killed n1 mid-load"
+
+    wait "$lg" || { echo "chaos: FAIL — cluster loadgen:"; cat "$workdir/loadgen-out"; exit 1; }
+    grep -q 'within global ceiling' "$workdir/loadgen-out" ||
+        { echo "chaos: loadgen never verified the ceiling"; cat "$workdir/loadgen-out"; exit 1; }
+    sed -n 's/^global lockout/chaos: global lockout/p' "$workdir/loadgen-out"
+
+    # The killed node restarts on its battered directory; the cluster
+    # lockout must survive: at least k of the shares must answer 410, so
+    # no client can ever again assemble a quorum.
+    start_node n1
+    grep -q 'lemonaded: recovered' "$workdir/log-n1" ||
+        { echo "chaos: n1 did not recover its WAL"; tail "$workdir/log-n1"; exit 1; }
+    gone=0
+    for name in n0 n1 n2; do
+        base=$(cat "$workdir/url-$name")
+        for idx in 0 1 2; do
+            code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v1/cluster/access" \
+                -d "{\"cluster_id\": \"arch-000001\", \"share_index\": $idx, \"share_total\": 3}")
+            [ "$code" = 410 ] && gone=$((gone + 1))
+        done
+    done
+    [ "$gone" -ge 2 ] || { echo "chaos: FAIL — only $gone shares report 410; quorum still assemblable"; exit 1; }
+    echo "chaos: cluster lockout durable across node restart ($gone shares spent)"
+
+    for name in n0 n1 n2; do
+        eval "kill -TERM \$pid_$name 2>/dev/null || true"
+    done
+    echo "chaos: cluster PASS"
     exit 0
 fi
 
